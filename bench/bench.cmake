@@ -1,0 +1,29 @@
+# Benchmark harness targets. Included from the top-level CMakeLists (not
+# add_subdirectory) so ${CMAKE_BINARY_DIR}/bench holds only executables.
+
+function(streamkc_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
+  target_link_libraries(${name} PRIVATE
+    streamkc_core streamkc_offline streamkc_sketch streamkc_setsys
+    streamkc_stream streamkc_hash streamkc_util)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+streamkc_bench(bench_tradeoff)
+streamkc_bench(bench_lower_bound)
+streamkc_bench(bench_oracle_cases)
+streamkc_bench(bench_universe_reduction)
+streamkc_bench(bench_sketches)
+streamkc_bench(bench_baselines)
+streamkc_bench(bench_reporting)
+streamkc_bench(bench_ablation)
+streamkc_bench(bench_set_cover)
+
+# Throughput micro-benchmarks use google-benchmark.
+add_executable(bench_micro ${CMAKE_SOURCE_DIR}/bench/bench_micro.cc)
+target_link_libraries(bench_micro PRIVATE
+  streamkc_core streamkc_offline streamkc_sketch streamkc_setsys
+  streamkc_stream streamkc_hash streamkc_util benchmark::benchmark)
+set_target_properties(bench_micro PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -1,0 +1,103 @@
+// Experiment E3 (DESIGN.md): the Section-5 lower bound, empirically.
+//
+// Part A verifies the reduction itself (Claims 5.3 / 5.4): No instances of
+// r-player DSJ(m) reduce to Max 1-Cover instances with OPT = r, Yes
+// instances to OPT = 1 — so any α < r approximation separates them.
+//
+// Part B runs the O(m/α²)-space L2-sketch distinguisher the paper describes
+// ("the specific hard instances ... can be distinguished ... using space
+// O(m/α²)") at the design budget and at fractions of it. Accuracy should be
+// ~1.0 at the Θ(m/r²) point and collapse toward coin-flipping (0.5) well
+// below it — the empirical signature of the Ω(m/α²) bound (Theorem 3.3).
+//
+// Part C sweeps r at fixed m, reporting the distinguisher's measured bytes
+// against m/r²: the 1/r² scaling of the space frontier.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/dsj_protocol.h"
+#include "setsys/dsj_instance.h"
+
+namespace streamkc {
+namespace {
+
+void PartA_Reduction() {
+  bench::Banner("E3 part A: DSJ -> Max 1-Cover reduction (Claims 5.3/5.4)",
+                "No-case OPT = r; Yes-case OPT = 1");
+  bench::Table table({"m", "r", "case", "reduced OPT", "expected"});
+  for (uint64_t r : {8ull, 16ull, 32ull}) {
+    const uint64_t m = 2048;
+    for (bool no_case : {false, true}) {
+      DsjInstance dsj = MakeDsjInstance(m, r, no_case, 11 + r);
+      uint64_t opt = DsjReducedOptimalCoverage(dsj);
+      table.AddRow({bench::Fmt("%llu", (unsigned long long)m),
+                    bench::Fmt("%llu", (unsigned long long)r),
+                    no_case ? "No" : "Yes",
+                    bench::Fmt("%llu", (unsigned long long)opt),
+                    no_case ? bench::Fmt("%llu", (unsigned long long)r) : "1"});
+    }
+  }
+  table.Print();
+}
+
+void PartB_SpaceCliff() {
+  bench::Banner(
+      "E3 part B: distinguisher accuracy vs space budget",
+      "solvable in O(m/alpha^2) space; impossible in o(m/alpha^2) "
+      "(Theorem 3.3)");
+  const uint64_t m = bench::SmallScale() ? 1 << 12 : 1 << 14;
+  const uint64_t r = 16;
+  const int trials = bench::SmallScale() ? 8 : 24;
+  bench::Table table(
+      {"space_factor", "sketch_KB", "accuracy", "vs design m/r^2"});
+  for (double factor : {4.0, 1.0, 1.0 / 4, 1.0 / 16, 1.0 / 64, 1.0 / 256}) {
+    int correct = 0;
+    size_t bytes = 0;
+    for (int t = 0; t < trials; ++t) {
+      for (bool no_case : {false, true}) {
+        DsjInstance dsj = MakeDsjInstance(m, r, no_case, 100 + t);
+        correct += DsjExperimentCorrect(dsj, factor, 7 + t, &bytes);
+      }
+    }
+    double acc = static_cast<double>(correct) / (2 * trials);
+    table.AddRow({bench::Fmt("%.4f", factor), bench::Fmt("%zu", bytes >> 10),
+                  bench::Fmt("%.3f", acc),
+                  factor >= 1.0 ? "at/above bound" : "below bound"});
+  }
+  table.Print();
+  std::printf(
+      "Reading: at or above the Theta(m/r^2) design budget accuracy is\n"
+      "~1.0; starving the sketch far below it collapses accuracy toward\n"
+      "0.5 (chance) — the behavior the Omega(m/alpha^2) bound mandates.\n");
+}
+
+void PartC_RSweep() {
+  bench::Banner("E3 part C: distinguisher space vs r (fixed m)",
+                "space frontier scales as m/r^2");
+  const uint64_t m = 1 << 16;
+  bench::Table table({"r", "sketch_KB", "bytes*r^2/m"});
+  for (uint64_t r : {8ull, 16ull, 32ull, 64ull, 128ull}) {
+    DsjInstance dsj = MakeDsjInstance(m, r, true, 5);
+    size_t bytes = 0;
+    DsjExperimentCorrect(dsj, 1.0, 3, &bytes);
+    table.AddRow({bench::Fmt("%llu", (unsigned long long)r),
+                  bench::Fmt("%zu", bytes >> 10),
+                  bench::Fmt("%.0f", static_cast<double>(bytes) * r * r / m)});
+  }
+  table.Print();
+  std::printf(
+      "Reading: bytes*r^2/m stays near-constant — the sketch that solves\n"
+      "the hard instances uses Theta(m/r^2) space, matching the upper\n"
+      "bound side of the tight trade-off.\n");
+}
+
+}  // namespace
+}  // namespace streamkc
+
+int main() {
+  streamkc::PartA_Reduction();
+  streamkc::PartB_SpaceCliff();
+  streamkc::PartC_RSweep();
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Experiment E12 (DESIGN.md): throughput micro-benchmarks (google-benchmark)
+// for every sketch primitive and the full pipeline's per-edge cost.
+
+#include <benchmark/benchmark.h>
+
+#include "core/estimate_max_cover.h"
+#include "core/oracle.h"
+#include "hash/kwise_hash.h"
+#include "hash/tabulation_hash.h"
+#include "setsys/generators.h"
+#include "sketch/ams_f2.h"
+#include "sketch/count_sketch.h"
+#include "sketch/f2_contributing.h"
+#include "sketch/f2_heavy_hitters.h"
+#include "sketch/l0_estimator.h"
+
+namespace streamkc {
+namespace {
+
+void BM_KWiseHash(benchmark::State& state) {
+  KWiseHash h(static_cast<uint32_t>(state.range(0)), 1);
+  uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.Map(++x));
+  }
+}
+BENCHMARK(BM_KWiseHash)->Arg(2)->Arg(4)->Arg(8)->Arg(48);
+
+void BM_TabulationHash(benchmark::State& state) {
+  TabulationHash h(1);
+  uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.Map(++x));
+  }
+}
+BENCHMARK(BM_TabulationHash);
+
+void BM_L0Add(benchmark::State& state) {
+  L0Estimator l0({.num_mins = 64, .seed = 1});
+  uint64_t x = 0;
+  for (auto _ : state) {
+    l0.Add(++x);
+  }
+  benchmark::DoNotOptimize(l0.Estimate());
+}
+BENCHMARK(BM_L0Add);
+
+void BM_AmsF2Add(benchmark::State& state) {
+  AmsF2Sketch f2({.rows = 5, .cols = 16, .seed = 1});
+  uint64_t x = 0;
+  for (auto _ : state) {
+    f2.Add(++x % 1000);
+  }
+  benchmark::DoNotOptimize(f2.Estimate());
+}
+BENCHMARK(BM_AmsF2Add);
+
+void BM_CountSketchAdd(benchmark::State& state) {
+  CountSketch cs({.depth = 5,
+                  .width = static_cast<uint32_t>(state.range(0)),
+                  .seed = 1});
+  uint64_t x = 0;
+  for (auto _ : state) {
+    cs.Add(++x % 4096);
+  }
+  benchmark::DoNotOptimize(cs.PointQuery(7));
+}
+BENCHMARK(BM_CountSketchAdd)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_F2HeavyHittersAdd(benchmark::State& state) {
+  F2HeavyHitters hh({.phi = 1.0 / static_cast<double>(state.range(0)),
+                     .seed = 1});
+  uint64_t x = 0;
+  for (auto _ : state) {
+    hh.Add(++x % 4096);
+  }
+  benchmark::DoNotOptimize(hh.EstimateF2());
+}
+BENCHMARK(BM_F2HeavyHittersAdd)->Arg(16)->Arg(256);
+
+void BM_F2ContributingAdd(benchmark::State& state) {
+  F2Contributing fc({.gamma = 0.05,
+                     .max_class_size = static_cast<uint64_t>(state.range(0)),
+                     .domain_size = 1 << 16,
+                     .seed = 1});
+  uint64_t x = 0;
+  for (auto _ : state) {
+    fc.Add(++x % 65536);
+  }
+  benchmark::DoNotOptimize(fc.num_levels());
+}
+BENCHMARK(BM_F2ContributingAdd)->Arg(64)->Arg(1 << 14);
+
+void BM_OracleProcess(benchmark::State& state) {
+  Params p = Params::Practical(1 << 12, 1 << 12, 32, 8);
+  Oracle::Config oc;
+  oc.params = p;
+  oc.universe_size = 1 << 12;
+  oc.seed = 1;
+  Oracle oracle(oc);
+  uint64_t x = 0;
+  for (auto _ : state) {
+    oracle.Process(Edge{x % 4096, (x * 2654435761u) % 4096});
+    ++x;
+  }
+  benchmark::DoNotOptimize(oracle.MemoryBytes());
+}
+BENCHMARK(BM_OracleProcess);
+
+void BM_EstimateMaxCoverProcess(benchmark::State& state) {
+  Params p = Params::Practical(1 << 12, 1 << 12, 32,
+                               static_cast<double>(state.range(0)));
+  EstimateMaxCover::Config c;
+  c.params = p;
+  c.seed = 1;
+  EstimateMaxCover est(c);
+  uint64_t x = 0;
+  for (auto _ : state) {
+    est.Process(Edge{x % 4096, (x * 2654435761u) % 4096});
+    ++x;
+  }
+  benchmark::DoNotOptimize(est.MemoryBytes());
+}
+BENCHMARK(BM_EstimateMaxCoverProcess)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_EndToEndPlanted(benchmark::State& state) {
+  auto inst = PlantedCover(1024, 2048, 16, 0.5, 5, 1);
+  std::vector<Edge> edges = inst.system.MaterializeEdges();
+  for (auto _ : state) {
+    EstimateMaxCover::Config c;
+    c.params = Params::Practical(1024, 2048, 16, 8);
+    c.seed = 1;
+    EstimateMaxCover est(c);
+    for (const Edge& e : edges) est.Process(e);
+    benchmark::DoNotOptimize(est.Finalize().estimate);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(edges.size()));
+}
+BENCHMARK(BM_EndToEndPlanted)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace streamkc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Experiment E13 (extension): the dual problem's pass/approximation trade —
+// multi-pass streaming Set Cover ([21], the same authors' earlier work the
+// paper builds its related-work narrative on).
+//
+// The table traces solution size vs number of passes at Õ(n) memory against
+// the offline greedy (ln n) and exact optima: one pass is crude, a handful
+// of passes approaches greedy — the trade-off that motivated studying
+// space/approximation frontiers for coverage problems in streams, of which
+// this paper's Θ̃(m/α²) Max k-Cover bound is the single-pass culmination.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "offline/multi_pass_set_cover.h"
+#include "offline/set_cover.h"
+#include "setsys/generators.h"
+
+namespace streamkc {
+namespace {
+
+void PassTradeoff() {
+  bench::Banner("E13: multi-pass streaming Set Cover (the dual problem, [21])",
+                "p passes at O~(n) memory buy an O(p·n^(1/p))-approximate "
+                "cover; many passes approach greedy's ln n factor");
+  const uint64_t m = bench::SmallScale() ? 256 : 512;
+  const uint64_t n = bench::SmallScale() ? 512 : 1024;
+  auto inst = ZipfFrequency(m, n, 18, 0.8, 5);
+  SetCoverSolution greedy = GreedySetCover(inst.system);
+
+  bench::Table table({"passes (budget)", "passes used", "cover size",
+                      "vs greedy", "memory_KB"});
+  VectorEdgeStream stream =
+      inst.system.MakeStream(ArrivalOrder::kSetContiguous, 0);
+  for (uint32_t p : {1u, 2u, 3u, 5u, 8u, 12u}) {
+    stream.Reset();
+    MultiPassSetCoverResult r = RunMultiPassSetCover(stream, n, p);
+    table.AddRow({bench::Fmt("%u", p), bench::Fmt("%u", r.passes_used),
+                  bench::Fmt("%zu", r.solution.sets.size()),
+                  bench::Fmt("%.2f", static_cast<double>(r.solution.sets.size()) /
+                                         static_cast<double>(greedy.sets.size())),
+                  bench::Fmt("%zu", r.memory_bytes >> 10)});
+  }
+  table.AddRow({"offline greedy (ln n)", "-",
+                bench::Fmt("%zu", greedy.sets.size()), "1.00", "-"});
+  table.Print();
+  std::printf(
+      "Reading: each extra pass buys a smaller cover at the same O~(n)\n"
+      "memory; the curve flattens onto greedy. Contrast with Max k-Cover\n"
+      "(this paper): a SINGLE pass suffices there because an approximate\n"
+      "VALUE is acceptable — the set-cover feasibility requirement is what\n"
+      "makes passes (or mn-scale space, footnote 5) unavoidable.\n");
+}
+
+void SmallInstanceExactness() {
+  bench::Banner("E13 (cont.): greedy vs exact on small instances",
+                "greedy's ln(n)+1 bound in practice");
+  bench::Table table({"seed", "exact OPT", "greedy", "ratio", "ln(n)+1"});
+  double log_bound = std::log(40.0) + 1.0;
+  for (int seed = 1; seed <= 6; ++seed) {
+    auto inst = RandomUniform(14, 40, 8, seed);
+    SetCoverSolution greedy = GreedySetCover(inst.system);
+    SetCoverSolution exact = ExactSetCover(inst.system);
+    table.AddRow({bench::Fmt("%d", seed), bench::Fmt("%zu", exact.sets.size()),
+                  bench::Fmt("%zu", greedy.sets.size()),
+                  bench::Fmt("%.2f", static_cast<double>(greedy.sets.size()) /
+                                         static_cast<double>(exact.sets.size())),
+                  bench::Fmt("%.2f", log_bound)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace streamkc
+
+int main() {
+  streamkc::PassTradeoff();
+  streamkc::SmallInstanceExactness();
+  return 0;
+}

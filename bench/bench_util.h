@@ -1,0 +1,77 @@
+// Shared helpers for the experiment harnesses in bench/.
+//
+// Each bench binary reproduces one experiment from DESIGN.md §4 and prints a
+// fixed-width table plus a short interpretation. The binaries take no
+// arguments (so `for b in build/bench/*; do $b; done` regenerates every
+// experiment) but honor STREAMKC_BENCH_SCALE=small for quicker smoke runs.
+
+#ifndef STREAMKC_BENCH_BENCH_UTIL_H_
+#define STREAMKC_BENCH_BENCH_UTIL_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace streamkc::bench {
+
+inline bool SmallScale() {
+  const char* env = std::getenv("STREAMKC_BENCH_SCALE");
+  return env != nullptr && std::strcmp(env, "small") == 0;
+}
+
+// Minimal fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void Print() const {
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(width[c]), row[c].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    size_t total = 0;
+    for (size_t w : width) total += w + 2;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(const char* fmt, ...) {
+  char buf[128];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+inline void Banner(const char* experiment, const char* claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Paper claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+}  // namespace streamkc::bench
+
+#endif  // STREAMKC_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,67 @@
+// The Section-5 communication game, playable: why α-approximation costs
+// Ω(m/α²) space.
+//
+//   build/examples/dsj_game
+//
+// r players secretly hold subsets of m items, promised either pairwise
+// disjoint (Yes) or sharing exactly one common item (No). Their data is
+// reduced to a Max 1-Cover edge stream (Claims 5.3/5.4: OPT is 1 vs r), and
+// a single-pass L2 sketch of size Θ(m/r²) plays the referee. The example
+// prints the verdicts at a healthy budget and at a starved one.
+
+#include <cstdio>
+
+#include "core/dsj_protocol.h"
+#include "setsys/dsj_instance.h"
+
+using namespace streamkc;
+
+namespace {
+
+void Play(uint64_t m, uint64_t r, bool no_case, double space_factor,
+          uint64_t seed) {
+  DsjInstance game = MakeDsjInstance(m, r, no_case, seed);
+  DsjDistinguisher::Config config;
+  config.num_items = m;
+  config.num_players = r;
+  config.space_factor = space_factor;
+  config.seed = seed * 7 + 1;
+  DsjDistinguisher referee(config);
+  for (const Edge& e : DsjToMaxCoverEdges(game)) referee.Process(e);
+  DsjDistinguisher::Verdict v = referee.Finalize();
+  std::printf(
+      "  truth=%-3s budget=%5.2fx (%4zu KiB)  verdict=%-3s  max|S_j|~%.1f%s\n",
+      no_case ? "No" : "Yes", space_factor, referee.MemoryBytes() >> 10,
+      v.says_no ? "No" : "Yes", v.max_estimate,
+      (v.says_no == no_case) ? "" : "   <-- WRONG");
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t m = 1 << 14;  // items
+  const uint64_t r = 16;       // players = the approximation factor at stake
+  std::printf("r-player set disjointness, m = %llu items, r = %llu players\n",
+              static_cast<unsigned long long>(m),
+              static_cast<unsigned long long>(r));
+  std::printf("reduced Max 1-Cover optimum: %llu (No) vs 1 (Yes)\n\n",
+              static_cast<unsigned long long>(r));
+
+  std::printf("with the Theta(m/r^2) budget the referee is reliable:\n");
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    Play(m, r, /*no_case=*/true, 1.0, seed);
+    Play(m, r, /*no_case=*/false, 1.0, seed);
+  }
+
+  std::printf("\nstarved to 1/64 of the budget it degrades toward guessing:\n");
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    Play(m, r, /*no_case=*/true, 1.0 / 64, seed);
+    Play(m, r, /*no_case=*/false, 1.0 / 64, seed);
+  }
+
+  std::printf(
+      "\nTheorem 3.3 turns this into the matching lower bound: any\n"
+      "single-pass algorithm that alpha-approximates Max k-Cover could\n"
+      "referee this game, so it must use Omega(m/alpha^2) space.\n");
+  return 0;
+}

@@ -1,0 +1,19 @@
+#include "core/element_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace streamkc {
+
+ElementSampler::ElementSampler(double rate, uint32_t degree, uint64_t seed)
+    : hash_(degree, seed) {
+  CHECK_GT(rate, 0.0);
+  double clipped = std::min(rate, 1.0);
+  rate_num_ = static_cast<uint64_t>(clipped * static_cast<double>(kRateDen));
+  rate_num_ = std::max<uint64_t>(rate_num_, 1);
+  rate_num_ = std::min<uint64_t>(rate_num_, kRateDen);
+}
+
+}  // namespace streamkc

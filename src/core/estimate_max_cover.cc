@@ -1,0 +1,129 @@
+#include "core/estimate_max_cover.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "util/check.h"
+#include "util/math_util.h"
+#include "util/random.h"
+
+namespace streamkc {
+
+EstimateMaxCover::EstimateMaxCover(const Config& config) : config_(config) {
+  const Params& p = config.params;
+  CHECK_GT(p.n, 0u);
+  Rng rng(config.seed);
+
+  if (static_cast<double>(p.k) * p.alpha >= static_cast<double>(p.m)) {
+    // Figure 1's trivial branch ("if kα ≥ m then return n/α"): estimate
+    // |C(F)| with an L0 sketch and report it divided by α.
+    trivial_mode_ = true;
+    covered_elements_ = std::make_unique<L0Estimator>(
+        L0Estimator::Config{.num_mins = p.l0_num_mins, .seed = rng.Fork()});
+    return;
+  }
+
+  // Guess grid z = 2^i, descending from the top so the largest guess (≈ n,
+  // or the bracket's top when a prior bracket is supplied) is always present
+  // regardless of the step.
+  uint64_t hi = p.n;
+  uint64_t lo = p.min_universe_guess;
+  if (config.guess_lo != 0 && config.guess_hi != 0) {
+    CHECK_LE(config.guess_lo, config.guess_hi);
+    hi = std::min<uint64_t>(config.guess_hi, p.n);
+    lo = std::max<uint64_t>(config.guess_lo, 2);
+  }
+  uint32_t max_level = CeilLog2(hi);
+  std::vector<uint32_t> levels;
+  for (int32_t i = static_cast<int32_t>(max_level); i >= 0;
+       i -= static_cast<int32_t>(std::max<uint32_t>(1, p.universe_guess_log_step))) {
+    uint64_t z = 1ULL << i;
+    if (z < lo && z < hi) break;
+    levels.push_back(static_cast<uint32_t>(i));
+  }
+  for (uint32_t i : levels) {
+    uint64_t z = 1ULL << i;
+    for (uint32_t rep = 0; rep < p.universe_reduction_reps; ++rep) {
+      Oracle::Config oc;
+      oc.params = p;
+      oc.universe_size = z;
+      oc.reporting = config.reporting;
+      oc.seed = rng.Fork();
+      oracles_.push_back(Level{z, UniverseReduction(z, rng.Fork()),
+                               std::make_unique<Oracle>(oc)});
+    }
+  }
+}
+
+void EstimateMaxCover::Process(const Edge& edge) {
+  if (trivial_mode_) {
+    covered_elements_->Add(edge.element);
+    return;
+  }
+  for (Level& level : oracles_) {
+    level.oracle->Process(level.reduction.MapEdge(edge));
+  }
+}
+
+std::optional<std::pair<size_t, double>> EstimateMaxCover::BestLevel() const {
+  const Params& p = config_.params;
+  // est_z = max over the repetitions of guess z; then keep guesses passing
+  // est_z ≥ z/(4α) and return the largest estimate.
+  std::optional<std::pair<size_t, double>> best;
+  for (size_t i = 0; i < oracles_.size(); ++i) {
+    EstimateOutcome out = oracles_[i].oracle->Finalize();
+    if (!out.feasible) continue;
+    double z = static_cast<double>(oracles_[i].z);
+    if (out.estimate < z / (4.0 * p.alpha)) continue;
+    if (!best || out.estimate > best->second) best = {{i, out.estimate}};
+  }
+  return best;
+}
+
+EstimateOutcome EstimateMaxCover::Finalize() const {
+  EstimateOutcome out;
+  out.feasible = true;
+  if (trivial_mode_) {
+    out.source = "trivial";
+    out.estimate = covered_elements_->Estimate() / config_.params.alpha;
+    return out;
+  }
+  auto best = BestLevel();
+  if (!best) {
+    // No guess passed its threshold. OPT may still be tiny (below the
+    // smallest guess); report the conservative floor 0.
+    out.source = "no-guess-passed";
+    out.estimate = 0;
+    return out;
+  }
+  out.estimate = best->second;
+  out.source = oracles_[best->first].oracle->Finalize().source;
+  return out;
+}
+
+std::vector<SetId> EstimateMaxCover::ExtractSolution(uint64_t max_sets) const {
+  CHECK(config_.reporting);
+  if (trivial_mode_) return {};
+  auto best = BestLevel();
+  if (!best) return {};
+  return oracles_[best->first].oracle->ExtractSolution(max_sets);
+}
+
+size_t EstimateMaxCover::HeavyHitterComponentBytes() const {
+  size_t bytes = 0;
+  for (const Level& level : oracles_) {
+    bytes += level.oracle->large_set().MemoryBytes();
+  }
+  return bytes;
+}
+
+size_t EstimateMaxCover::MemoryBytes() const {
+  if (trivial_mode_) return covered_elements_->MemoryBytes();
+  size_t bytes = 0;
+  for (const Level& level : oracles_) {
+    bytes += level.reduction.MemoryBytes() + level.oracle->MemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace streamkc

@@ -1,0 +1,91 @@
+// EstimateMaxCover: the paper's headline estimation algorithm
+// (Section 3, Figure 1; Theorems 3.1 and 3.6).
+//
+// For every guess z = 2^i ≤ n of the optimal coverage size, a fresh 4-wise
+// independent hash maps U onto z pseudo-elements (universe reduction,
+// Lemma 3.5) and an (α, δ, η=4)-oracle runs on the mapped stream; each guess
+// is repeated log(1/δ) times to boost the 3/4 success probability of
+// Lemma 3.5. At the end the algorithm returns
+//     max { est_z : est_z ≥ z/(4α) },
+// which lies in [OPT/Õ(α), OPT] w.h.p. (Theorem 3.6).
+//
+// The trivial branch: when kα ≥ m, the best k sets cover at least a k/m ≥
+// 1/α fraction of the covered universe, so an L0 estimate of |C(F)| divided
+// by α is already an α-approximate lower bound — Figure 1's first line.
+//
+// Space: log n · log(1/δ) oracles of Õ(m/α²) each, i.e. Õ(m/α²) total.
+
+#ifndef STREAMKC_CORE_ESTIMATE_MAX_COVER_H_
+#define STREAMKC_CORE_ESTIMATE_MAX_COVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/oracle.h"
+#include "core/params.h"
+#include "core/streaming_interface.h"
+#include "core/universe_reduction.h"
+#include "sketch/l0_estimator.h"
+
+namespace streamkc {
+
+class EstimateMaxCover : public StreamingEstimator {
+ public:
+  struct Config {
+    Params params;
+    bool reporting = false;  // also maintain solution-extraction state
+    // Optional prior bracket on OPT (e.g. from a first pass): when both are
+    // nonzero, the guess grid only spans [guess_lo, guess_hi] instead of
+    // [min_universe_guess, n], which cuts the oracle count to
+    // log(guess_hi/guess_lo) — the two-pass optimization (core/two_pass.h).
+    uint64_t guess_lo = 0;
+    uint64_t guess_hi = 0;
+    uint64_t seed = 1;
+  };
+
+  explicit EstimateMaxCover(const Config& config);
+
+  void Process(const Edge& edge) override;
+
+  // The final coverage estimate. Always feasible: the trivial branch and the
+  // z-threshold rule guarantee an answer (0 only for an empty stream).
+  EstimateOutcome Finalize() const;
+
+  // Reporting mode only: the winning oracle's witness sets (empty in trivial
+  // mode — the trivial branch's solution lives in ReportMaxCover).
+  std::vector<SetId> ExtractSolution(uint64_t max_sets) const;
+
+  size_t MemoryBytes() const override;
+
+  // Bytes held by the heavy-hitter machinery (the LargeSet subroutines)
+  // across all oracles — the component that carries the Θ̃(m/α²) term of the
+  // space bound, reported separately for the trade-off experiments.
+  size_t HeavyHitterComponentBytes() const;
+
+  bool trivial_mode() const { return trivial_mode_; }
+  uint32_t num_oracles() const {
+    return static_cast<uint32_t>(oracles_.size());
+  }
+
+ protected:
+  struct Level {
+    uint64_t z = 0;            // coverage guess
+    UniverseReduction reduction;
+    std::unique_ptr<Oracle> oracle;
+  };
+
+  // Winner among threshold-passing levels, if any; pair of (index into
+  // oracles_, estimate).
+  std::optional<std::pair<size_t, double>> BestLevel() const;
+
+  Config config_;
+  bool trivial_mode_ = false;
+  // Trivial branch state: distinct covered elements.
+  std::unique_ptr<L0Estimator> covered_elements_;
+  std::vector<Level> oracles_;  // (guess, repetition) pairs, flattened
+};
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_CORE_ESTIMATE_MAX_COVER_H_

@@ -1,0 +1,135 @@
+// LargeSet: heavy hitters over random supersets (Section 4.2 and Appendix B,
+// Figures 4, 6 and 7).
+//
+// Handles case II of the oracle: an optimal solution whose coverage is
+// dominated by OPT_large — sets contributing at least z/(sα) each. The sets
+// F are hashed into ≈ c·m·log m / w random supersets of ≤ w = min(α, k)
+// sets (Claim 4.9). With no common elements, a superset's total incidence
+// count exceeds its coverage by at most a factor f (Claim 4.10), so the
+// vector v⃗[i] = Σ_{S ∈ D_i} |S| is a good proxy for superset coverage, and:
+//
+//   Case 1 (small supersets carry F2): some class of ≤ sα supersets of total
+//     size ≥ z/(sα) is a φ1 = Ω̃(α²/m)-contributing class of F2(v⃗)
+//     (Claim 4.11) — found by F2-Contributing(φ1, sα) in Õ(m/α²) space.
+//   Case 2 (they do not): some class is Ω̃(1)-contributing (Claim 4.13) —
+//     found by F2-Contributing(φ2, r2) in Õ(1) space; when the contributing
+//     class is larger than r2, a uniformly sampled pool of supersets with
+//     per-superset L0 estimators catches it instead (Appendix B, Fig. 6).
+//
+// Appendix B removes the "no common elements" assumption: the whole
+// computation runs on an element sample L of rate ρ = t·s·α·η/|U|, repeated
+// O(log n) times (Fig. 7) so that w.h.p. some repetition's sample avoids all
+// w-common elements; repetitions whose supersets are dominated by duplicated
+// common elements cannot pass the thresholds (Lemma B.5), so the max over
+// repetitions is sound.
+//
+// Estimates are produced at sample scale and divided by ρ to return to
+// universe scale. Never overestimates w.h.p.; space Õ(m/α²) (Lemma B.7).
+
+#ifndef STREAMKC_CORE_LARGE_SET_H_
+#define STREAMKC_CORE_LARGE_SET_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/element_sampler.h"
+#include "core/params.h"
+#include "core/streaming_interface.h"
+#include "hash/kwise_hash.h"
+#include "sketch/f2_contributing.h"
+#include "sketch/l0_estimator.h"
+
+namespace streamkc {
+
+// One repetition (Figure 6): runs on a fixed element sample V.
+class LargeSetComplete : public StreamingEstimator {
+ public:
+  struct Config {
+    Params params;
+    uint64_t universe_size = 0;   // |U| the stream lives in
+    double w = 1;                 // superset capacity bound (min(α,k) or k)
+    double element_rate = 1.0;    // ρ; 1.0 disables sampling (Fig. 4 mode)
+    bool reporting = false;
+    uint64_t seed = 1;
+  };
+
+  explicit LargeSetComplete(const Config& config);
+
+  void Process(const Edge& edge) override;
+
+  // Estimate is at universe scale (already divided by the element rate).
+  EstimateOutcome Finalize() const;
+
+  // Reporting mode, after a feasible Finalize(): the winning superset's
+  // member sets {S : h(S) = i*}, at most max_sets of them.
+  std::vector<SetId> ExtractSolution(uint64_t max_sets) const;
+
+  size_t MemoryBytes() const override;
+
+  uint64_t num_supersets() const { return num_supersets_; }
+
+ private:
+  struct Candidate {
+    uint64_t superset = 0;
+    double sample_scale_estimate = 0;  // coverage estimate on the sample V
+  };
+
+  std::optional<Candidate> BestCandidate() const;
+
+  Config config_;
+  ElementSampler element_sampler_;
+  KWiseHash superset_hash_;
+  uint64_t num_supersets_ = 0;
+  double thr1_ = 0;  // Case 1 acceptance threshold (sample scale)
+  double thr2_ = 0;  // Case 2 acceptance threshold (sample scale)
+  F2Contributing cntr_small_;  // Case 1: φ1 = Ω̃(α²/m), classes ≤ r1
+  F2Contributing cntr_large_;  // Case 2: φ2 = Ω̃(1), classes ≤ r2
+  // Case 2 with oversized contributing classes: sampled supersets with
+  // direct coverage counters.
+  KWiseHash pool_hash_;
+  uint64_t pool_rate_num_ = 0;
+  uint64_t pool_rate_den_ = 1;
+  mutable std::unordered_map<uint64_t, L0Estimator> pool_;
+  uint64_t pool_l0_seed_ = 0;
+};
+
+// Figure 7: O(log n) parallel repetitions of LargeSetComplete on fresh
+// element samples; the final answer is the best feasible repetition.
+class LargeSet : public StreamingEstimator {
+ public:
+  struct Config {
+    Params params;
+    uint64_t universe_size = 0;
+    // Superset capacity: Figure 2 passes k when sα ≥ 2k, else α.
+    double w = 1;
+    bool reporting = false;
+    uint64_t seed = 1;
+  };
+
+  explicit LargeSet(const Config& config);
+
+  void Process(const Edge& edge) override;
+
+  EstimateOutcome Finalize() const;
+
+  std::vector<SetId> ExtractSolution(uint64_t max_sets) const;
+
+  size_t MemoryBytes() const override;
+
+  uint32_t num_repetitions() const {
+    return static_cast<uint32_t>(reps_.size());
+  }
+
+ private:
+  // Index of the best feasible repetition, if any.
+  std::optional<size_t> BestRep() const;
+
+  Config config_;
+  std::vector<LargeSetComplete> reps_;
+};
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_CORE_LARGE_SET_H_

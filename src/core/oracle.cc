@@ -1,0 +1,80 @@
+#include "core/oracle.h"
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace streamkc {
+
+Oracle::Oracle(const Config& config) : config_(config) {
+  const Params& p = config.params;
+  CHECK_GT(config.universe_size, 0u);
+  Rng rng(config.seed);
+
+  LargeCommon::Config lc;
+  lc.params = p;
+  lc.universe_size = config.universe_size;
+  lc.reporting = config.reporting;
+  lc.seed = rng.Fork();
+  large_common_ = std::make_unique<LargeCommon>(lc);
+
+  bool few_sets_dominate = p.s * p.alpha >= 2.0 * static_cast<double>(p.k);
+  LargeSet::Config ls;
+  ls.params = p;
+  ls.universe_size = config.universe_size;
+  // Figure 2: w = k when sα ≥ 2k (then |OPT_large| covers half of OPT
+  // unconditionally, Claim 4.3); otherwise w = α.
+  ls.w = few_sets_dominate ? static_cast<double>(p.k) : p.alpha;
+  ls.reporting = config.reporting;
+  ls.seed = rng.Fork();
+  large_set_ = std::make_unique<LargeSet>(ls);
+
+  if (!few_sets_dominate) {
+    SmallSet::Config ss;
+    ss.params = p;
+    ss.universe_size = config.universe_size;
+    ss.reporting = config.reporting;
+    ss.seed = rng.Fork();
+    small_set_ = std::make_unique<SmallSet>(ss);
+  }
+}
+
+void Oracle::Process(const Edge& edge) {
+  large_common_->Process(edge);
+  large_set_->Process(edge);
+  if (small_set_ != nullptr) small_set_->Process(edge);
+}
+
+EstimateOutcome Oracle::Finalize() const {
+  EstimateOutcome best;
+  best.source = "oracle-infeasible";
+  auto consider = [&best](const EstimateOutcome& out) {
+    if (out.feasible && (!best.feasible || out.estimate > best.estimate)) {
+      best = out;
+    }
+  };
+  consider(large_common_->Finalize());
+  consider(large_set_->Finalize());
+  if (small_set_ != nullptr) consider(small_set_->Finalize());
+  return best;
+}
+
+std::vector<SetId> Oracle::ExtractSolution(uint64_t max_sets) const {
+  EstimateOutcome best = Finalize();
+  if (!best.feasible) return {};
+  if (best.source == "large-common") {
+    return large_common_->ExtractSolution(max_sets);
+  }
+  if (best.source == "large-set") {
+    return large_set_->ExtractSolution(max_sets);
+  }
+  if (small_set_ != nullptr) return small_set_->ExtractSolution(max_sets);
+  return {};
+}
+
+size_t Oracle::MemoryBytes() const {
+  size_t bytes = large_common_->MemoryBytes() + large_set_->MemoryBytes();
+  if (small_set_ != nullptr) bytes += small_set_->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace streamkc

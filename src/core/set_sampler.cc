@@ -1,0 +1,21 @@
+#include "core/set_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace streamkc {
+
+SetSampler::SetSampler(uint64_t m, double gamma, double c_hash,
+                       uint32_t degree, uint64_t seed)
+    : hash_(degree, seed) {
+  CHECK_GT(m, 0u);
+  CHECK_GT(gamma, 0.0);
+  double r = c_hash * static_cast<double>(m) *
+             Log2AtLeast1(static_cast<double>(m)) / gamma;
+  range_ = std::max<uint64_t>(1, static_cast<uint64_t>(std::llround(r)));
+}
+
+}  // namespace streamkc

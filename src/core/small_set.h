@@ -1,0 +1,114 @@
+// SmallSet: element sampling over subsampled sets (Section 4.3, Figure 5).
+//
+// Handles case III of the oracle: the optimal coverage comes mostly from
+// "small" sets (every OPT member contributes < z/(sα)). Then subsampling
+// sets at rate Θ(1/(sα)) preserves, w.h.p., a (Θ̃(k/α))-cover with coverage
+// Θ̃(z/α) (Lemma 4.16 / Corollary 4.19). Element sampling (Lemma 2.5) at a
+// guessed rate shrinks the universe to Θ̃(γ·k′) elements, and the surviving
+// sub-instance (L, M) fits in Õ(m/α²) space (Lemmas 4.20 / 4.21), where it
+// is solved *offline* by greedy at the end of the pass.
+//
+// Each (guess, repetition) stores its own sub-instance under a hard byte
+// budget. Where Figure 5 *terminates* an instance whose sample outgrows the
+// budget, this implementation instead *rescales* it: the element-sampling
+// threshold is halved and the stored sample pruned in place. Because
+// membership is a range test on one hash, the pruned sample is exactly the
+// uniform sample at the halved rate, so Lemma 2.5 applies at the final
+// effective rate and dense instances degrade gracefully instead of dying.
+//
+// The returned estimate is the greedy coverage on the sample scaled back by
+// the effective element rate; infeasible unless the greedy k′-cover covers
+// Ω(k′) sampled elements (the paper's sol_γ = Ω̃(k/α) test), which keeps the
+// estimator from hallucinating coverage out of sampling noise.
+
+#ifndef STREAMKC_CORE_SMALL_SET_H_
+#define STREAMKC_CORE_SMALL_SET_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/params.h"
+#include "core/streaming_interface.h"
+#include "hash/kwise_hash.h"
+
+namespace streamkc {
+
+class SmallSet : public StreamingEstimator {
+ public:
+  struct Config {
+    Params params;
+    uint64_t universe_size = 0;
+    bool reporting = false;
+    uint64_t seed = 1;
+  };
+
+  explicit SmallSet(const Config& config);
+
+  void Process(const Edge& edge) override;
+
+  EstimateOutcome Finalize() const;
+
+  // Reporting mode, after a feasible Finalize(): the actual set ids chosen
+  // by greedy on the winning sub-instance (at most k′ ≤ k of them).
+  std::vector<SetId> ExtractSolution(uint64_t max_sets) const;
+
+  size_t MemoryBytes() const override;
+
+  uint32_t num_instances() const {
+    return static_cast<uint32_t>(instances_.size());
+  }
+
+  // Total budget-overflow rescaling events across instances (diagnostic).
+  uint32_t num_rescaled() const;
+
+ private:
+  static constexpr uint64_t kRateDen = 1ULL << 40;
+  // An instance whose rate has been halved this many times stores (almost)
+  // nothing and is effectively dead.
+  static constexpr uint32_t kMaxRescales = 38;
+
+  struct Instance {
+    double gamma = 0;       // coverage-fraction guess (OPT' ≈ |U|/γ)
+    KWiseHash set_sampler;  // M membership at rate set_rate_num/kRateDen
+    uint64_t set_rate_num = 0;
+    KWiseHash element_sampler;  // L membership at element_rate_num/kRateDen
+    uint64_t element_rate_num = 0;  // halved on every budget overflow
+    uint32_t rescales = 0;
+    // The stored sub-instance: surviving set -> its surviving elements.
+    std::unordered_map<SetId, std::vector<ElementId>> edges;
+    size_t stored_bytes = 0;
+
+    bool ElementSampled(ElementId e) const {
+      return element_sampler.MapRange(e, kRateDen) < element_rate_num;
+    }
+    double EffectiveRate() const {
+      return static_cast<double>(element_rate_num) /
+             static_cast<double>(kRateDen);
+    }
+  };
+
+  struct Evaluation {
+    double estimate = 0;          // universe scale
+    std::vector<SetId> solution;  // greedy's picks (actual set ids)
+  };
+
+  // Halves inst's element rate and prunes its stored sample accordingly.
+  void Rescale(Instance& inst);
+
+  // Greedy evaluation of one stored instance; nullopt if infeasible.
+  std::optional<Evaluation> Evaluate(const Instance& inst) const;
+
+  // Best feasible instance by estimate.
+  std::optional<std::pair<size_t, Evaluation>> BestInstance() const;
+
+  Config config_;
+  uint64_t k_prime_ = 1;
+  size_t budget_bytes_ = 0;
+  std::vector<Instance> instances_;
+};
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_CORE_SMALL_SET_H_

@@ -1,0 +1,42 @@
+// Common interface of the single-pass estimators in src/core.
+
+#ifndef STREAMKC_CORE_STREAMING_INTERFACE_H_
+#define STREAMKC_CORE_STREAMING_INTERFACE_H_
+
+#include <string>
+
+#include "stream/edge.h"
+#include "stream/edge_stream.h"
+#include "util/space.h"
+
+namespace streamkc {
+
+// Result of a coverage-estimation subroutine. `feasible == false` is the
+// paper's "infeasible" return: the subroutine's structural precondition did
+// not hold, and `estimate` is meaningless.
+struct EstimateOutcome {
+  bool feasible = false;
+  double estimate = 0;
+  // Which subroutine produced the estimate ("large-common", "large-set",
+  // "small-set", "trivial", ...); set by Oracle/EstimateMaxCover.
+  std::string source;
+};
+
+// A single-pass streaming coverage estimator over (set, element) edges.
+class StreamingEstimator : public SpaceAccounted {
+ public:
+  ~StreamingEstimator() override = default;
+  // Observes one stream token. Must be O(polylog) time and touch only
+  // sketch state.
+  virtual void Process(const Edge& edge) = 0;
+};
+
+// Feeds the remainder of `stream` into `alg`.
+inline void FeedStream(EdgeStream& stream, StreamingEstimator& alg) {
+  Edge e;
+  while (stream.Next(&e)) alg.Process(e);
+}
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_CORE_STREAMING_INTERFACE_H_

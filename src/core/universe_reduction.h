@@ -1,0 +1,45 @@
+// Universe reduction (Section 3.1, Lemma 3.5).
+//
+// A 4-wise independent hash h : U → [z] maps elements to z pseudo-elements.
+// Lemma 3.5: for any S ⊆ U with |S| ≥ z (z ≥ 32), Pr[|h(S)| ≥ z/4] ≥ 3/4,
+// so if OPT's coverage is at least the guess z, the reduced instance's
+// optimal coverage is at least z/4 — a constant fraction of the reduced
+// universe, which is exactly the precondition (η = 4) of the
+// (α, δ, η)-oracle. Coverage never increases under the map, so reduced-space
+// estimates remain valid lower bounds for the original instance.
+
+#ifndef STREAMKC_CORE_UNIVERSE_REDUCTION_H_
+#define STREAMKC_CORE_UNIVERSE_REDUCTION_H_
+
+#include <cstdint>
+
+#include "hash/kwise_hash.h"
+#include "stream/edge.h"
+#include "util/space.h"
+
+namespace streamkc {
+
+class UniverseReduction : public SpaceAccounted {
+ public:
+  // Maps U onto [num_pseudo_elements].
+  UniverseReduction(uint64_t num_pseudo_elements, uint64_t seed)
+      : hash_(KWiseHash::FourWise(seed)), z_(num_pseudo_elements) {}
+
+  ElementId Map(ElementId e) const { return hash_.MapRange(e, z_); }
+
+  Edge MapEdge(const Edge& edge) const {
+    return Edge{edge.set, Map(edge.element)};
+  }
+
+  uint64_t num_pseudo_elements() const { return z_; }
+
+  size_t MemoryBytes() const override { return hash_.MemoryBytes(); }
+
+ private:
+  KWiseHash hash_;
+  uint64_t z_;
+};
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_CORE_UNIVERSE_REDUCTION_H_

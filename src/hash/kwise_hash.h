@@ -1,0 +1,86 @@
+// d-wise independent hash families (Definition A.1 / Lemma A.2 of the paper).
+//
+// A degree-(d-1) polynomial with uniform coefficients over GF(2^61 - 1) gives
+// a d-wise independent family. Storing the family costs d field elements
+// (d·log(mn) bits, matching Lemma A.2), and evaluation is Horner's rule.
+//
+// The paper uses three independence levels:
+//   * pairwise      (d = 2)  — KMV distinct-elements sketch, CountSketch rows
+//   * 4-wise        (d = 4)  — universe reduction (Lemma 3.5), AMS signs
+//   * Θ(log(mn))-wise        — set sampling (Appendix A.1), supersets (§4.2),
+//                              element sampling (§B), F2-Contributing levels
+//
+// KWiseHash::Map gives a uniform value in [0, p); MapRange(x, r) maps it to
+// [0, r) by fixed-point multiplication; Sign(x) gives a ±1 value; Keep(x, num,
+// den) implements "h(x) = 1"-style subsampling at rate num/den without float
+// roundoff.
+
+#ifndef STREAMKC_HASH_KWISE_HASH_H_
+#define STREAMKC_HASH_KWISE_HASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/mersenne.h"
+#include "util/check.h"
+#include "util/random.h"
+#include "util/space.h"
+
+namespace streamkc {
+
+class KWiseHash : public SpaceAccounted {
+ public:
+  // Draws a hash function uniformly from the d-wise independent polynomial
+  // family, deterministically from `seed`. d >= 1 (d = 1 is a constant
+  // function family; callers normally want d >= 2).
+  KWiseHash(uint32_t d, uint64_t seed);
+
+  // Convenience factories for the independence levels the paper names.
+  static KWiseHash Pairwise(uint64_t seed) { return KWiseHash(2, seed); }
+  static KWiseHash FourWise(uint64_t seed) { return KWiseHash(4, seed); }
+  // Θ(log(mn))-wise independence (Lemma A.2): d = ceil(log2(m·n)) + 8, so the
+  // Chernoff arguments with limited independence (Lemma A.3) apply.
+  static KWiseHash LogWise(uint64_t m, uint64_t n, uint64_t seed);
+
+  uint32_t degree() const { return static_cast<uint32_t>(coeffs_.size()); }
+
+  // Uniform value in [0, 2^61 - 1).
+  uint64_t Map(uint64_t x) const {
+    uint64_t v = MersenneFold(x);
+    uint64_t acc = 0;
+    // Horner evaluation: acc = (((c_{d-1} x + c_{d-2}) x + ...) x + c_0).
+    for (size_t i = coeffs_.size(); i-- > 0;) {
+      acc = MersenneAdd(MersenneMul(acc, v), coeffs_[i]);
+    }
+    return acc;
+  }
+
+  // Uniform value in [0, range); range in [1, 2^61).
+  uint64_t MapRange(uint64_t x, uint64_t range) const {
+    DCHECK(range > 0);
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(Map(x)) * range) >> 61);
+  }
+
+  // ±1 sign, d-wise independent.
+  int Sign(uint64_t x) const { return (Map(x) & 1) ? +1 : -1; }
+
+  // True with probability num/den over the choice of the hash function
+  // (clipped to 1 when num >= den). Equivalent to "h(x) < num" with
+  // h: U -> [den]; this is the "h(S) = 1" subsampling idiom from the paper
+  // generalized to non-unit numerators.
+  bool Keep(uint64_t x, uint64_t num, uint64_t den) const {
+    DCHECK(den > 0);
+    if (num >= den) return true;
+    return MapRange(x, den) < num;
+  }
+
+  size_t MemoryBytes() const override { return VectorBytes(coeffs_); }
+
+ private:
+  std::vector<uint64_t> coeffs_;  // c_0 .. c_{d-1}, each in [0, p)
+};
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_HASH_KWISE_HASH_H_

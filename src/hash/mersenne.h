@@ -1,0 +1,51 @@
+// Arithmetic modulo the Mersenne prime p = 2^61 - 1.
+//
+// Polynomial hash families (hash/kwise_hash.h) evaluate degree-(d-1)
+// polynomials over GF(p). The Mersenne structure lets us reduce a 128-bit
+// product with shifts and adds instead of a division, which keeps per-edge
+// hashing cheap.
+
+#ifndef STREAMKC_HASH_MERSENNE_H_
+#define STREAMKC_HASH_MERSENNE_H_
+
+#include <cstdint>
+
+namespace streamkc {
+
+inline constexpr uint64_t kMersennePrime61 = (1ULL << 61) - 1;
+
+// Reduces x (< 2^122) modulo 2^61 - 1 into [0, p).
+inline uint64_t MersenneReduce(__uint128_t x) {
+  // Split into low/high 61-bit limbs; since 2^61 ≡ 1 (mod p), the value is
+  // congruent to the limb sum.
+  uint64_t lo = static_cast<uint64_t>(x) & kMersennePrime61;
+  uint64_t hi = static_cast<uint64_t>(x >> 61);
+  uint64_t r = lo + hi;
+  if (r >= kMersennePrime61) r -= kMersennePrime61;
+  return r;
+}
+
+// (a + b) mod p for a, b in [0, p).
+inline uint64_t MersenneAdd(uint64_t a, uint64_t b) {
+  uint64_t r = a + b;
+  if (r >= kMersennePrime61) r -= kMersennePrime61;
+  return r;
+}
+
+// (a * b) mod p for a, b in [0, p).
+inline uint64_t MersenneMul(uint64_t a, uint64_t b) {
+  return MersenneReduce(static_cast<__uint128_t>(a) * b);
+}
+
+// Folds an arbitrary 64-bit value into the field domain [0, p). Values p and
+// above wrap; with p ≈ 2.3e18 no id in our workloads gets near the wrap, and
+// the fold keeps hashing total on uint64_t inputs.
+inline uint64_t MersenneFold(uint64_t x) {
+  uint64_t r = (x & kMersennePrime61) + (x >> 61);
+  if (r >= kMersennePrime61) r -= kMersennePrime61;
+  return r;
+}
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_HASH_MERSENNE_H_

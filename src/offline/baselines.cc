@@ -1,0 +1,35 @@
+#include "offline/baselines.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/random.h"
+
+namespace streamkc {
+
+CoverSolution RandomKBaseline(const SetSystem& sys, uint64_t k,
+                              uint64_t seed) {
+  Rng rng(seed);
+  uint64_t take = std::min<uint64_t>(k, sys.num_sets());
+  CoverSolution sol;
+  sol.sets = rng.SampleWithoutReplacement(sys.num_sets(), take);
+  sol.coverage = sys.CoverageOf(sol.sets);
+  return sol;
+}
+
+CoverSolution TopKBySizeBaseline(const SetSystem& sys, uint64_t k) {
+  std::vector<SetId> ids(sys.num_sets());
+  std::iota(ids.begin(), ids.end(), 0);
+  uint64_t take = std::min<uint64_t>(k, sys.num_sets());
+  std::partial_sort(ids.begin(), ids.begin() + static_cast<long>(take),
+                    ids.end(), [&](SetId a, SetId b) {
+                      return sys.set(a).size() > sys.set(b).size();
+                    });
+  ids.resize(take);
+  CoverSolution sol;
+  sol.sets = std::move(ids);
+  sol.coverage = sys.CoverageOf(sol.sets);
+  return sol;
+}
+
+}  // namespace streamkc

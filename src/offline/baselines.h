@@ -1,0 +1,21 @@
+// Trivial baselines for quality comparisons in the benches.
+
+#ifndef STREAMKC_OFFLINE_BASELINES_H_
+#define STREAMKC_OFFLINE_BASELINES_H_
+
+#include <cstdint>
+
+#include "offline/greedy.h"
+#include "setsys/set_system.h"
+
+namespace streamkc {
+
+// k sets chosen uniformly at random (without replacement).
+CoverSolution RandomKBaseline(const SetSystem& sys, uint64_t k, uint64_t seed);
+
+// The k individually largest sets (ignores overlap).
+CoverSolution TopKBySizeBaseline(const SetSystem& sys, uint64_t k);
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_OFFLINE_BASELINES_H_

@@ -1,0 +1,66 @@
+#include "offline/exact.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace streamkc {
+
+uint64_t BinomialSaturating(uint64_t m, uint64_t k) {
+  if (k > m) return 0;
+  k = std::min(k, m - k);
+  __uint128_t acc = 1;
+  const __uint128_t cap = static_cast<__uint128_t>(1) << 63;
+  for (uint64_t i = 1; i <= k; ++i) {
+    acc = acc * (m - k + i) / i;
+    if (acc >= cap) return 1ULL << 63;
+  }
+  return static_cast<uint64_t>(acc);
+}
+
+namespace {
+
+void Recurse(const SetSystem& sys, uint64_t k, SetId start,
+             std::vector<SetId>& current, std::vector<uint32_t>& cover_count,
+             uint64_t covered, CoverSolution& best) {
+  if (current.size() == k || start == sys.num_sets()) {
+    if (covered > best.coverage) {
+      best.coverage = covered;
+      best.sets = current;
+    }
+    return;
+  }
+  // Prune: even taking every remaining set cannot beat `best` if the
+  // uncovered mass is too small — cheap bound: remaining picks * largest
+  // possible gain (n - covered).
+  uint64_t remaining = k - current.size();
+  if (covered + remaining * (sys.num_elements() - covered) <= best.coverage &&
+      covered <= best.coverage) {
+    return;
+  }
+  for (SetId id = start; id < sys.num_sets(); ++id) {
+    uint64_t gained = 0;
+    for (ElementId e : sys.set(id)) {
+      if (cover_count[e]++ == 0) ++gained;
+    }
+    current.push_back(id);
+    Recurse(sys, k, id + 1, current, cover_count, covered + gained, best);
+    current.pop_back();
+    for (ElementId e : sys.set(id)) --cover_count[e];
+  }
+}
+
+}  // namespace
+
+CoverSolution ExactMaxCover(const SetSystem& sys, uint64_t k) {
+  CHECK_LE(BinomialSaturating(sys.num_sets(), k), kExactEnumerationBudget);
+  CoverSolution best;
+  std::vector<SetId> current;
+  std::vector<uint32_t> cover_count(sys.num_elements(), 0);
+  Recurse(sys, std::min<uint64_t>(k, sys.num_sets()), 0, current, cover_count,
+          0, best);
+  return best;
+}
+
+}  // namespace streamkc

@@ -1,0 +1,28 @@
+// Exact Max k-Cover by exhaustive search over k-subsets.
+//
+// Exponential in m; intended for tests (cross-checking greedy and the
+// streaming estimators on small instances) and for the DSJ experiments'
+// ground truth. Refuses instances where C(m, k) would exceed a budget.
+
+#ifndef STREAMKC_OFFLINE_EXACT_H_
+#define STREAMKC_OFFLINE_EXACT_H_
+
+#include <cstdint>
+
+#include "offline/greedy.h"
+#include "setsys/set_system.h"
+
+namespace streamkc {
+
+// Maximum number of candidate subsets ExactMaxCover will enumerate.
+inline constexpr uint64_t kExactEnumerationBudget = 5'000'000;
+
+// Exact optimum; CHECK-fails if the enumeration budget would be exceeded.
+CoverSolution ExactMaxCover(const SetSystem& sys, uint64_t k);
+
+// Number of k-subsets of an m-set, saturating at 2^63.
+uint64_t BinomialSaturating(uint64_t m, uint64_t k);
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_OFFLINE_EXACT_H_

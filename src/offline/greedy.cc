@@ -1,0 +1,108 @@
+#include "offline/greedy.h"
+
+#include <queue>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace streamkc {
+
+namespace {
+
+// Marginal gain of `set` against the covered bitmap.
+uint64_t MarginalGain(const std::vector<ElementId>& set,
+                      const std::vector<bool>& covered) {
+  uint64_t gain = 0;
+  for (ElementId e : set) {
+    if (!covered[e]) ++gain;
+  }
+  return gain;
+}
+
+void Commit(const std::vector<ElementId>& set, std::vector<bool>& covered) {
+  for (ElementId e : set) covered[e] = true;
+}
+
+CoverSolution GreedyCore(const std::vector<std::vector<ElementId>>& sets,
+                         uint64_t num_elements, uint64_t k) {
+  std::vector<bool> covered(num_elements, false);
+  CoverSolution sol;
+  uint64_t rounds = std::min<uint64_t>(k, sets.size());
+  for (uint64_t round = 0; round < rounds; ++round) {
+    uint64_t best_gain = 0;
+    size_t best_idx = sets.size();
+    for (size_t i = 0; i < sets.size(); ++i) {
+      uint64_t gain = MarginalGain(sets[i], covered);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_idx = i;
+      }
+    }
+    if (best_idx == sets.size()) break;  // nothing adds coverage
+    sol.sets.push_back(best_idx);
+    sol.coverage += best_gain;
+    Commit(sets[best_idx], covered);
+  }
+  return sol;
+}
+
+}  // namespace
+
+CoverSolution GreedyMaxCover(const SetSystem& sys, uint64_t k) {
+  uint64_t max_e = 0;
+  for (const auto& s : sys.sets()) {
+    for (ElementId e : s) max_e = std::max<uint64_t>(max_e, e + 1);
+  }
+  (void)max_e;
+  return GreedyCore(sys.sets(), sys.num_elements(), k);
+}
+
+CoverSolution GreedyOnLists(const std::vector<std::vector<ElementId>>& sets,
+                            uint64_t k) {
+  uint64_t num_elements = 0;
+  for (const auto& s : sets) {
+    for (ElementId e : s) num_elements = std::max<uint64_t>(num_elements, e + 1);
+  }
+  return GreedyCore(sets, num_elements, k);
+}
+
+CoverSolution LazyGreedyMaxCover(const SetSystem& sys, uint64_t k) {
+  const auto& sets = sys.sets();
+  std::vector<bool> covered(sys.num_elements(), false);
+  // Max-heap of (stale upper bound on gain, set id). Submodularity makes
+  // stale bounds valid upper bounds, so re-evaluating only the top is sound.
+  // Ties prefer the smaller id, which makes lazy greedy pick exactly the
+  // same sets as plain greedy (which scans ids in order).
+  auto worse = [](const std::pair<uint64_t, SetId>& a,
+                  const std::pair<uint64_t, SetId>& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second > b.second;
+  };
+  std::priority_queue<std::pair<uint64_t, SetId>,
+                      std::vector<std::pair<uint64_t, SetId>>, decltype(worse)>
+      heap(worse);
+  for (SetId i = 0; i < sets.size(); ++i) {
+    heap.emplace(sets[i].size(), i);
+  }
+  std::vector<bool> chosen(sets.size(), false);
+  CoverSolution sol;
+  uint64_t rounds = std::min<uint64_t>(k, sets.size());
+  while (sol.sets.size() < rounds && !heap.empty()) {
+    auto [stale_gain, id] = heap.top();
+    heap.pop();
+    if (chosen[id]) continue;
+    uint64_t gain = MarginalGain(sets[id], covered);
+    if (gain == stale_gain) {
+      if (gain == 0) break;
+      chosen[id] = true;
+      sol.sets.push_back(id);
+      sol.coverage += gain;
+      Commit(sets[id], covered);
+    } else {
+      heap.emplace(gain, id);  // reinsert with refreshed bound
+    }
+  }
+  return sol;
+}
+
+}  // namespace streamkc

@@ -1,0 +1,40 @@
+// Offline greedy Max k-Cover (Nemhauser-Wolsey-Fisher [35]).
+//
+// Repeatedly picks the set with the largest marginal coverage; guarantees a
+// (1 - 1/e) fraction of the optimum, i.e. approximation factor
+// 1/(1 - 1/e) ≈ 1.582, which Feige [23] shows is best possible in
+// polynomial time. Used as the offline solver inside SmallSet (on the stored
+// subsampled instance), as the quality yardstick in benches, and via
+// LazyGreedy for speed on large instances.
+
+#ifndef STREAMKC_OFFLINE_GREEDY_H_
+#define STREAMKC_OFFLINE_GREEDY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "setsys/set_system.h"
+
+namespace streamkc {
+
+struct CoverSolution {
+  std::vector<SetId> sets;
+  uint64_t coverage = 0;
+};
+
+// Plain greedy: O(k · Σ|S|) time.
+CoverSolution GreedyMaxCover(const SetSystem& sys, uint64_t k);
+
+// Lazy greedy: identical output distribution quality (same guarantee; may
+// break ties differently), typically far faster via stale-bound skipping.
+CoverSolution LazyGreedyMaxCover(const SetSystem& sys, uint64_t k);
+
+// Greedy over an instance given as adjacency lists (used by SmallSet on its
+// stored sample, where sets are identified by arbitrary ids).
+// `sets` maps position -> element list; returns positions.
+CoverSolution GreedyOnLists(const std::vector<std::vector<ElementId>>& sets,
+                            uint64_t k);
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_OFFLINE_GREEDY_H_

@@ -1,0 +1,46 @@
+// Multi-pass streaming Set Cover — Demaine-Indyk-Mahabadi-Vakilian [21]
+// style progressive greedy, the classic pass/approximation trade the paper's
+// related-work section is built on.
+//
+// p passes over a set-arrival stream with Õ(n) working memory (the
+// uncovered-element bitmap plus the solution):
+//
+//   pass j = 1..p: threshold T_j = U_j^(1 - j/p)  (geometric schedule over
+//   the remaining-universe size); accept any arriving set whose marginal
+//   coverage of the uncovered elements is ≥ T_j; a final sweep accepts any
+//   set with positive gain so the cover always completes.
+//
+// Guarantee shape (Thm of [21]): O(p · n^(1/p)) approximation in p passes —
+// log n passes give the greedy O(log n) factor, one pass degrades toward
+// O(n); bench_set_cover traces the trade-off curve.
+//
+// Like all set-arrival algorithms it REQUIRES set-contiguous arrival within
+// each pass (the contrast with this paper's edge-arrival algorithms is the
+// point); the driver CHECKs that contract.
+
+#ifndef STREAMKC_OFFLINE_MULTI_PASS_SET_COVER_H_
+#define STREAMKC_OFFLINE_MULTI_PASS_SET_COVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "offline/set_cover.h"
+#include "stream/edge_stream.h"
+
+namespace streamkc {
+
+struct MultiPassSetCoverResult {
+  SetCoverSolution solution;
+  uint32_t passes_used = 0;     // includes the completion sweep
+  size_t memory_bytes = 0;      // bitmap + solution, the Õ(n) working state
+};
+
+// Runs the p-pass algorithm over a resettable set-contiguous stream.
+// `num_elements` bounds element ids. p >= 1.
+MultiPassSetCoverResult RunMultiPassSetCover(EdgeStream& stream,
+                                             uint64_t num_elements,
+                                             uint32_t passes);
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_OFFLINE_MULTI_PASS_SET_COVER_H_

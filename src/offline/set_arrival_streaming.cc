@@ -1,0 +1,93 @@
+#include "offline/set_arrival_streaming.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace streamkc {
+
+SetArrivalSieve::SetArrivalSieve(const Config& config) : config_(config) {
+  CHECK_GT(config.k, 0u);
+  CHECK_GT(config.epsilon, 0.0);
+  CHECK_GT(config.opt_upper_bound, 0u);
+  // Geometric grid of OPT guesses: (1+ε)^j from 1 up to the upper bound.
+  double v = 1;
+  double ub = static_cast<double>(config.opt_upper_bound);
+  while (v <= ub * (1 + config.epsilon)) {
+    guesses_.push_back(Guess{v, {}, {}});
+    v *= (1 + config.epsilon);
+  }
+}
+
+void SetArrivalSieve::OfferSet(SetId id,
+                               const std::vector<ElementId>& elements) {
+  for (Guess& g : guesses_) {
+    if (g.taken.size() >= config_.k) continue;
+    // Marginal gain against this guess's covered set.
+    uint64_t gain = 0;
+    for (ElementId e : elements) {
+      if (!g.covered.count(e)) ++gain;
+    }
+    double needed = (g.v / 2.0 - static_cast<double>(g.covered.size())) /
+                    static_cast<double>(config_.k - g.taken.size());
+    if (static_cast<double>(gain) >= needed && gain > 0) {
+      g.taken.push_back(id);
+      for (ElementId e : elements) g.covered.insert(e);
+    }
+  }
+}
+
+CoverSolution SetArrivalSieve::Finalize() const {
+  CoverSolution best;
+  for (const Guess& g : guesses_) {
+    if (g.covered.size() > best.coverage) {
+      best.coverage = g.covered.size();
+      best.sets = g.taken;
+    }
+  }
+  return best;
+}
+
+size_t SetArrivalSieve::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const Guess& g : guesses_) {
+    bytes += VectorBytes(g.taken) +
+             g.covered.size() * (sizeof(ElementId) + 2 * sizeof(void*)) +
+             g.covered.bucket_count() * sizeof(void*);
+  }
+  return bytes;
+}
+
+CoverSolution RunSetArrivalSieve(EdgeStream& stream,
+                                 const SetArrivalSieve::Config& config,
+                                 size_t* memory_bytes) {
+  SetArrivalSieve sieve(config);
+  std::unordered_set<SetId> closed;
+  bool have_current = false;
+  SetId current = 0;
+  std::vector<ElementId> elements;
+  size_t peak_bytes = 0;
+  Edge e;
+  while (stream.Next(&e)) {
+    if (!have_current || e.set != current) {
+      if (have_current) {
+        sieve.OfferSet(current, elements);
+        CHECK(closed.insert(current).second);  // set-contiguity contract
+        peak_bytes = std::max(peak_bytes, sieve.MemoryBytes());
+      }
+      CHECK(!closed.count(e.set));
+      current = e.set;
+      have_current = true;
+      elements.clear();
+    }
+    elements.push_back(e.element);
+  }
+  if (have_current) {
+    sieve.OfferSet(current, elements);
+    peak_bytes = std::max(peak_bytes, sieve.MemoryBytes());
+  }
+  if (memory_bytes != nullptr) *memory_bytes = peak_bytes;
+  return sieve.Finalize();
+}
+
+}  // namespace streamkc

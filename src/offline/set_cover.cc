@@ -1,0 +1,97 @@
+#include "offline/set_cover.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace streamkc {
+
+SetCoverSolution GreedySetCover(const SetSystem& sys) {
+  std::vector<bool> covered(sys.num_elements(), false);
+  uint64_t remaining = sys.CoveredUniverseSize();
+  SetCoverSolution sol;
+  while (remaining > 0) {
+    uint64_t best_gain = 0;
+    SetId best = sys.num_sets();
+    for (SetId i = 0; i < sys.num_sets(); ++i) {
+      uint64_t gain = 0;
+      for (ElementId e : sys.set(i)) {
+        if (!covered[e]) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = i;
+      }
+    }
+    CHECK_LT(best, sys.num_sets());  // remaining > 0 implies a positive gain
+    sol.sets.push_back(best);
+    for (ElementId e : sys.set(best)) {
+      if (!covered[e]) {
+        covered[e] = true;
+        --remaining;
+        ++sol.covered;
+      }
+    }
+  }
+  return sol;
+}
+
+namespace {
+
+// Depth-first branch and bound over set indices; prunes when even the
+// largest remaining set cannot beat the incumbent.
+struct ExactState {
+  const SetSystem* sys;
+  uint64_t target = 0;  // |C(F)|
+  std::vector<uint32_t> cover_count;
+  std::vector<SetId> current;
+  std::vector<SetId> best;
+  uint64_t nodes = 0;
+  static constexpr uint64_t kNodeBudget = 2'000'000;
+};
+
+void Search(ExactState& st, SetId start, uint64_t covered) {
+  CHECK_LT(++st.nodes, ExactState::kNodeBudget);
+  if (covered == st.target) {
+    if (st.best.empty() || st.current.size() < st.best.size()) {
+      st.best = st.current;
+    }
+    return;
+  }
+  if (!st.best.empty() && st.current.size() + 1 >= st.best.size()) return;
+  if (start == st.sys->num_sets()) return;
+  // Lower bound: remaining elements / largest set size ⇒ more pruning, but
+  // the simple size cut above suffices at test scale.
+  for (SetId i = start; i < st.sys->num_sets(); ++i) {
+    uint64_t gained = 0;
+    for (ElementId e : st.sys->set(i)) {
+      if (st.cover_count[e]++ == 0) ++gained;
+    }
+    if (gained > 0) {
+      st.current.push_back(i);
+      Search(st, i + 1, covered + gained);
+      st.current.pop_back();
+    }
+    for (ElementId e : st.sys->set(i)) --st.cover_count[e];
+  }
+}
+
+}  // namespace
+
+SetCoverSolution ExactSetCover(const SetSystem& sys) {
+  ExactState st;
+  st.sys = &sys;
+  st.target = sys.CoveredUniverseSize();
+  st.cover_count.assign(sys.num_elements(), 0);
+  if (st.target == 0) return {};
+  // Seed the incumbent with greedy so pruning bites immediately.
+  st.best = GreedySetCover(sys).sets;
+  Search(st, 0, 0);
+  SetCoverSolution sol;
+  sol.sets = st.best;
+  sol.covered = sys.CoverageOf(sol.sets);
+  CHECK_EQ(sol.covered, st.target);
+  return sol;
+}
+
+}  // namespace streamkc

@@ -1,0 +1,40 @@
+// Set Cover — the dual problem the paper repeatedly compares against
+// (footnote 5: Θ(mn/α²) estimation vs Θ(mn/α) reporting trade-offs [7];
+// related work [6, 17, 21, 22, 26–28]).
+//
+// Offline solvers used as ground truth by the streaming variant
+// (stream/multi_pass_set_cover.h) and by tests:
+//   * GreedySetCover — the H_n ≈ ln n approximation (Johnson/Lovász);
+//   * ExactSetCover — branch-and-bound for small m.
+//
+// Both cover C(F) (elements no set contains are ignored — the instance's
+// coverable universe), and report the number of covered elements so callers
+// can detect partially-coverable instances.
+
+#ifndef STREAMKC_OFFLINE_SET_COVER_H_
+#define STREAMKC_OFFLINE_SET_COVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "setsys/set_system.h"
+
+namespace streamkc {
+
+struct SetCoverSolution {
+  std::vector<SetId> sets;
+  // Elements covered by `sets` (== |C(F)| when the solver succeeded).
+  uint64_t covered = 0;
+};
+
+// Greedy: repeatedly take the set with most uncovered elements, until all of
+// C(F) is covered. ln(n)-approximate, which is optimal up to constants.
+SetCoverSolution GreedySetCover(const SetSystem& sys);
+
+// Exact minimum cover of C(F) by branch and bound; CHECK-fails if the
+// search would exceed a size budget (use only for small m).
+SetCoverSolution ExactSetCover(const SetSystem& sys);
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_OFFLINE_SET_COVER_H_

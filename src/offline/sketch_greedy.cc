@@ -1,0 +1,108 @@
+#include "offline/sketch_greedy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace streamkc {
+
+SketchGreedy::SketchGreedy(const Config& config)
+    : config_(config), sketch_seed_(SplitMix64(config.seed ^ 0x5e7c)) {
+  CHECK_GT(config.k, 0u);
+  CHECK_GE(config.num_mins, 2u);
+}
+
+void SketchGreedy::Process(const Edge& edge) {
+  auto it = sketches_.find(edge.set);
+  if (it == sketches_.end()) {
+    if (sketches_.size() >= config_.max_sets) return;
+    // All per-set sketches share one hash seed so that Merge() computes
+    // union coverage.
+    it = sketches_
+             .emplace(edge.set, L0Estimator({.num_mins = config_.num_mins,
+                                             .seed = sketch_seed_}))
+             .first;
+  }
+  it->second.Add(edge.element);
+}
+
+void SketchGreedy::Merge(const SketchGreedy& other) {
+  CHECK_EQ(config_.num_mins, other.config_.num_mins);
+  CHECK_EQ(sketch_seed_, other.sketch_seed_);
+  for (const auto& [id, sketch] : other.sketches_) {
+    auto it = sketches_.find(id);
+    if (it == sketches_.end()) {
+      if (sketches_.size() >= config_.max_sets) continue;
+      sketches_.emplace(id, sketch);
+    } else {
+      it->second.Merge(sketch);
+    }
+  }
+}
+
+CoverSolution SketchGreedy::Finalize() const {
+  CoverSolution sol;
+  if (sketches_.empty()) return sol;
+
+  // Lazy greedy on sketch-union estimates. `covered` accumulates the chosen
+  // sets' union sketch; a set's marginal gain is
+  // Estimate(covered ∪ S) − Estimate(covered), evaluated by merging a copy.
+  L0Estimator covered({.num_mins = config_.num_mins, .seed = sketch_seed_});
+  double covered_value = 0;
+
+  auto gain_of = [&](const L0Estimator& sketch) {
+    L0Estimator merged = covered;
+    merged.Merge(sketch);
+    return std::max(0.0, merged.Estimate() - covered_value);
+  };
+
+  // Max-heap of (stale gain upper bound, set id); stale bounds stay valid
+  // upper bounds because sketched union coverage is (approximately)
+  // submodular — occasional estimator non-monotonicities are absorbed by
+  // re-evaluating the top of the heap.
+  auto worse = [](const std::pair<double, SetId>& a,
+                  const std::pair<double, SetId>& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second > b.second;
+  };
+  std::priority_queue<std::pair<double, SetId>,
+                      std::vector<std::pair<double, SetId>>, decltype(worse)>
+      heap(worse);
+  for (const auto& [id, sketch] : sketches_) {
+    heap.emplace(sketch.Estimate(), id);
+  }
+
+  uint64_t rounds = std::min<uint64_t>(config_.k, sketches_.size());
+  std::vector<bool> done_marker;  // ids are arbitrary; track via map lookup
+  std::unordered_map<SetId, bool> chosen;
+  while (sol.sets.size() < rounds && !heap.empty()) {
+    auto [stale, id] = heap.top();
+    heap.pop();
+    if (chosen.count(id)) continue;
+    double fresh = gain_of(sketches_.at(id));
+    if (!heap.empty() && fresh + 1e-9 < heap.top().first) {
+      heap.emplace(fresh, id);  // someone else may be better; refresh later
+      continue;
+    }
+    if (fresh <= 0) break;
+    chosen[id] = true;
+    sol.sets.push_back(id);
+    covered.Merge(sketches_.at(id));
+    covered_value = covered.Estimate();
+  }
+  sol.coverage = static_cast<uint64_t>(std::llround(covered_value));
+  return sol;
+}
+
+size_t SketchGreedy::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& [id, sketch] : sketches_) {
+    bytes += sizeof(id) + sketch.MemoryBytes() + 2 * sizeof(void*);
+  }
+  return bytes;
+}
+
+}  // namespace streamkc

@@ -1,0 +1,65 @@
+#include "setsys/dsj_instance.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace streamkc {
+
+DsjInstance MakeDsjInstance(uint64_t num_items, uint64_t num_players,
+                            bool no_instance, uint64_t seed) {
+  CHECK_GE(num_players, 2u);
+  CHECK_GE(num_items, num_players);
+  Rng rng(seed);
+  DsjInstance dsj;
+  dsj.num_items = num_items;
+  dsj.num_players = num_players;
+  dsj.is_no_instance = no_instance;
+  dsj.player_items.resize(num_players);
+
+  // Randomly partition the items among the players (some items may be held
+  // by nobody if we reserve one for planting).
+  std::vector<uint64_t> items(num_items);
+  std::iota(items.begin(), items.end(), 0);
+  rng.Shuffle(items);
+
+  uint64_t start = 0;
+  if (no_instance) {
+    dsj.common_item = items[0];
+    start = 1;
+    for (auto& t : dsj.player_items) t.push_back(dsj.common_item);
+  }
+  for (uint64_t idx = start; idx < num_items; ++idx) {
+    dsj.player_items[rng.UniformU64(num_players)].push_back(items[idx]);
+  }
+  for (auto& t : dsj.player_items) std::sort(t.begin(), t.end());
+  return dsj;
+}
+
+std::vector<Edge> DsjToMaxCoverEdges(const DsjInstance& dsj) {
+  std::vector<Edge> edges;
+  for (uint64_t player = 0; player < dsj.num_players; ++player) {
+    for (uint64_t item : dsj.player_items[player]) {
+      // Set S_item gains element e_player.
+      edges.push_back(Edge{/*set=*/item, /*element=*/player});
+    }
+  }
+  return edges;
+}
+
+uint64_t DsjReducedOptimalCoverage(const DsjInstance& dsj) {
+  // OPT of Max 1-Cover = the largest |S_j| = the item held by the most
+  // players. Computed exactly.
+  std::unordered_map<uint64_t, uint64_t> item_count;
+  for (const auto& t : dsj.player_items) {
+    for (uint64_t item : t) ++item_count[item];
+  }
+  uint64_t best = 0;
+  for (const auto& [item, cnt] : item_count) best = std::max(best, cnt);
+  return best;
+}
+
+}  // namespace streamkc

@@ -1,0 +1,54 @@
+// r-player Set Disjointness instances with the unique-intersection promise,
+// and the Section-5 reduction to Max 1-Cover.
+//
+// DSJ(m, r):
+//   * Yes case: players' sets T_1..T_r ⊆ [m] are pairwise disjoint.
+//   * No case:  one item j* lies in every T_i; otherwise disjoint.
+//
+// Reduction (Section 5): elements U = {e_1..e_r} (one per player); for every
+// item j ∈ [m] a set S_j = { i : j ∈ T_i }. Then (Claims 5.3 / 5.4):
+//   No  instance → OPT of Max 1-Cover is r (S_{j*} covers everything),
+//   Yes instance → OPT is 1 (every S_j is a singleton).
+// So any α-approximation with α < r separates the two, and by the Ω(m/r)
+// communication bound (Thm 5.1) needs Ω(m/r²) space — the paper's matching
+// lower bound.
+
+#ifndef STREAMKC_SETSYS_DSJ_INSTANCE_H_
+#define STREAMKC_SETSYS_DSJ_INSTANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/edge.h"
+
+namespace streamkc {
+
+struct DsjInstance {
+  uint64_t num_items = 0;  // m
+  uint64_t num_players = 0;  // r
+  bool is_no_instance = false;  // true ⇔ a unique common item exists
+  // player_items[i] = T_i (sorted item ids).
+  std::vector<std::vector<uint64_t>> player_items;
+  // The planted common item for No instances (undefined for Yes).
+  uint64_t common_item = 0;
+};
+
+// Samples a DSJ(m, r) instance: items are split as evenly as possible among
+// players (a hardest-style load); for No instances one extra item is planted
+// into every player's set.
+DsjInstance MakeDsjInstance(uint64_t num_items, uint64_t num_players,
+                            bool no_instance, uint64_t seed);
+
+// Section-5 reduction: the Max 1-Cover edge stream of an instance. Edges are
+// emitted in player order (player i's items contiguously), mirroring the
+// one-way communication setting; shuffle afterwards if desired.
+std::vector<Edge> DsjToMaxCoverEdges(const DsjInstance& dsj);
+
+// Exact optimal 1-cover value of the reduced instance: r for No, 1 for Yes
+// (Claims 5.3 / 5.4). Provided for tests; computed from the instance, not
+// assumed.
+uint64_t DsjReducedOptimalCoverage(const DsjInstance& dsj);
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_SETSYS_DSJ_INSTANCE_H_

@@ -1,0 +1,36 @@
+#include "setsys/frequency.h"
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace streamkc {
+
+std::vector<uint64_t> ElementFrequencies(const SetSystem& sys) {
+  std::vector<uint64_t> freq(sys.num_elements(), 0);
+  for (const auto& s : sys.sets()) {
+    for (ElementId e : s) ++freq[e];
+  }
+  return freq;
+}
+
+double CommonThreshold(uint64_t m, uint64_t n, double lambda,
+                       double c_polylog) {
+  CHECK_GT(lambda, 0.0);
+  double polylog = Log2AtLeast1(static_cast<double>(m)) *
+                   Log2AtLeast1(static_cast<double>(n));
+  return c_polylog * static_cast<double>(m) * polylog / lambda;
+}
+
+std::vector<ElementId> CommonElements(const SetSystem& sys, double lambda,
+                                      double c_polylog) {
+  double thr =
+      CommonThreshold(sys.num_sets(), sys.num_elements(), lambda, c_polylog);
+  std::vector<uint64_t> freq = ElementFrequencies(sys);
+  std::vector<ElementId> out;
+  for (ElementId e = 0; e < freq.size(); ++e) {
+    if (static_cast<double>(freq[e]) >= thr) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace streamkc

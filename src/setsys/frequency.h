@@ -1,0 +1,33 @@
+// Element-frequency analysis: λ-common elements (Definition 2.1).
+//
+// An element is λ-common if it appears in at least c·m·polylog(m,n)/λ sets.
+// The common-element structure decides which oracle subroutine succeeds
+// (Section 4's case analysis), so the generators and tests need an exact
+// evaluator for it.
+
+#ifndef STREAMKC_SETSYS_FREQUENCY_H_
+#define STREAMKC_SETSYS_FREQUENCY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "setsys/set_system.h"
+
+namespace streamkc {
+
+// freq[e] = number of sets containing element e.
+std::vector<uint64_t> ElementFrequencies(const SetSystem& sys);
+
+// The frequency threshold above which an element counts as λ-common:
+// c · m · log2(m)·log2(n) / λ, with `c` exposed (the paper leaves it as an
+// unspecified constant; theory mode uses polylog, practical analysis often
+// sets c·polylog = 1 to study the raw m/λ threshold).
+double CommonThreshold(uint64_t m, uint64_t n, double lambda, double c_polylog);
+
+// Ids of λ-common elements (U^cmn_λ) under the given threshold constant.
+std::vector<ElementId> CommonElements(const SetSystem& sys, double lambda,
+                                      double c_polylog);
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_SETSYS_FREQUENCY_H_

@@ -1,0 +1,226 @@
+#include "setsys/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace streamkc {
+
+namespace {
+
+// Builds the discrete CDF of a Zipf(s) law over n items.
+std::vector<double> ZipfCdf(uint64_t n, double s) {
+  std::vector<double> cdf(n);
+  double acc = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf[i] = acc;
+  }
+  for (auto& v : cdf) v /= acc;
+  return cdf;
+}
+
+uint64_t SampleCdf(const std::vector<double>& cdf, Rng& rng) {
+  double u = rng.UniformDouble();
+  auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  if (it == cdf.end()) return cdf.size() - 1;
+  return static_cast<uint64_t>(it - cdf.begin());
+}
+
+}  // namespace
+
+GeneratedInstance RandomUniform(uint64_t m, uint64_t n, uint64_t set_size,
+                                uint64_t seed) {
+  CHECK_GE(n, set_size);
+  Rng rng(seed);
+  std::vector<std::vector<ElementId>> sets(m);
+  for (auto& s : sets) s = rng.SampleWithoutReplacement(n, set_size);
+  GeneratedInstance out;
+  out.system = SetSystem(n, std::move(sets));
+  out.family = "random-uniform";
+  return out;
+}
+
+GeneratedInstance ZipfFrequency(uint64_t m, uint64_t n, uint64_t set_size,
+                                double zipf_s, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> cdf = ZipfCdf(n, zipf_s);
+  // A random permutation decouples popularity rank from element id, so tests
+  // that slice the id space see no popularity gradient.
+  std::vector<ElementId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+  std::vector<std::vector<ElementId>> sets(m);
+  for (auto& s : sets) {
+    s.reserve(set_size);
+    for (uint64_t j = 0; j < set_size; ++j) s.push_back(perm[SampleCdf(cdf, rng)]);
+  }
+  GeneratedInstance out;
+  out.system = SetSystem(n, std::move(sets));
+  out.family = "zipf";
+  return out;
+}
+
+GeneratedInstance PlantedCover(uint64_t m, uint64_t n, uint64_t k,
+                               double coverage_fraction,
+                               uint64_t noise_set_size, uint64_t seed) {
+  CHECK_GE(m, k);
+  CHECK_GT(k, 0u);
+  CHECK_GT(coverage_fraction, 0.0);
+  CHECK_LE(coverage_fraction, 1.0);
+  Rng rng(seed);
+  uint64_t covered = static_cast<uint64_t>(coverage_fraction * static_cast<double>(n));
+  covered = std::max<uint64_t>(covered, k);
+
+  // Planted sets partition a random `covered`-subset of U evenly.
+  std::vector<ElementId> pool = rng.SampleWithoutReplacement(n, covered);
+  rng.Shuffle(pool);
+  std::vector<std::vector<ElementId>> sets(m);
+  for (uint64_t i = 0; i < covered; ++i) sets[i % k].push_back(pool[i]);
+
+  // Noise sets sample from a narrow window so even the best k of them cover
+  // only ~noise window elements.
+  uint64_t window = std::max<uint64_t>(4 * noise_set_size, 16);
+  window = std::min(window, n);
+  for (uint64_t i = k; i < m; ++i) {
+    uint64_t base = rng.UniformU64(n - window + 1);
+    auto local = rng.SampleWithoutReplacement(window, std::min(noise_set_size, window));
+    for (auto& e : local) e += base;
+    sets[i] = std::move(local);
+  }
+
+  GeneratedInstance out;
+  out.system = SetSystem(n, std::move(sets));
+  out.family = "planted";
+  out.planted_solution.resize(k);
+  std::iota(out.planted_solution.begin(), out.planted_solution.end(), 0);
+  out.planted_coverage = covered;
+  return out;
+}
+
+GeneratedInstance LargeSetFamily(uint64_t m, uint64_t n, uint64_t num_large,
+                                 uint64_t seed) {
+  CHECK_GE(m, num_large);
+  CHECK_GT(num_large, 0u);
+  Rng rng(seed);
+  uint64_t big_total = n / 2;
+  uint64_t per_big = std::max<uint64_t>(big_total / num_large, 1);
+  std::vector<std::vector<ElementId>> sets(m);
+  // Jumbo sets cover disjoint contiguous blocks of the first half of U.
+  for (uint64_t i = 0; i < num_large; ++i) {
+    uint64_t lo = i * per_big;
+    uint64_t hi = std::min(lo + per_big, n);
+    sets[i].reserve(hi - lo);
+    for (uint64_t e = lo; e < hi; ++e) sets[i].push_back(e);
+  }
+  // Everything else is a singleton from the second half: tiny marginal
+  // contribution and frequency 1 everywhere (no common elements).
+  for (uint64_t i = num_large; i < m; ++i) {
+    sets[i].push_back(n / 2 + rng.UniformU64(n - n / 2));
+  }
+  GeneratedInstance out;
+  out.system = SetSystem(n, std::move(sets));
+  out.family = "large-set";
+  out.planted_solution.resize(num_large);
+  std::iota(out.planted_solution.begin(), out.planted_solution.end(), 0);
+  out.planted_coverage = out.system.CoverageOf(out.planted_solution);
+  return out;
+}
+
+GeneratedInstance SmallSetFamily(uint64_t m, uint64_t n, uint64_t k,
+                                 uint64_t seed) {
+  CHECK_GE(m, k);
+  CHECK_GT(k, 0u);
+  Rng rng(seed);
+  uint64_t n_opt = n / 2;
+  uint64_t per_set = std::max<uint64_t>(n_opt / k, 1);
+  std::vector<std::vector<ElementId>> sets(m);
+  // k disjoint equal slices: every optimal set contributes exactly per_set.
+  for (uint64_t i = 0; i < k; ++i) {
+    uint64_t lo = i * per_set;
+    uint64_t hi = std::min(lo + per_set, n_opt);
+    for (uint64_t e = lo; e < hi; ++e) sets[i].push_back(e);
+  }
+  // Decoys: same size, but all drawn from one narrow window in the second
+  // half, so any k of them cover ≤ window elements.
+  uint64_t window = std::min<uint64_t>(2 * per_set + 8, n - n_opt);
+  for (uint64_t i = k; i < m; ++i) {
+    auto local = rng.SampleWithoutReplacement(window, std::min(per_set, window));
+    for (auto& e : local) e += n_opt;
+    sets[i] = std::move(local);
+  }
+  GeneratedInstance out;
+  out.system = SetSystem(n, std::move(sets));
+  out.family = "small-set";
+  out.planted_solution.resize(k);
+  std::iota(out.planted_solution.begin(), out.planted_solution.end(), 0);
+  out.planted_coverage = out.system.CoverageOf(out.planted_solution);
+  return out;
+}
+
+GeneratedInstance CommonElementFamily(uint64_t m, uint64_t n, uint64_t k,
+                                      double beta, uint64_t num_common,
+                                      uint64_t seed) {
+  CHECK_GT(beta, 0.0);
+  CHECK_GT(k, 0u);
+  CHECK_LE(num_common, n);
+  Rng rng(seed);
+  // Target frequency: each common element belongs to >= m/(beta*k) sets —
+  // comfortably above the λ-common threshold for λ = βk (with constant 1).
+  uint64_t freq = std::max<uint64_t>(
+      static_cast<uint64_t>(std::ceil(static_cast<double>(m) / (beta * static_cast<double>(k)))),
+      1);
+  freq = std::min(freq, m);
+  std::vector<std::vector<ElementId>> sets(m);
+  for (ElementId e = 0; e < num_common; ++e) {
+    // Choose `freq` random distinct sets to contain e.
+    for (uint64_t owner : rng.SampleWithoutReplacement(m, freq)) {
+      sets[owner].push_back(e);
+    }
+  }
+  // Background: every set also gets a couple of private elements so set
+  // sizes are nonzero and frequencies outside the core stay tiny.
+  for (uint64_t i = 0; i < m; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      sets[i].push_back(num_common + rng.UniformU64(n - num_common));
+    }
+  }
+  GeneratedInstance out;
+  out.system = SetSystem(n, std::move(sets));
+  out.family = "common-element";
+  return out;
+}
+
+GeneratedInstance GraphNeighborhoods(uint64_t num_vertices, double avg_degree,
+                                     uint64_t seed) {
+  CHECK_GT(num_vertices, 1u);
+  Rng rng(seed);
+  double p = avg_degree / static_cast<double>(num_vertices - 1);
+  std::vector<std::vector<ElementId>> sets(num_vertices);
+  // Sample out-degrees binomially via per-vertex geometric skipping.
+  for (uint64_t v = 0; v < num_vertices; ++v) {
+    uint64_t deg = 0;
+    double expected = avg_degree;
+    // Draw degree ~ Poisson(avg_degree) approximation of Binomial(n-1, p).
+    double l = std::exp(-expected);
+    double prod = rng.UniformDouble();
+    while (prod > l) {
+      ++deg;
+      prod *= rng.UniformDouble();
+    }
+    deg = std::min<uint64_t>(deg, num_vertices - 1);
+    for (uint64_t target : rng.SampleWithoutReplacement(num_vertices, deg)) {
+      if (target != v) sets[v].push_back(target);
+    }
+  }
+  (void)p;
+  GeneratedInstance out;
+  out.system = SetSystem(num_vertices, std::move(sets));
+  out.family = "graph-neighborhoods";
+  return out;
+}
+
+}  // namespace streamkc

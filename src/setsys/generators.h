@@ -1,0 +1,96 @@
+// Synthetic Max k-Cover instance families.
+//
+// The paper's oracle (Section 4) splits into three cases by instance
+// structure; each case gets a generator family here so the benches can
+// exercise every subroutine:
+//
+//   * CommonElementFamily  — ∃β ≤ α with many βk-common elements (§4.1,
+//                            handled by LargeCommon / multi-layered set
+//                            sampling).
+//   * LargeSetFamily       — an optimal solution whose coverage is dominated
+//                            by a few "large" sets (§4.2, handled by the
+//                            heavy-hitter subroutine LargeSet).
+//   * SmallSetFamily       — an optimal solution made of many "small" sets
+//                            (§4.3, handled by SmallSet / element sampling).
+//
+// PlantedCover gives instances with a known (near-)optimal value for
+// approximation-ratio measurements; RandomUniform / ZipfFrequency are
+// unstructured backdrops; GraphNeighborhoods reproduces footnote 2's
+// motivating scenario (sets = vertex neighborhoods of a directed graph,
+// where edge-arrival order is forced by the input representation).
+//
+// Every generator is deterministic in its seed.
+
+#ifndef STREAMKC_SETSYS_GENERATORS_H_
+#define STREAMKC_SETSYS_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "setsys/set_system.h"
+
+namespace streamkc {
+
+// A generated instance together with what the generator knows about its
+// optimum.
+struct GeneratedInstance {
+  SetSystem system;
+  std::string family;
+  // A specific good k-cover known to the generator (possibly empty).
+  std::vector<SetId> planted_solution;
+  // Exact coverage of planted_solution (0 if none). The true optimum is
+  // >= this value by construction.
+  uint64_t planted_coverage = 0;
+};
+
+// m sets, each an independent uniform sample of `set_size` distinct elements
+// from [0, n).
+GeneratedInstance RandomUniform(uint64_t m, uint64_t n, uint64_t set_size,
+                                uint64_t seed);
+
+// Element popularity follows a Zipf(s) law; each of the m sets draws
+// `set_size` elements from that law. Large s concentrates frequency mass on
+// few elements (creating common elements); s = 0 degenerates to uniform.
+GeneratedInstance ZipfFrequency(uint64_t m, uint64_t n, uint64_t set_size,
+                                double zipf_s, uint64_t seed);
+
+// k planted sets partition a `coverage_fraction` slice of U evenly (their
+// union is exactly coverage_fraction * n elements); the other m - k noise
+// sets each sample `noise_set_size` elements from a narrow window of U so
+// that no k of them come close to the planted coverage. planted_coverage is
+// exact and, for the parameter ranges used in tests/benches, equals OPT.
+GeneratedInstance PlantedCover(uint64_t m, uint64_t n, uint64_t k,
+                               double coverage_fraction,
+                               uint64_t noise_set_size, uint64_t seed);
+
+// One case-§4.2 instance: `num_large` jumbo sets each covering a disjoint
+// ~(n/2)/num_large block (so OPT's coverage is dominated by them), plus
+// m - num_large singleton sets. No element is common.
+GeneratedInstance LargeSetFamily(uint64_t m, uint64_t n, uint64_t num_large,
+                                 uint64_t seed);
+
+// One case-§4.3 instance: k disjoint "small" sets of size n_opt/k forming the
+// optimal cover, plus m - k decoy sets drawn from a narrow window. Every
+// OPT set contributes exactly coverage/k, i.e. OPT_large is empty for
+// sα < k.
+GeneratedInstance SmallSetFamily(uint64_t m, uint64_t n, uint64_t k,
+                                 uint64_t seed);
+
+// One case-§4.1 instance: `num_common` elements that each belong to at least
+// m / (beta * k) of the sets (so they are (βk)-common for the given β), plus
+// uniform background elements.
+GeneratedInstance CommonElementFamily(uint64_t m, uint64_t n, uint64_t k,
+                                      double beta, uint64_t num_common,
+                                      uint64_t seed);
+
+// Sets = out-neighborhoods of a uniform random directed graph on
+// `num_vertices` vertices with expected out-degree `avg_degree`;
+// U = vertices, m = num_vertices. Max k-Cover = "pick k vertices whose
+// out-neighborhoods cover the most vertices".
+GeneratedInstance GraphNeighborhoods(uint64_t num_vertices, double avg_degree,
+                                     uint64_t seed);
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_SETSYS_GENERATORS_H_

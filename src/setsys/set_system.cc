@@ -1,0 +1,70 @@
+#include "setsys/set_system.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace streamkc {
+
+SetSystem::SetSystem(uint64_t num_elements,
+                     std::vector<std::vector<ElementId>> sets)
+    : num_elements_(num_elements), sets_(std::move(sets)) {
+  for (auto& s : sets_) {
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+    if (!s.empty()) CHECK_LT(s.back(), num_elements_);
+  }
+}
+
+uint64_t SetSystem::TotalEdges() const {
+  uint64_t total = 0;
+  for (const auto& s : sets_) total += s.size();
+  return total;
+}
+
+uint64_t SetSystem::CoverageOf(std::span<const SetId> ids) const {
+  std::vector<bool> covered(num_elements_, false);
+  uint64_t count = 0;
+  for (SetId id : ids) {
+    CHECK_LT(id, sets_.size());
+    for (ElementId e : sets_[id]) {
+      if (!covered[e]) {
+        covered[e] = true;
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+uint64_t SetSystem::CoveredUniverseSize() const {
+  std::vector<bool> covered(num_elements_, false);
+  uint64_t count = 0;
+  for (const auto& s : sets_) {
+    for (ElementId e : s) {
+      if (!covered[e]) {
+        covered[e] = true;
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<Edge> SetSystem::MaterializeEdges() const {
+  std::vector<Edge> edges;
+  edges.reserve(TotalEdges());
+  for (SetId id = 0; id < sets_.size(); ++id) {
+    for (ElementId e : sets_[id]) edges.push_back(Edge{id, e});
+  }
+  return edges;
+}
+
+VectorEdgeStream SetSystem::MakeStream(ArrivalOrder order,
+                                       uint64_t seed) const {
+  std::vector<Edge> edges = MaterializeEdges();
+  ApplyArrivalOrder(edges, order, seed);
+  return VectorEdgeStream(std::move(edges));
+}
+
+}  // namespace streamkc

@@ -1,0 +1,57 @@
+// In-memory set systems (U, F).
+//
+// SetSystem is the harness-side ground truth: generators build one, tests and
+// benches evaluate exact coverage against it, and MaterializeEdges() turns it
+// into an edge-arrival stream for the sublinear-space algorithms. The
+// streaming algorithms themselves never touch a SetSystem.
+
+#ifndef STREAMKC_SETSYS_SET_SYSTEM_H_
+#define STREAMKC_SETSYS_SET_SYSTEM_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stream/edge.h"
+#include "stream/edge_stream.h"
+
+namespace streamkc {
+
+class SetSystem {
+ public:
+  SetSystem() = default;
+
+  // `num_elements` is |U|; element ids must lie in [0, num_elements).
+  // `sets` holds each set's element list (duplicates allowed; they are
+  // deduplicated on construction). Set ids are positional: sets()[i] has id i.
+  SetSystem(uint64_t num_elements, std::vector<std::vector<ElementId>> sets);
+
+  uint64_t num_elements() const { return num_elements_; }
+  uint64_t num_sets() const { return sets_.size(); }
+  const std::vector<std::vector<ElementId>>& sets() const { return sets_; }
+  const std::vector<ElementId>& set(SetId id) const { return sets_[id]; }
+
+  // Total number of incidences (stream length).
+  uint64_t TotalEdges() const;
+
+  // Exact coverage |C(Q)| of a collection of set ids.
+  uint64_t CoverageOf(std::span<const SetId> ids) const;
+
+  // Number of elements covered by at least one set (|C(F)|).
+  uint64_t CoveredUniverseSize() const;
+
+  // Flattens to an edge list in set-contiguous order. Use ApplyArrivalOrder
+  // to produce other arrival orders.
+  std::vector<Edge> MaterializeEdges() const;
+
+  // Convenience: materialized stream in the given order.
+  VectorEdgeStream MakeStream(ArrivalOrder order, uint64_t seed) const;
+
+ private:
+  uint64_t num_elements_ = 0;
+  std::vector<std::vector<ElementId>> sets_;
+};
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_SETSYS_SET_SYSTEM_H_

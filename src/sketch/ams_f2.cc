@@ -1,0 +1,82 @@
+#include "sketch/ams_f2.h"
+
+#include "util/check.h"
+#include "util/math_util.h"
+#include "util/random.h"
+#include "util/serialize.h"
+
+namespace streamkc {
+
+AmsF2Sketch::AmsF2Sketch(const Config& config) : config_(config) {
+  CHECK_GE(config.rows, 1u);
+  CHECK_GE(config.cols, 1u);
+  Rng rng(config.seed);
+  size_t cells = static_cast<size_t>(config.rows) * config.cols;
+  signs_.reserve(cells);
+  for (size_t i = 0; i < cells; ++i) {
+    signs_.push_back(KWiseHash::FourWise(rng.Fork()));
+  }
+  counters_.assign(cells, 0);
+}
+
+void AmsF2Sketch::Add(uint64_t id, int64_t delta) {
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += signs_[i].Sign(id) * delta;
+  }
+}
+
+namespace {
+constexpr uint32_t kAmsMagic = 0x414d5331;  // "AMS1"
+}  // namespace
+
+void AmsF2Sketch::Save(std::ostream& os) const {
+  WriteHeader(os, kAmsMagic, 1);
+  WriteU32(os, config_.rows);
+  WriteU32(os, config_.cols);
+  WriteU64(os, config_.seed);
+  WritePodVector(os, counters_);
+}
+
+AmsF2Sketch AmsF2Sketch::Load(std::istream& is) {
+  CheckHeader(is, kAmsMagic, 1);
+  Config config;
+  config.rows = ReadU32(is);
+  config.cols = ReadU32(is);
+  config.seed = ReadU64(is);
+  AmsF2Sketch out(config);
+  out.counters_ = ReadPodVector<int64_t>(is);
+  CHECK_EQ(out.counters_.size(),
+           static_cast<size_t>(config.rows) * config.cols);
+  return out;
+}
+
+void AmsF2Sketch::Merge(const AmsF2Sketch& other) {
+  CHECK_EQ(config_.rows, other.config_.rows);
+  CHECK_EQ(config_.cols, other.config_.cols);
+  CHECK_EQ(config_.seed, other.config_.seed);
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+}
+
+double AmsF2Sketch::Estimate() const {
+  std::vector<double> row_means;
+  row_means.reserve(config_.rows);
+  for (uint32_t r = 0; r < config_.rows; ++r) {
+    double acc = 0;
+    for (uint32_t c = 0; c < config_.cols; ++c) {
+      double z = static_cast<double>(counters_[r * config_.cols + c]);
+      acc += z * z;
+    }
+    row_means.push_back(acc / config_.cols);
+  }
+  return Median(std::move(row_means));
+}
+
+size_t AmsF2Sketch::MemoryBytes() const {
+  size_t bytes = VectorBytes(counters_);
+  for (const auto& h : signs_) bytes += h.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace streamkc

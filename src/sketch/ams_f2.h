@@ -1,0 +1,59 @@
+// AMS "tug-of-war" second frequency moment sketch (Alon-Matias-Szegedy [5]).
+//
+// Maintains a grid of counters Z[r][c] = Σ_j s_{r,c}(j)·a[j] with 4-wise
+// independent ±1 signs s. Each Z² is an unbiased estimator of F2 = Σ a[j]²;
+// averaging `cols` copies controls variance and taking the median of `rows`
+// averages boosts confidence (median-of-means). Space: rows·cols words.
+//
+// Used as the F2 reference inside F2HeavyHitters (a coordinate is a
+// φ-HeavyHitter iff a[j]² ≥ φ·F2, Definition 2.6) and by the lower-bound
+// distinguisher of Section 5.
+
+#ifndef STREAMKC_SKETCH_AMS_F2_H_
+#define STREAMKC_SKETCH_AMS_F2_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "hash/kwise_hash.h"
+#include "util/space.h"
+
+namespace streamkc {
+
+class AmsF2Sketch : public SpaceAccounted {
+ public:
+  struct Config {
+    uint32_t rows = 5;    // median over rows
+    uint32_t cols = 16;   // mean within a row
+    uint64_t seed = 1;
+  };
+
+  explicit AmsF2Sketch(const Config& config);
+
+  // a[id] += delta (delta defaults to 1; negative deltas supported, the
+  // sketch is linear).
+  void Add(uint64_t id, int64_t delta = 1);
+
+  // Median-of-means estimate of F2.
+  double Estimate() const;
+
+  // Adds another sketch built with the same Config (linearity).
+  void Merge(const AmsF2Sketch& other);
+
+  // Binary checkpointing; sign hashes are rebuilt from the stored seed.
+  void Save(std::ostream& os) const;
+  static AmsF2Sketch Load(std::istream& is);
+
+  size_t MemoryBytes() const override;
+
+ private:
+  Config config_;
+  std::vector<KWiseHash> signs_;   // one 4-wise sign hash per cell
+  std::vector<int64_t> counters_;  // rows * cols
+};
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_SKETCH_AMS_F2_H_

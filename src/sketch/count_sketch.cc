@@ -1,0 +1,107 @@
+#include "sketch/count_sketch.h"
+
+#include "util/check.h"
+#include "util/math_util.h"
+#include "util/random.h"
+#include "util/serialize.h"
+
+namespace streamkc {
+
+CountSketch::CountSketch(const Config& config) : config_(config) {
+  CHECK_GE(config.depth, 1u);
+  CHECK_GE(config.width, 2u);
+  Rng rng(config.seed);
+  row_hash_.reserve(config.depth);
+  for (uint32_t r = 0; r < config.depth; ++r) {
+    row_hash_.push_back(KWiseHash::FourWise(rng.Fork()));
+  }
+  counters_.assign(static_cast<size_t>(config.depth) * config.width, 0);
+}
+
+void CountSketch::Add(uint64_t id, int64_t delta) {
+  for (uint32_t r = 0; r < config_.depth; ++r) {
+    auto [sign, idx] = RowSignBucket(r, id);
+    int64_t& cell = counters_[idx];
+    int64_t update = sign * delta;
+    if (r == 0) {
+      // (c + u)² - c² = 2cu + u²: keep row 0's sum of squares current.
+      row0_f2_ += static_cast<double>(2 * cell * update + update * update);
+    }
+    cell += update;
+  }
+}
+
+namespace {
+constexpr uint32_t kCsMagic = 0x43534b31;  // "CSK1"
+}  // namespace
+
+void CountSketch::Save(std::ostream& os) const {
+  WriteHeader(os, kCsMagic, 1);
+  WriteU32(os, config_.depth);
+  WriteU32(os, config_.width);
+  WriteU64(os, config_.seed);
+  WritePodVector(os, counters_);
+  WriteDouble(os, row0_f2_);
+}
+
+CountSketch CountSketch::Load(std::istream& is) {
+  CheckHeader(is, kCsMagic, 1);
+  Config config;
+  config.depth = ReadU32(is);
+  config.width = ReadU32(is);
+  config.seed = ReadU64(is);
+  CountSketch out(config);
+  out.counters_ = ReadPodVector<int64_t>(is);
+  CHECK_EQ(out.counters_.size(),
+           static_cast<size_t>(config.depth) * config.width);
+  out.row0_f2_ = ReadDouble(is);
+  return out;
+}
+
+void CountSketch::Merge(const CountSketch& other) {
+  CHECK_EQ(config_.depth, other.config_.depth);
+  CHECK_EQ(config_.width, other.config_.width);
+  CHECK_EQ(config_.seed, other.config_.seed);
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+  // Recompute row 0's running sum of squares from scratch (cheap, O(width)).
+  row0_f2_ = 0;
+  for (uint32_t b = 0; b < config_.width; ++b) {
+    double c = static_cast<double>(counters_[b]);
+    row0_f2_ += c * c;
+  }
+}
+
+double CountSketch::PointQuery(uint64_t id) const {
+  std::vector<double> votes;
+  votes.reserve(config_.depth);
+  for (uint32_t r = 0; r < config_.depth; ++r) {
+    auto [sign, idx] = RowSignBucket(r, id);
+    votes.push_back(sign * static_cast<double>(counters_[idx]));
+  }
+  return Median(std::move(votes));
+}
+
+double CountSketch::EstimateF2() const {
+  std::vector<double> rows;
+  rows.reserve(config_.depth);
+  for (uint32_t r = 0; r < config_.depth; ++r) {
+    double acc = 0;
+    for (uint32_t b = 0; b < config_.width; ++b) {
+      double c = static_cast<double>(
+          counters_[static_cast<size_t>(r) * config_.width + b]);
+      acc += c * c;
+    }
+    rows.push_back(acc);
+  }
+  return Median(std::move(rows));
+}
+
+size_t CountSketch::MemoryBytes() const {
+  size_t bytes = VectorBytes(counters_) + sizeof(row0_f2_);
+  for (const auto& h : row_hash_) bytes += h.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace streamkc

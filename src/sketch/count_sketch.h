@@ -1,0 +1,93 @@
+// CountSketch (Charikar-Chen-Farach-Colton [18]).
+//
+// depth × width grid of counters; row r places item j in bucket
+// h_r(j) ∈ [width] with sign s_r(j) ∈ {±1}. PointQuery(j) =
+// median_r( s_r(j) · C[r][h_r(j)] ) estimates a[j] with additive error
+// O(√(F2/width)) per row, boosted by the median over rows. This is the
+// estimation core of the F2 heavy hitters algorithm (Theorem 2.10).
+//
+// Each row derives (sign, bucket) from ONE 4-wise hash value — sign from
+// the low bit, bucket from the remaining 60 bits. The pairs
+// (s_r(x), h_r(x)) are then jointly 4-wise independent across distinct x,
+// which is what the variance analysis uses (for x ≠ y, (s_x, b_x) is
+// independent of (s_y, b_y), so E[s_x·s_y·1{b_x=b_y}] = 0); one hash
+// evaluation per row instead of two.
+
+#ifndef STREAMKC_SKETCH_COUNT_SKETCH_H_
+#define STREAMKC_SKETCH_COUNT_SKETCH_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "hash/kwise_hash.h"
+#include "util/space.h"
+
+namespace streamkc {
+
+class CountSketch : public SpaceAccounted {
+ public:
+  struct Config {
+    uint32_t depth = 5;    // rows (median)
+    uint32_t width = 256;  // buckets per row
+    uint64_t seed = 1;
+  };
+
+  explicit CountSketch(const Config& config);
+
+  // a[id] += delta.
+  void Add(uint64_t id, int64_t delta = 1);
+
+  // Median estimate of a[id].
+  double PointQuery(uint64_t id) const;
+
+  // Adds another sketch built with the same Config (same seed / geometry).
+  // CountSketch is linear, so the merged sketch equals the sketch of the
+  // concatenated streams — the basis of distributed sketching.
+  void Merge(const CountSketch& other);
+
+  // Median over rows of Σ_b C[r][b]²: an unbiased F2 estimator (each row is
+  // a bucketed AMS tug-of-war sketch), so CountSketch doubles as the F2
+  // reference for heavy-hitter thresholds at no extra update cost.
+  double EstimateF2() const;
+
+  // Single-row (row 0) point estimate: one hash evaluation instead of a
+  // median over all rows. Noisier (±√(F2/width) without median boosting);
+  // used as a cheap admission gate by F2HeavyHitters.
+  double QuickEstimate(uint64_t id) const {
+    auto [sign, bucket] = RowSignBucket(0, id);
+    return sign * static_cast<double>(counters_[bucket]);
+  }
+
+  // Row 0's Σ_b C[0][b]², maintained incrementally (an always-current,
+  // single-sample F2 estimate for the same gate).
+  double QuickF2() const { return row0_f2_; }
+
+  uint32_t width() const { return config_.width; }
+
+  // Binary checkpointing; hashes are rebuilt from the stored seed.
+  void Save(std::ostream& os) const;
+  static CountSketch Load(std::istream& is);
+
+  size_t MemoryBytes() const override;
+
+ private:
+  // (sign, flat index into counters_) for row r and item id.
+  std::pair<int, size_t> RowSignBucket(uint32_t r, uint64_t id) const {
+    uint64_t h = row_hash_[r].Map(id);
+    int sign = (h & 1) ? +1 : -1;
+    uint64_t bucket = static_cast<uint64_t>(
+        (static_cast<__uint128_t>(h >> 1) * config_.width) >> 60);
+    return {sign, static_cast<size_t>(r) * config_.width + bucket};
+  }
+
+  Config config_;
+  std::vector<KWiseHash> row_hash_;  // one 4-wise hash per row
+  std::vector<int64_t> counters_;    // depth * width, row-major
+  double row0_f2_ = 0;               // running Σ_b C[0][b]²
+};
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_SKETCH_COUNT_SKETCH_H_

@@ -1,0 +1,86 @@
+#include "sketch/hyperloglog.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/serialize.h"
+
+namespace streamkc {
+
+HyperLogLog::HyperLogLog(const Config& config)
+    : config_(config), hash_(config.seed) {
+  CHECK_GE(config.precision, 4u);
+  CHECK_LE(config.precision, 18u);
+  registers_.assign(1u << config.precision, 0);
+}
+
+void HyperLogLog::Add(uint64_t id) {
+  uint64_t h = hash_.Map(id);
+  uint32_t p = config_.precision;
+  uint32_t bucket = static_cast<uint32_t>(h >> (64 - p));
+  // Rank = 1 + number of leading zeros in the remaining 64-p bits.
+  uint64_t rest = h << p;
+  uint8_t rank = rest == 0 ? static_cast<uint8_t>(64 - p + 1)
+                           : static_cast<uint8_t>(__builtin_clzll(rest) + 1);
+  if (rank > registers_[bucket]) registers_[bucket] = rank;
+}
+
+double HyperLogLog::Estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double inv_sum = 0;
+  uint32_t zeros = 0;
+  for (uint8_t r : registers_) {
+    inv_sum += std::ldexp(1.0, -static_cast<int>(r));
+    zeros += (r == 0);
+  }
+  // Bias constant alpha_m for m >= 128 (standard values for smaller m).
+  double alpha;
+  if (m <= 16) {
+    alpha = 0.673;
+  } else if (m <= 32) {
+    alpha = 0.697;
+  } else if (m <= 64) {
+    alpha = 0.709;
+  } else {
+    alpha = 0.7213 / (1.0 + 1.079 / m);
+  }
+  double raw = alpha * m * m / inv_sum;
+  // Small-range correction: linear counting while any register is empty and
+  // the raw estimate is in the biased zone.
+  if (raw <= 2.5 * m && zeros > 0) {
+    return m * std::log(m / static_cast<double>(zeros));
+  }
+  return raw;
+}
+
+namespace {
+constexpr uint32_t kHllMagic = 0x484c4c31;  // "HLL1"
+}  // namespace
+
+void HyperLogLog::Save(std::ostream& os) const {
+  WriteHeader(os, kHllMagic, 1);
+  WriteU32(os, config_.precision);
+  WriteU64(os, config_.seed);
+  WritePodVector(os, registers_);
+}
+
+HyperLogLog HyperLogLog::Load(std::istream& is) {
+  CheckHeader(is, kHllMagic, 1);
+  Config config;
+  config.precision = ReadU32(is);
+  config.seed = ReadU64(is);
+  HyperLogLog out(config);
+  out.registers_ = ReadPodVector<uint8_t>(is);
+  CHECK_EQ(out.registers_.size(), size_t{1} << config.precision);
+  return out;
+}
+
+void HyperLogLog::Merge(const HyperLogLog& other) {
+  CHECK_EQ(config_.precision, other.config_.precision);
+  CHECK_EQ(config_.seed, other.config_.seed);
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+}
+
+}  // namespace streamkc

@@ -1,0 +1,96 @@
+#include "sketch/l0_estimator.h"
+
+#include <algorithm>
+
+#include "hash/mersenne.h"
+#include "util/serialize.h"
+#include "util/check.h"
+
+namespace streamkc {
+
+L0Estimator::L0Estimator(const Config& config)
+    : config_(config), hash_(KWiseHash::FourWise(config.seed)) {
+  CHECK_GE(config.num_mins, 2u);
+  heap_.reserve(config.num_mins);
+}
+
+void L0Estimator::Add(uint64_t id) {
+  ++items_added_;
+  uint64_t h = hash_.Map(id);
+  if (heap_.size() < config_.num_mins) {
+    // Linear duplicate check is fine at this size (num_mins is O(1)); it only
+    // runs until the heap fills.
+    if (std::find(heap_.begin(), heap_.end(), h) != heap_.end()) return;
+    heap_.push_back(h);
+    std::push_heap(heap_.begin(), heap_.end());
+    return;
+  }
+  // Heap is full; heap_.front() is the largest retained value.
+  if (h > heap_.front()) {
+    // A distinct value beyond the k smallest exists: estimate mode from now
+    // on. (h cannot be a retained duplicate: it exceeds the maximum.)
+    saturated_ = true;
+    return;
+  }
+  if (h == heap_.front() ||
+      std::find(heap_.begin(), heap_.end(), h) != heap_.end()) {
+    return;  // duplicate of a retained value
+  }
+  saturated_ = true;
+  std::pop_heap(heap_.begin(), heap_.end());
+  heap_.back() = h;
+  std::push_heap(heap_.begin(), heap_.end());
+}
+
+double L0Estimator::Estimate() const {
+  if (!saturated_) return static_cast<double>(heap_.size());
+  // v_k normalized to (0, 1]; estimate (k-1)/v_k.
+  double vk = static_cast<double>(heap_.front()) /
+              static_cast<double>(kMersennePrime61);
+  if (vk <= 0) return static_cast<double>(heap_.size());
+  return static_cast<double>(heap_.size() - 1) / vk;
+}
+
+namespace {
+constexpr uint32_t kL0Magic = 0x4b4d5631;  // "KMV1"
+}  // namespace
+
+void L0Estimator::Save(std::ostream& os) const {
+  WriteHeader(os, kL0Magic, 1);
+  WriteU32(os, config_.num_mins);
+  WriteU64(os, config_.seed);
+  WritePodVector(os, heap_);
+  WriteU32(os, saturated_ ? 1 : 0);
+  WriteU64(os, items_added_);
+}
+
+L0Estimator L0Estimator::Load(std::istream& is) {
+  CheckHeader(is, kL0Magic, 1);
+  Config config;
+  config.num_mins = ReadU32(is);
+  config.seed = ReadU64(is);
+  L0Estimator out(config);
+  out.heap_ = ReadPodVector<uint64_t>(is);
+  CHECK_LE(out.heap_.size(), config.num_mins);
+  out.saturated_ = ReadU32(is) != 0;
+  out.items_added_ = ReadU64(is);
+  return out;
+}
+
+void L0Estimator::Merge(const L0Estimator& other) {
+  CHECK_EQ(config_.num_mins, other.config_.num_mins);
+  CHECK_EQ(config_.seed, other.config_.seed);
+  items_added_ += other.items_added_;
+  // Union the two minima multisets, dedup, keep the k smallest.
+  std::vector<uint64_t> all = heap_;
+  all.insert(all.end(), other.heap_.begin(), other.heap_.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  bool dropped = all.size() > config_.num_mins;
+  if (dropped) all.resize(config_.num_mins);
+  heap_ = std::move(all);
+  std::make_heap(heap_.begin(), heap_.end());
+  saturated_ = saturated_ || other.saturated_ || dropped;
+}
+
+}  // namespace streamkc

@@ -1,0 +1,37 @@
+// The unit of the edge-arrival streaming model: a (set, element) incidence.
+
+#ifndef STREAMKC_STREAM_EDGE_H_
+#define STREAMKC_STREAM_EDGE_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace streamkc {
+
+using SetId = uint64_t;
+using ElementId = uint64_t;
+
+// One stream token: "element `element` belongs to set `set`". The stream may
+// present the incidences of a set in any order, interleaved arbitrarily with
+// other sets', and may repeat an incidence (all algorithms here are
+// duplicate-insensitive, as required by the model).
+struct Edge {
+  SetId set = 0;
+  ElementId element = 0;
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.set == b.set && a.element == b.element;
+  }
+};
+
+struct EdgeHash {
+  size_t operator()(const Edge& e) const {
+    uint64_t h = e.set * 0x9e3779b97f4a7c15ULL;
+    h ^= e.element + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_STREAM_EDGE_H_

@@ -1,0 +1,79 @@
+#include "stream/edge_stream.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace streamkc {
+
+std::string ArrivalOrderName(ArrivalOrder order) {
+  switch (order) {
+    case ArrivalOrder::kSetContiguous:
+      return "set-contiguous";
+    case ArrivalOrder::kRandom:
+      return "random";
+    case ArrivalOrder::kElementContiguous:
+      return "element-contiguous";
+    case ArrivalOrder::kRoundRobin:
+      return "round-robin";
+    case ArrivalOrder::kReversedSets:
+      return "reversed-sets";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void RoundRobinOrder(std::vector<Edge>& edges) {
+  // Group edges by set (stable), then emit one edge per set per round.
+  std::map<SetId, std::vector<Edge>> by_set;
+  for (const Edge& e : edges) by_set[e.set].push_back(e);
+  std::vector<Edge> out;
+  out.reserve(edges.size());
+  bool emitted = true;
+  size_t round = 0;
+  while (emitted) {
+    emitted = false;
+    for (auto& [set, list] : by_set) {
+      if (round < list.size()) {
+        out.push_back(list[round]);
+        emitted = true;
+      }
+    }
+    ++round;
+  }
+  edges = std::move(out);
+}
+
+}  // namespace
+
+void ApplyArrivalOrder(std::vector<Edge>& edges, ArrivalOrder order,
+                       uint64_t seed) {
+  switch (order) {
+    case ArrivalOrder::kSetContiguous:
+      std::stable_sort(edges.begin(), edges.end(),
+                       [](const Edge& a, const Edge& b) { return a.set < b.set; });
+      break;
+    case ArrivalOrder::kRandom: {
+      Rng rng(seed);
+      rng.Shuffle(edges);
+      break;
+    }
+    case ArrivalOrder::kElementContiguous:
+      std::stable_sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+        return a.element < b.element;
+      });
+      break;
+    case ArrivalOrder::kRoundRobin:
+      RoundRobinOrder(edges);
+      break;
+    case ArrivalOrder::kReversedSets:
+      std::stable_sort(edges.begin(), edges.end(),
+                       [](const Edge& a, const Edge& b) { return a.set > b.set; });
+      break;
+  }
+}
+
+}  // namespace streamkc

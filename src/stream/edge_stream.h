@@ -1,0 +1,77 @@
+// Edge-arrival streams and arrival-order policies.
+//
+// An EdgeStream produces (set, element) pairs one at a time; the contract is
+// a single forward pass (Reset() rewinds for the *next* pass, used only by
+// test/bench harnesses — the algorithms themselves are single-pass).
+//
+// ArrivalOrder captures the orderings discussed in the paper's introduction:
+// set-arrival (incidences of each set contiguous), the general adversarial /
+// random edge-arrival order, and element-contiguous and round-robin orders
+// that break set contiguity in structured ways (footnote 2's directed-graph
+// example is round-robin-like).
+
+#ifndef STREAMKC_STREAM_EDGE_STREAM_H_
+#define STREAMKC_STREAM_EDGE_STREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stream/edge.h"
+#include "util/space.h"
+
+namespace streamkc {
+
+class EdgeStream {
+ public:
+  virtual ~EdgeStream() = default;
+
+  // Fetches the next edge; returns false at end of stream.
+  virtual bool Next(Edge* edge) = 0;
+
+  // Rewinds to the beginning (harness convenience; algorithms are one-pass).
+  virtual void Reset() = 0;
+
+  // Total number of edges if known, 0 otherwise.
+  virtual uint64_t SizeHint() const { return 0; }
+};
+
+// A fully materialized stream over an in-memory edge vector.
+class VectorEdgeStream : public EdgeStream {
+ public:
+  explicit VectorEdgeStream(std::vector<Edge> edges)
+      : edges_(std::move(edges)) {}
+
+  bool Next(Edge* edge) override {
+    if (pos_ >= edges_.size()) return false;
+    *edge = edges_[pos_++];
+    return true;
+  }
+
+  void Reset() override { pos_ = 0; }
+  uint64_t SizeHint() const override { return edges_.size(); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+ private:
+  std::vector<Edge> edges_;
+  size_t pos_ = 0;
+};
+
+enum class ArrivalOrder {
+  kSetContiguous,      // all incidences of set 0, then set 1, ...
+  kRandom,             // uniformly shuffled (the general model)
+  kElementContiguous,  // grouped by element id
+  kRoundRobin,         // one incidence per set in rotation
+  kReversedSets,       // set-contiguous, sets in reverse id order
+};
+
+std::string ArrivalOrderName(ArrivalOrder order);
+
+// Reorders `edges` in place according to `order`; `seed` is used by the
+// random order (ignored otherwise).
+void ApplyArrivalOrder(std::vector<Edge>& edges, ArrivalOrder order,
+                       uint64_t seed);
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_STREAM_EDGE_STREAM_H_

@@ -1,0 +1,35 @@
+#include "stream/stream_stats.h"
+
+#include <algorithm>
+
+namespace streamkc {
+
+uint64_t StreamStats::MaxElementFrequency() const {
+  uint64_t best = 0;
+  for (const auto& [e, f] : element_frequency) best = std::max(best, f);
+  return best;
+}
+
+uint64_t StreamStats::MaxSetSize() const {
+  uint64_t best = 0;
+  for (const auto& [s, size] : set_size) best = std::max(best, size);
+  return best;
+}
+
+StreamStats ComputeStreamStats(EdgeStream& stream) {
+  StreamStats stats;
+  std::unordered_set<Edge, EdgeHash> seen;
+  Edge e;
+  while (stream.Next(&e)) {
+    ++stats.num_edges;
+    if (!seen.insert(e).second) continue;  // duplicate incidence
+    ++stats.num_distinct_edges;
+    ++stats.element_frequency[e.element];
+    ++stats.set_size[e.set];
+  }
+  stats.num_distinct_sets = stats.set_size.size();
+  stats.num_distinct_elements = stats.element_frequency.size();
+  return stats;
+}
+
+}  // namespace streamkc

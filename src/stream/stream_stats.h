@@ -1,0 +1,36 @@
+// Exact one-pass statistics over an edge stream (harness-side; not part of
+// the sublinear-space algorithms). Used by tests to cross-check sketches.
+
+#ifndef STREAMKC_STREAM_STREAM_STATS_H_
+#define STREAMKC_STREAM_STREAM_STATS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "stream/edge.h"
+#include "stream/edge_stream.h"
+
+namespace streamkc {
+
+struct StreamStats {
+  uint64_t num_edges = 0;
+  uint64_t num_distinct_edges = 0;
+  uint64_t num_distinct_sets = 0;
+  uint64_t num_distinct_elements = 0;
+  // Element frequency: number of *distinct* sets containing each element
+  // (the vector v of the paper's lower-bound discussion).
+  std::unordered_map<ElementId, uint64_t> element_frequency;
+  // Distinct size of each set.
+  std::unordered_map<SetId, uint64_t> set_size;
+
+  uint64_t MaxElementFrequency() const;
+  uint64_t MaxSetSize() const;
+};
+
+// Consumes the stream from its current position to the end.
+StreamStats ComputeStreamStats(EdgeStream& stream);
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_STREAM_STREAM_STATS_H_

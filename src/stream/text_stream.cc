@@ -1,0 +1,51 @@
+#include "stream/text_stream.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace streamkc {
+
+TextEdgeStream::TextEdgeStream(const std::string& path)
+    : path_(path), file_(path) {
+  CHECK(file_.is_open());
+}
+
+bool TextEdgeStream::Next(Edge* edge) {
+  std::string line;
+  while (std::getline(file_, line)) {
+    ++line_number_;
+    // Skip blanks and comments.
+    size_t pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos || line[pos] == '#') continue;
+    char* end = nullptr;
+    unsigned long long set = std::strtoull(line.c_str() + pos, &end, 10);
+    CHECK(end != line.c_str() + pos);
+    char* end2 = nullptr;
+    unsigned long long element = std::strtoull(end, &end2, 10);
+    CHECK(end2 != end);  // the line must carry a second number
+    CHECK(*end2 == '\0' || std::isspace(static_cast<unsigned char>(*end2)));
+    edge->set = set;
+    edge->element = element;
+    return true;
+  }
+  return false;
+}
+
+void TextEdgeStream::Reset() {
+  file_.clear();
+  file_.seekg(0);
+  line_number_ = 0;
+}
+
+void WriteEdgesToFile(const std::string& path,
+                      const std::vector<Edge>& edges) {
+  std::ofstream out(path);
+  CHECK(out.is_open());
+  out << "# streamkc edge stream: <set> <element> per line\n";
+  for (const Edge& e : edges) out << e.set << ' ' << e.element << '\n';
+  CHECK(out.good());
+}
+
+}  // namespace streamkc

@@ -1,0 +1,40 @@
+// Text-format edge streams: one "set element" pair per line.
+//
+// Lets real datasets drive the pipeline without an in-memory SetSystem.
+// Format: whitespace-separated non-negative integers, two per line; blank
+// lines and lines starting with '#' are skipped. Malformed lines abort with
+// a line-numbered message (garbage-in on a one-pass algorithm is
+// unrecoverable, so it is treated as a programming/pipeline error).
+
+#ifndef STREAMKC_STREAM_TEXT_STREAM_H_
+#define STREAMKC_STREAM_TEXT_STREAM_H_
+
+#include <fstream>
+#include <string>
+
+#include "stream/edge_stream.h"
+
+namespace streamkc {
+
+class TextEdgeStream : public EdgeStream {
+ public:
+  // Opens `path`; CHECK-fails if the file cannot be opened.
+  explicit TextEdgeStream(const std::string& path);
+
+  bool Next(Edge* edge) override;
+  void Reset() override;
+
+  uint64_t line_number() const { return line_number_; }
+
+ private:
+  std::string path_;
+  std::ifstream file_;
+  uint64_t line_number_ = 0;
+};
+
+// Writes `edges` in the text format (convenience for tests and examples).
+void WriteEdgesToFile(const std::string& path, const std::vector<Edge>& edges);
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_STREAM_TEXT_STREAM_H_

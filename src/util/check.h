@@ -1,0 +1,73 @@
+// Lightweight assertion macros in the spirit of glog's CHECK family.
+//
+// streamkc does not use exceptions on data paths; precondition violations are
+// programming errors and abort the process with a readable message. DCHECK
+// variants compile away in NDEBUG builds and are used on per-edge hot paths.
+
+#ifndef STREAMKC_UTIL_CHECK_H_
+#define STREAMKC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace streamkc {
+namespace internal_check {
+
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr, const std::string& msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s %s\n", file, line, expr,
+               msg.c_str());
+  std::abort();
+}
+
+// Stringifies the two operands of a failed binary CHECK.
+template <typename A, typename B>
+std::string BinaryMessage(const A& a, const B& b) {
+  std::ostringstream os;
+  os << "(" << a << " vs. " << b << ")";
+  return os.str();
+}
+
+}  // namespace internal_check
+}  // namespace streamkc
+
+#define STREAMKC_CHECK(cond)                                             \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::streamkc::internal_check::CheckFail(__FILE__, __LINE__, #cond,   \
+                                            std::string());              \
+    }                                                                    \
+  } while (0)
+
+#define STREAMKC_CHECK_OP(op, a, b)                                      \
+  do {                                                                   \
+    if (!((a)op(b))) {                                                   \
+      ::streamkc::internal_check::CheckFail(                             \
+          __FILE__, __LINE__, #a " " #op " " #b,                         \
+          ::streamkc::internal_check::BinaryMessage((a), (b)));          \
+    }                                                                    \
+  } while (0)
+
+#define CHECK(cond) STREAMKC_CHECK(cond)
+#define CHECK_EQ(a, b) STREAMKC_CHECK_OP(==, a, b)
+#define CHECK_NE(a, b) STREAMKC_CHECK_OP(!=, a, b)
+#define CHECK_LT(a, b) STREAMKC_CHECK_OP(<, a, b)
+#define CHECK_LE(a, b) STREAMKC_CHECK_OP(<=, a, b)
+#define CHECK_GT(a, b) STREAMKC_CHECK_OP(>, a, b)
+#define CHECK_GE(a, b) STREAMKC_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+#define DCHECK(cond) \
+  do {               \
+  } while (0)
+#define DCHECK_LT(a, b) DCHECK((a) < (b))
+#define DCHECK_LE(a, b) DCHECK((a) <= (b))
+#else
+#define DCHECK(cond) CHECK(cond)
+#define DCHECK_LT(a, b) CHECK_LT(a, b)
+#define DCHECK_LE(a, b) CHECK_LE(a, b)
+#endif
+
+#endif  // STREAMKC_UTIL_CHECK_H_

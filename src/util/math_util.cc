@@ -1,0 +1,30 @@
+#include "util/math_util.h"
+
+#include <numeric>
+
+namespace streamkc {
+
+double Median(std::vector<double> v) {
+  CHECK(!v.empty());
+  size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  double lo = *std::max_element(v.begin(), v.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+double Mean(const std::vector<double>& v) {
+  CHECK(!v.empty());
+  return std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) {
+  CHECK_GE(v.size(), 2u);
+  double mu = Mean(v);
+  double acc = 0;
+  for (double x : v) acc += (x - mu) * (x - mu);
+  return std::sqrt(acc / static_cast<double>(v.size() - 1));
+}
+
+}  // namespace streamkc

@@ -1,0 +1,30 @@
+#include "util/random.h"
+
+#include <unordered_set>
+
+namespace streamkc {
+
+std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t universe,
+                                                    uint64_t count) {
+  CHECK_LE(count, universe);
+  std::vector<uint64_t> out;
+  out.reserve(count);
+  if (count == 0) return out;
+  // Floyd's algorithm: for j in [universe-count, universe), draw t uniform in
+  // [0, j]; insert t unless already present, else insert j. Produces a
+  // uniform sample of `count` distinct values.
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(count * 2);
+  for (uint64_t j = universe - count; j < universe; ++j) {
+    uint64_t t = UniformU64(j + 1);
+    if (seen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      seen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace streamkc

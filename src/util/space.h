@@ -1,0 +1,44 @@
+// Space accounting.
+//
+// The paper's headline result is a space bound (Θ̃(m/α²) words), so every
+// sketch and streaming algorithm in streamkc reports the memory it holds via
+// MemoryBytes(). The benches use these numbers to plot measured space against
+// the theoretical curve. Accounting is by dominant payload (counter arrays,
+// stored samples, hash seeds); transient per-edge temporaries are excluded,
+// matching how space is counted in the streaming literature.
+
+#ifndef STREAMKC_UTIL_SPACE_H_
+#define STREAMKC_UTIL_SPACE_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+namespace streamkc {
+
+// Bytes held by a vector's heap buffer (capacity, not size: that is what the
+// process actually reserves).
+template <typename T>
+size_t VectorBytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+// Rough accounting for an unordered_map: per-entry payload plus one pointer
+// of bucket overhead per bucket. Good enough for comparative plots.
+template <typename K, typename V, typename H, typename E, typename A>
+size_t UnorderedMapBytes(const std::unordered_map<K, V, H, E, A>& m) {
+  return m.size() * (sizeof(K) + sizeof(V) + 2 * sizeof(void*)) +
+         m.bucket_count() * sizeof(void*);
+}
+
+// Interface implemented by everything that holds stream state.
+class SpaceAccounted {
+ public:
+  virtual ~SpaceAccounted() = default;
+  // Bytes of state retained between stream updates.
+  virtual size_t MemoryBytes() const = 0;
+};
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_UTIL_SPACE_H_

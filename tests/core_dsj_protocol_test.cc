@@ -1,0 +1,101 @@
+#include "core/dsj_protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace streamkc {
+namespace {
+
+TEST(DsjDistinguisher, SeparatesYesAndNoAtDesignBudget) {
+  const uint64_t m = 4096, r = 16;
+  int correct = 0, trials = 0;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    for (bool no_case : {false, true}) {
+      DsjInstance dsj = MakeDsjInstance(m, r, no_case, seed);
+      correct += DsjExperimentCorrect(dsj, /*space_factor=*/1.0, 777 + seed);
+      ++trials;
+    }
+  }
+  // Theorem-2.10-grade reliability: allow one slip across 20 trials.
+  EXPECT_GE(correct, trials - 1);
+}
+
+TEST(DsjDistinguisher, RecoversThePlantedItem) {
+  const uint64_t m = 2048, r = 32;
+  DsjInstance dsj = MakeDsjInstance(m, r, /*no_instance=*/true, 5);
+  DsjDistinguisher::Config c;
+  c.num_items = m;
+  c.num_players = r;
+  c.space_factor = 1.0;
+  c.seed = 9;
+  DsjDistinguisher dist(c);
+  for (const Edge& e : DsjToMaxCoverEdges(dsj)) dist.Process(e);
+  auto v = dist.Finalize();
+  ASSERT_TRUE(v.says_no);
+  EXPECT_EQ(v.heaviest_item, dsj.common_item);
+  EXPECT_NEAR(v.max_estimate, static_cast<double>(r), r / 2.0);
+}
+
+TEST(DsjDistinguisher, YesCaseMaxEstimateSmall) {
+  DsjInstance dsj = MakeDsjInstance(2048, 32, /*no_instance=*/false, 6);
+  DsjDistinguisher::Config c;
+  c.num_items = 2048;
+  c.num_players = 32;
+  c.space_factor = 1.0;
+  c.seed = 10;
+  DsjDistinguisher dist(c);
+  for (const Edge& e : DsjToMaxCoverEdges(dsj)) dist.Process(e);
+  auto v = dist.Finalize();
+  EXPECT_FALSE(v.says_no);
+  EXPECT_LT(v.max_estimate, 16.0);
+}
+
+TEST(DsjDistinguisher, MemoryScalesAsMOverRSquared) {
+  // The paper's O(m/α²) distinguisher: quadrupling r at fixed m should cut
+  // the sketch size by roughly 16.
+  DsjDistinguisher::Config a;
+  a.num_items = 1 << 16;
+  a.num_players = 8;
+  a.space_factor = 1.0;
+  a.seed = 1;
+  DsjDistinguisher small_r(a);
+  a.num_players = 64;
+  DsjDistinguisher large_r(a);
+  EXPECT_GT(small_r.MemoryBytes(), 8 * large_r.MemoryBytes());
+}
+
+TEST(DsjDistinguisher, AccuracyDegradesBelowTheBound) {
+  // The lower-bound signature: at a small fraction of the Θ(m/r²) budget,
+  // the No-case common item drowns in bucket noise and accuracy falls
+  // toward chance, while the full budget stays reliable.
+  const uint64_t m = 1 << 14, r = 16;  // ~2048 buckets at the design point
+  auto accuracy = [&](double space_factor) {
+    int correct = 0, trials = 0;
+    for (uint64_t seed = 0; seed < 12; ++seed) {
+      for (bool no_case : {false, true}) {
+        DsjInstance dsj = MakeDsjInstance(m, r, no_case, 50 + seed);
+        correct += DsjExperimentCorrect(dsj, space_factor, 31 + seed);
+        ++trials;
+      }
+    }
+    return static_cast<double>(correct) / trials;
+  };
+  double full = accuracy(1.0);
+  double starved = accuracy(1.0 / 256.0);
+  EXPECT_GE(full, 0.9);
+  EXPECT_LE(starved, full - 0.2);
+}
+
+TEST(DsjDistinguisher, ConfigValidation) {
+  DsjDistinguisher::Config c;
+  c.num_items = 0;
+  c.num_players = 8;
+  EXPECT_DEATH(DsjDistinguisher{c}, "CHECK failed");
+  c.num_items = 100;
+  c.num_players = 1;
+  EXPECT_DEATH(DsjDistinguisher{c}, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace streamkc

@@ -1,0 +1,141 @@
+#include "core/large_set.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace streamkc {
+namespace {
+
+LargeSet MakeLargeSet(const SetSystem& sys, uint64_t k, double alpha,
+                      uint64_t seed, bool reporting = false) {
+  Params p = Params::Practical(sys.num_sets(), sys.num_elements(), k, alpha);
+  LargeSet::Config c;
+  c.params = p;
+  c.universe_size = sys.num_elements();
+  // Oracle's rule: w = k if sα ≥ 2k else α.
+  c.w = (p.s * alpha >= 2.0 * static_cast<double>(k)) ? static_cast<double>(k)
+                                                      : alpha;
+  c.reporting = reporting;
+  c.seed = seed;
+  return LargeSet(c);
+}
+
+TEST(LargeSet, FeasibleOnLargeSetFamily) {
+  // Case II: OPT dominated by a few jumbo sets; the heavy-hitter pipeline
+  // must fire and return Ω̃(|U|/α) (Theorem 4.8).
+  auto inst = LargeSetFamily(1024, 2048, 4, 5);
+  const double alpha = 8;
+  int feasible = 0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    LargeSet ls = MakeLargeSet(inst.system, 8, alpha, 400 + seed);
+    FeedSystem(inst.system, ArrivalOrder::kRandom, seed, ls);
+    EstimateOutcome out = ls.Finalize();
+    if (!out.feasible) continue;
+    ++feasible;
+    // Ω(|U|/α) with practical constants: at least |U|/(f·η·α·4).
+    EXPECT_GE(out.estimate, 2048.0 / (2.0 * 4.0 * alpha * 4.0));
+    EXPECT_LE(out.estimate, OptUpperBound(inst.system, 8) * 1.1);
+  }
+  EXPECT_GE(feasible, 4);
+}
+
+TEST(LargeSet, EstimateScalesBackFromSample) {
+  // The estimate is at universe scale even though the subroutine only sees
+  // an element sample: it must land within a constant factor of the winning
+  // superset's true coverage, not the sample's.
+  auto inst = LargeSetFamily(2048, 4096, 2, 7);
+  LargeSet ls = MakeLargeSet(inst.system, 4, 8, 19);
+  FeedSystem(inst.system, ArrivalOrder::kRandom, 2, ls);
+  EstimateOutcome out = ls.Finalize();
+  ASSERT_TRUE(out.feasible);
+  // Each jumbo set covers 1024; a superset holds ≤ w of anything else.
+  EXPECT_GE(out.estimate, 1024.0 / 16.0);
+  EXPECT_LE(out.estimate, 4096.0);
+}
+
+TEST(LargeSet, NeverOverestimates) {
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    auto inst = RandomUniform(512, 1024, 8, 600 + seed);
+    LargeSet ls = MakeLargeSet(inst.system, 16, 8, seed);
+    FeedSystem(inst.system, ArrivalOrder::kRandom, seed, ls);
+    EstimateOutcome out = ls.Finalize();
+    if (out.feasible) {
+      EXPECT_LE(out.estimate, OptUpperBound(inst.system, 16) * 1.15)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(LargeSet, RepetitionCountFollowsParams) {
+  auto inst = RandomUniform(256, 40000, 4, 9);
+  LargeSet ls = MakeLargeSet(inst.system, 4, 4, 1);
+  // Practical mode: large_set_reps (2) repetitions when sampling is active.
+  EXPECT_LE(ls.num_repetitions(), 2u);
+  EXPECT_GE(ls.num_repetitions(), 1u);
+}
+
+TEST(LargeSet, SingleRepWhenUniverseTiny) {
+  // Rate clips to 1 on tiny universes → one repetition suffices.
+  auto inst = RandomUniform(256, 64, 4, 11);
+  LargeSet ls = MakeLargeSet(inst.system, 4, 2, 1);
+  EXPECT_EQ(ls.num_repetitions(), 1u);
+}
+
+TEST(LargeSet, ReportingReturnsWinningSuperset) {
+  auto inst = LargeSetFamily(1024, 2048, 4, 13);
+  LargeSet ls = MakeLargeSet(inst.system, 8, 8, 23, /*reporting=*/true);
+  FeedSystem(inst.system, ArrivalOrder::kRandom, 3, ls);
+  EstimateOutcome out = ls.Finalize();
+  ASSERT_TRUE(out.feasible);
+  std::vector<SetId> sets = ls.ExtractSolution(8);
+  ASSERT_FALSE(sets.empty());
+  EXPECT_LE(sets.size(), 8u);
+  // The winning superset should contain one of the jumbo sets (ids 0..3) —
+  // that is what made it heavy.
+  uint64_t cov = inst.system.CoverageOf(sets);
+  EXPECT_GE(static_cast<double>(cov), out.estimate / 3.0);
+}
+
+TEST(LargeSet, OrderInvariance) {
+  auto inst = LargeSetFamily(512, 1024, 2, 17);
+  auto run = [&](ArrivalOrder order) {
+    LargeSet ls = MakeLargeSet(inst.system, 4, 4, 99);
+    FeedSystem(inst.system, order, 7, ls);
+    return ls.Finalize().estimate;
+  };
+  // CountSketch and L0 state are linear/set-valued → exactly order
+  // independent for a fixed seed.
+  EXPECT_DOUBLE_EQ(run(ArrivalOrder::kRandom), run(ArrivalOrder::kSetContiguous));
+  EXPECT_DOUBLE_EQ(run(ArrivalOrder::kRandom), run(ArrivalOrder::kRoundRobin));
+}
+
+TEST(LargeSet, MemoryScalesInverselyWithAlphaSquared) {
+  // The dominant term is the Case-1 contributing sketch at φ1 = α²/m:
+  // quadrupling α should shrink memory markedly.
+  auto inst = RandomUniform(1 << 14, 1 << 12, 8, 19);
+  LargeSet narrow = MakeLargeSet(inst.system, 64, 32, 1);
+  LargeSet wide = MakeLargeSet(inst.system, 64, 4, 1);
+  EXPECT_GT(wide.MemoryBytes(), 4 * narrow.MemoryBytes());
+}
+
+TEST(LargeSetComplete, FullRateModeMatchesFigure4) {
+  // With element_rate = 1 this is LargeSetSimple (Fig. 4): no sampling, the
+  // vector is over true superset sizes.
+  auto inst = LargeSetFamily(512, 512, 2, 23);
+  Params p = Params::Practical(512, 512, 4, 4);
+  LargeSetComplete::Config c;
+  c.params = p;
+  c.universe_size = 512;
+  c.w = 4;
+  c.element_rate = 1.0;
+  c.seed = 31;
+  LargeSetComplete lsc(c);
+  FeedSystem(inst.system, ArrivalOrder::kRandom, 5, lsc);
+  EstimateOutcome out = lsc.Finalize();
+  ASSERT_TRUE(out.feasible);
+  EXPECT_GE(out.estimate, 256.0 / (2.0 * 4.0 * 4.0 * 4.0));
+}
+
+}  // namespace
+}  // namespace streamkc

@@ -1,0 +1,91 @@
+#include "core/params.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/math_util.h"
+
+namespace streamkc {
+namespace {
+
+TEST(ParamsTheory, Table2Arithmetic) {
+  // Verify each Table 2 formula at a fixed instance.
+  uint64_t m = 1 << 16, n = 1 << 14, k = 64;
+  double alpha = 16;
+  Params p = Params::Theory(m, n, k, alpha);
+  double log_mn = std::log2(static_cast<double>(m) * static_cast<double>(n));
+  EXPECT_DOUBLE_EQ(p.w, 16.0);  // min{k, α}
+  EXPECT_DOUBLE_EQ(p.eta, 4.0);
+  EXPECT_DOUBLE_EQ(p.f, 7.0 * log_mn);
+  EXPECT_DOUBLE_EQ(p.sigma, 1.0 / (2500.0 * log_mn * log_mn));
+  EXPECT_DOUBLE_EQ(p.t, 5000.0 * log_mn * log_mn / p.s);
+  // s satisfies its own fixed-point equation.
+  double rhs = (9.0 / 5000.0) * p.w /
+               (alpha * std::sqrt(2.0 * p.eta * Log2AtLeast1(p.s * alpha) *
+                                  log_mn * log_mn));
+  EXPECT_NEAR(p.s, rhs, 1e-12);
+}
+
+TEST(ParamsTheory, WIsMinOfKAndAlpha) {
+  EXPECT_DOUBLE_EQ(Params::Theory(1000, 1000, 4, 16).w, 4.0);
+  EXPECT_DOUBLE_EQ(Params::Theory(1000, 1000, 64, 16).w, 16.0);
+}
+
+TEST(ParamsTheory, SFixedPointConverges) {
+  // s must be positive, below 1, and stable across instances.
+  for (double alpha : {2.0, 8.0, 64.0}) {
+    for (uint64_t k : {4ull, 256ull}) {
+      Params p = Params::Theory(1 << 14, 1 << 12, k, alpha);
+      EXPECT_GT(p.s, 0.0) << alpha << " " << k;
+      EXPECT_LT(p.s, 1.0);
+    }
+  }
+}
+
+TEST(ParamsTheory, LogWiseDegreeScales) {
+  Params small = Params::Theory(16, 16, 2, 2);
+  Params big = Params::Theory(1 << 20, 1 << 20, 2, 2);
+  EXPECT_EQ(small.log_wise_degree, 4u + 4u + 8u);
+  EXPECT_EQ(big.log_wise_degree, 20u + 20u + 8u);
+}
+
+TEST(ParamsPractical, SameShapeAsTheory) {
+  // The practical constants must preserve Table 2's functional dependencies:
+  // w = min(k, α); s ∝ w/α; t ∝ 1/s.
+  Params a = Params::Practical(1 << 14, 1 << 12, 8, 32);
+  EXPECT_DOUBLE_EQ(a.w, 8.0);
+  EXPECT_NEAR(a.s * 32.0 / a.w, 0.5, 1e-12);
+  EXPECT_NEAR(a.t * a.s, 16.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.eta, 4.0);
+}
+
+TEST(ParamsPractical, SigmaConstantScale) {
+  Params p = Params::Practical(1 << 14, 1 << 12, 8, 4);
+  EXPECT_GT(p.sigma, 0.01);
+  EXPECT_LT(p.sigma, 0.5);
+}
+
+TEST(Params, SmallSetBudgetScalesWithMOverAlphaSquared) {
+  Params wide = Params::Practical(1 << 16, 1 << 12, 8, 4);
+  Params narrow = Params::Practical(1 << 16, 1 << 12, 8, 32);
+  EXPECT_GT(wide.SmallSetBudgetBytes(), narrow.SmallSetBudgetBytes());
+  Params fixed = narrow;
+  fixed.small_set_budget_bytes = 12345;
+  EXPECT_EQ(fixed.SmallSetBudgetBytes(), 12345u);
+}
+
+TEST(Params, DebugStringMentionsMode) {
+  EXPECT_NE(Params::Theory(8, 8, 2, 2).DebugString().find("theory"),
+            std::string::npos);
+  EXPECT_NE(Params::Practical(8, 8, 2, 2).DebugString().find("practical"),
+            std::string::npos);
+}
+
+TEST(Params, InvalidInstanceAborts) {
+  EXPECT_DEATH(Params::Practical(0, 10, 1, 2), "CHECK failed");
+  EXPECT_DEATH(Params::Practical(10, 10, 1, 0.5), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace streamkc

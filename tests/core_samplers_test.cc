@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "core/element_sampler.h"
+#include "core/set_sampler.h"
+#include "core/universe_reduction.h"
+#include "setsys/frequency.h"
+#include "setsys/generators.h"
+
+namespace streamkc {
+namespace {
+
+TEST(SetSampler, SampleSizeNearExpectation) {
+  // γ/(c log m): with γ = 512, m = 4096, c = 1, expect ~512/12 ≈ 43 sets.
+  const uint64_t m = 4096;
+  SetSampler s(m, 512, 1.0, 8, 42);
+  uint64_t count = 0;
+  for (SetId i = 0; i < m; ++i) count += s.Sampled(i);
+  double expected = static_cast<double>(m) * s.SampleRate();
+  EXPECT_NEAR(static_cast<double>(count), expected, 4 * std::sqrt(expected) + 4);
+}
+
+TEST(SetSampler, Lemma23CoversCommonElements) {
+  // Lemma 2.3 / A.6: sets sampled at rate for γ cover every γ-common
+  // element w.h.p. Build an instance where element 0 is in half of all
+  // sets, sample for a γ that makes it common, check coverage.
+  const uint64_t m = 2048;
+  std::vector<std::vector<ElementId>> sets(m);
+  for (uint64_t i = 0; i < m; ++i) {
+    if (i % 2 == 0) sets[i].push_back(0);
+    sets[i].push_back(1 + i);  // filler
+  }
+  SetSystem sys(m + 1, std::move(sets));
+  int covered = 0;
+  const int kTrials = 20;
+  for (int t = 0; t < kTrials; ++t) {
+    // freq(0) = 1024 = m/2; γ-common needs freq ≥ c·m·log m/γ; with γ = 128
+    // and c = 1: threshold = 2048·11/128 = 176 ≤ 1024. Sample for γ = 128.
+    SetSampler s(m, 128, 1.0, 8, 1000 + t);
+    bool hit = false;
+    for (SetId i = 0; i < m && !hit; ++i) {
+      if (s.Sampled(i) && i % 2 == 0) hit = true;
+    }
+    covered += hit;
+  }
+  EXPECT_EQ(covered, kTrials);  // ~64 draws at rate 1/2 per trial: certain
+}
+
+TEST(SetSampler, RareElementsUsuallyMissed) {
+  // An element in exactly one set of 4096 escapes a small sample almost
+  // always.
+  const uint64_t m = 4096;
+  int covered = 0;
+  const int kTrials = 50;
+  for (int t = 0; t < kTrials; ++t) {
+    SetSampler s(m, 64, 1.0, 8, 2000 + t);
+    covered += s.Sampled(7);  // "the set containing the rare element"
+  }
+  EXPECT_LE(covered, 5);
+}
+
+TEST(SetSampler, MemoryIsOneHash) {
+  SetSampler s(1 << 20, 1024, 1.0, 16, 1);
+  EXPECT_EQ(s.MemoryBytes(), 16 * sizeof(uint64_t));
+}
+
+TEST(BestGroupLowerBound, Observation24) {
+  EXPECT_DOUBLE_EQ(BestGroupLowerBound(100, 4), 25.0);
+  EXPECT_DOUBLE_EQ(BestGroupLowerBound(7, 1), 7.0);
+}
+
+TEST(ElementSampler, RateRespected) {
+  ElementSampler s(0.25, 8, 3);
+  uint64_t kept = 0;
+  const uint64_t kN = 40000;
+  for (ElementId e = 0; e < kN; ++e) kept += s.Sampled(e);
+  EXPECT_NEAR(static_cast<double>(kept) / kN, 0.25, 0.02);
+  EXPECT_DOUBLE_EQ(s.SampleRate(), 0.25);
+}
+
+TEST(ElementSampler, RateOneKeepsEverything) {
+  ElementSampler s(1.0, 8, 4);
+  for (ElementId e = 0; e < 1000; ++e) EXPECT_TRUE(s.Sampled(e));
+}
+
+TEST(ElementSampler, RateAboveOneClips) {
+  ElementSampler s(5.0, 8, 5);
+  EXPECT_DOUBLE_EQ(s.SampleRate(), 1.0);
+}
+
+TEST(ElementSampler, Deterministic) {
+  ElementSampler a(0.5, 8, 6), b(0.5, 8, 6);
+  for (ElementId e = 0; e < 1000; ++e) {
+    EXPECT_EQ(a.Sampled(e), b.Sampled(e));
+  }
+}
+
+TEST(UniverseReduction, MapsIntoRange) {
+  UniverseReduction ur(100, 7);
+  for (ElementId e = 0; e < 10000; ++e) EXPECT_LT(ur.Map(e), 100u);
+}
+
+TEST(UniverseReduction, MapEdgePreservesSet) {
+  UniverseReduction ur(64, 8);
+  Edge e{12, 3456};
+  Edge mapped = ur.MapEdge(e);
+  EXPECT_EQ(mapped.set, 12u);
+  EXPECT_EQ(mapped.element, ur.Map(3456));
+}
+
+TEST(UniverseReduction, Lemma35ImagePreservesQuarter) {
+  // Lemma 3.5: |S| ≥ z, z ≥ 32 ⇒ Pr[|h(S)| ≥ z/4] ≥ 3/4. Measure the
+  // empirical success rate; it should be well above 3/4 for |S| = z.
+  const uint64_t z = 64;
+  int success = 0;
+  const int kTrials = 200;
+  for (int t = 0; t < kTrials; ++t) {
+    UniverseReduction ur(z, 5000 + t);
+    std::set<ElementId> image;
+    for (ElementId e = 0; e < z; ++e) image.insert(ur.Map(e));
+    success += (image.size() >= z / 4);
+  }
+  EXPECT_GE(success, static_cast<int>(0.75 * kTrials));
+}
+
+TEST(UniverseReduction, CoverageNeverIncreases) {
+  // |h(S)| ≤ |S| always.
+  UniverseReduction ur(128, 9);
+  for (uint64_t size : {10ull, 100ull, 1000ull}) {
+    std::set<ElementId> image;
+    for (ElementId e = 0; e < size; ++e) image.insert(ur.Map(e));
+    EXPECT_LE(image.size(), size);
+  }
+}
+
+TEST(UniverseReduction, LargeSetsFillRange) {
+  // Hashing many more than z elements should hit nearly all z buckets.
+  const uint64_t z = 64;
+  UniverseReduction ur(z, 10);
+  std::set<ElementId> image;
+  for (ElementId e = 0; e < 64 * z; ++e) image.insert(ur.Map(e));
+  EXPECT_GE(image.size(), z - 2);
+}
+
+}  // namespace
+}  // namespace streamkc

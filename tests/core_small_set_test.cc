@@ -1,0 +1,129 @@
+#include "core/small_set.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace streamkc {
+namespace {
+
+SmallSet MakeSmallSet(const SetSystem& sys, uint64_t k, double alpha,
+                      uint64_t seed, bool reporting = false) {
+  SmallSet::Config c;
+  c.params = Params::Practical(sys.num_sets(), sys.num_elements(), k, alpha);
+  c.universe_size = sys.num_elements();
+  c.reporting = reporting;
+  c.seed = seed;
+  return SmallSet(c);
+}
+
+TEST(SmallSet, FeasibleOnSmallSetFamily) {
+  // Case III: OPT = many small disjoint sets. SmallSet must return
+  // Ω̃(OPT/α) without overestimating (Theorem 4.22).
+  auto inst = SmallSetFamily(1024, 4096, 64, 3);
+  const double alpha = 8;
+  uint64_t opt = inst.planted_coverage;  // 2048
+  int feasible = 0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    SmallSet ss = MakeSmallSet(inst.system, 64, alpha, 500 + seed);
+    FeedSystem(inst.system, ArrivalOrder::kRandom, seed, ss);
+    EstimateOutcome out = ss.Finalize();
+    if (!out.feasible) continue;
+    ++feasible;
+    EXPECT_GE(out.estimate, static_cast<double>(opt) / (2.0 * alpha));
+    EXPECT_LE(out.estimate, static_cast<double>(opt) * 1.2);
+  }
+  EXPECT_GE(feasible, 4);
+}
+
+TEST(SmallSet, AcceptanceCutBlocksNoiseScaleUps) {
+  // On an instance with almost no coverage (tiny sets in a tiny window),
+  // scaled-up estimates would be wild overestimates; the sol_γ = Ω(k′) cut
+  // must keep the estimate below a small multiple of the true optimum.
+  std::vector<std::vector<ElementId>> sets(512);
+  for (size_t i = 0; i < sets.size(); ++i) sets[i] = {static_cast<ElementId>(i % 16)};
+  SetSystem sys(1 << 14, std::move(sets));
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    SmallSet ss = MakeSmallSet(sys, 32, 8, 700 + seed);
+    FeedSystem(sys, ArrivalOrder::kRandom, seed, ss);
+    EstimateOutcome out = ss.Finalize();
+    if (out.feasible) {
+      // OPT = 16; allow sampling noise but nothing like |U|-scale outputs.
+      EXPECT_LE(out.estimate, 16.0 * 40.0) << "seed " << seed;
+    }
+  }
+}
+
+TEST(SmallSet, DenseInstancesRescaleInsteadOfDying) {
+  // Dense instance: high-γ (rate-1) guesses cannot store their sample; they
+  // must halve their element rate (possibly repeatedly) and stay under
+  // budget, remaining usable rather than dying.
+  auto inst = RandomUniform(4096, 1024, 64, 5);
+  SmallSet ss = MakeSmallSet(inst.system, 256, 4, 11);
+  FeedSystem(inst.system, ArrivalOrder::kRandom, 2, ss);
+  EXPECT_GT(ss.num_rescaled(), 0u);
+  // The overall memory is still bounded by budget × instances.
+  Params p = Params::Practical(4096, 1024, 256, 4);
+  EXPECT_LE(ss.MemoryBytes(),
+            (p.SmallSetBudgetBytes() + (64u << 10)) * ss.num_instances());
+  // And the subroutine still produces a sound estimate on this very dense
+  // instance (greedy covers nearly everything).
+  EstimateOutcome out = ss.Finalize();
+  ASSERT_TRUE(out.feasible);
+  EXPECT_LE(out.estimate, OptUpperBound(inst.system, 256) * 1.25);
+  EXPECT_GE(out.estimate, static_cast<double>(
+                              GreedyCoverage(inst.system, 256)) /
+                              (4.0 * 4.0));
+}
+
+TEST(SmallSet, NeverOverestimatesByMuch) {
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    auto inst = RandomUniform(512, 2048, 8, 800 + seed);
+    SmallSet ss = MakeSmallSet(inst.system, 32, 8, seed);
+    FeedSystem(inst.system, ArrivalOrder::kRandom, seed, ss);
+    EstimateOutcome out = ss.Finalize();
+    if (out.feasible) {
+      EXPECT_LE(out.estimate, OptUpperBound(inst.system, 32) * 1.25)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(SmallSet, ReportingReturnsRealSetIds) {
+  auto inst = SmallSetFamily(1024, 4096, 64, 7);
+  SmallSet ss = MakeSmallSet(inst.system, 64, 8, 21, /*reporting=*/true);
+  FeedSystem(inst.system, ArrivalOrder::kRandom, 4, ss);
+  EstimateOutcome out = ss.Finalize();
+  ASSERT_TRUE(out.feasible);
+  std::vector<SetId> sets = ss.ExtractSolution(64);
+  ASSERT_FALSE(sets.empty());
+  EXPECT_LE(sets.size(), 64u);
+  for (SetId s : sets) EXPECT_LT(s, 1024u);
+  // Greedy on the sample favors the planted slices: the returned sets'
+  // true coverage must be a constant fraction of the claimed estimate.
+  uint64_t cov = inst.system.CoverageOf(sets);
+  EXPECT_GE(static_cast<double>(cov), out.estimate / 4.0);
+}
+
+TEST(SmallSet, GuessGridScalesWithAlpha) {
+  auto inst = RandomUniform(256, 512, 4, 9);
+  SmallSet coarse = MakeSmallSet(inst.system, 16, 2, 1);
+  SmallSet fine = MakeSmallSet(inst.system, 16, 16, 1);
+  EXPECT_GE(fine.num_instances(), coarse.num_instances());
+}
+
+TEST(SmallSet, OrderInvariantModuloDuplicates) {
+  // Stored sub-instances collect (set, element) pairs; coverage after dedup
+  // is order-independent, so estimates match across orders.
+  auto inst = SmallSetFamily(512, 2048, 32, 11);
+  auto run = [&](ArrivalOrder order) {
+    SmallSet ss = MakeSmallSet(inst.system, 32, 8, 33);
+    FeedSystem(inst.system, order, 5, ss);
+    return ss.Finalize().estimate;
+  };
+  EXPECT_DOUBLE_EQ(run(ArrivalOrder::kRandom),
+                   run(ArrivalOrder::kElementContiguous));
+}
+
+}  // namespace
+}  // namespace streamkc

@@ -1,0 +1,92 @@
+#include "setsys/dsj_instance.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "stream/stream_stats.h"
+
+namespace streamkc {
+namespace {
+
+TEST(DsjInstance, YesCaseDisjoint) {
+  DsjInstance dsj = MakeDsjInstance(200, 8, /*no_instance=*/false, 1);
+  std::set<uint64_t> seen;
+  for (const auto& t : dsj.player_items) {
+    for (uint64_t item : t) {
+      EXPECT_TRUE(seen.insert(item).second) << "item " << item << " repeated";
+    }
+  }
+}
+
+TEST(DsjInstance, NoCaseUniqueIntersection) {
+  DsjInstance dsj = MakeDsjInstance(200, 8, /*no_instance=*/true, 2);
+  // The common item is in all players' sets.
+  for (const auto& t : dsj.player_items) {
+    EXPECT_TRUE(std::find(t.begin(), t.end(), dsj.common_item) != t.end());
+  }
+  // And it is the only such item.
+  std::map<uint64_t, int> count;
+  for (const auto& t : dsj.player_items) {
+    for (uint64_t item : t) ++count[item];
+  }
+  for (const auto& [item, c] : count) {
+    if (item != dsj.common_item) {
+      EXPECT_EQ(c, 1) << "item " << item;
+    }
+  }
+}
+
+TEST(DsjInstance, AllItemsAssigned) {
+  DsjInstance dsj = MakeDsjInstance(100, 4, false, 3);
+  std::set<uint64_t> seen;
+  for (const auto& t : dsj.player_items) seen.insert(t.begin(), t.end());
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(DsjReduction, Claim53NoCaseOptIsR) {
+  // Claim 5.3: No instance → optimal 1-cover covers all r elements.
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    DsjInstance dsj = MakeDsjInstance(128, 16, true, seed);
+    EXPECT_EQ(DsjReducedOptimalCoverage(dsj), 16u);
+  }
+}
+
+TEST(DsjReduction, Claim54YesCaseOptIsOne) {
+  // Claim 5.4: Yes instance → every reduced set is a singleton.
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    DsjInstance dsj = MakeDsjInstance(128, 16, false, seed);
+    EXPECT_EQ(DsjReducedOptimalCoverage(dsj), 1u);
+  }
+}
+
+TEST(DsjReduction, EdgeStreamShape) {
+  DsjInstance dsj = MakeDsjInstance(100, 5, true, 7);
+  auto edges = DsjToMaxCoverEdges(dsj);
+  // One edge per (player, item) incidence: 100 - 1 items assigned once plus
+  // the common item in all 5 players = 99 + 5.
+  EXPECT_EQ(edges.size(), 104u);
+  VectorEdgeStream stream(std::move(edges));
+  StreamStats stats = ComputeStreamStats(stream);
+  EXPECT_EQ(stats.num_distinct_elements, 5u);   // one element per player
+  EXPECT_EQ(stats.num_distinct_sets, 100u);     // one set per item
+  EXPECT_EQ(stats.MaxSetSize(), 5u);            // the common item's set
+}
+
+TEST(DsjReduction, YesStreamMaxSetSizeOne) {
+  DsjInstance dsj = MakeDsjInstance(100, 5, false, 9);
+  auto edges = DsjToMaxCoverEdges(dsj);
+  VectorEdgeStream stream(std::move(edges));
+  EXPECT_EQ(ComputeStreamStats(stream).MaxSetSize(), 1u);
+}
+
+TEST(DsjInstance, Deterministic) {
+  DsjInstance a = MakeDsjInstance(64, 4, true, 5);
+  DsjInstance b = MakeDsjInstance(64, 4, true, 5);
+  EXPECT_EQ(a.common_item, b.common_item);
+  EXPECT_EQ(a.player_items, b.player_items);
+}
+
+}  // namespace
+}  // namespace streamkc

@@ -1,0 +1,137 @@
+#include "setsys/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "offline/greedy.h"
+#include "setsys/frequency.h"
+
+namespace streamkc {
+namespace {
+
+TEST(RandomUniform, Shape) {
+  auto inst = RandomUniform(50, 200, 8, 1);
+  EXPECT_EQ(inst.system.num_sets(), 50u);
+  EXPECT_EQ(inst.system.num_elements(), 200u);
+  for (const auto& s : inst.system.sets()) EXPECT_EQ(s.size(), 8u);
+  EXPECT_EQ(inst.family, "random-uniform");
+}
+
+TEST(RandomUniform, DeterministicInSeed) {
+  auto a = RandomUniform(20, 100, 5, 7);
+  auto b = RandomUniform(20, 100, 5, 7);
+  auto c = RandomUniform(20, 100, 5, 8);
+  EXPECT_EQ(a.system.sets(), b.system.sets());
+  EXPECT_NE(a.system.sets(), c.system.sets());
+}
+
+TEST(ZipfFrequency, SkewCreatesHotElements) {
+  auto skewed = ZipfFrequency(200, 500, 10, 1.2, 3);
+  auto flat = ZipfFrequency(200, 500, 10, 0.0, 3);
+  auto skewed_freq = ElementFrequencies(skewed.system);
+  auto flat_freq = ElementFrequencies(flat.system);
+  uint64_t skew_max = *std::max_element(skewed_freq.begin(), skewed_freq.end());
+  uint64_t flat_max = *std::max_element(flat_freq.begin(), flat_freq.end());
+  EXPECT_GT(skew_max, flat_max);
+}
+
+TEST(PlantedCover, PlantedSolutionCoversExactly) {
+  auto inst = PlantedCover(100, 1000, 10, 0.5, 5, 11);
+  EXPECT_EQ(inst.planted_solution.size(), 10u);
+  EXPECT_EQ(inst.system.CoverageOf(inst.planted_solution),
+            inst.planted_coverage);
+  EXPECT_EQ(inst.planted_coverage, 500u);
+}
+
+TEST(PlantedCover, PlantedIsNearOptimal) {
+  auto inst = PlantedCover(100, 1000, 10, 0.5, 5, 13);
+  // Greedy (within 1-1/e of OPT) should not beat the planted value by much;
+  // in this construction the planted sets ARE the best choice.
+  CoverSolution greedy = GreedyMaxCover(inst.system, 10);
+  EXPECT_LE(greedy.coverage, inst.planted_coverage);
+  EXPECT_GE(greedy.coverage, inst.planted_coverage * 6 / 10);
+}
+
+TEST(PlantedCover, NoiseSetsAreWeak) {
+  auto inst = PlantedCover(100, 1000, 10, 0.5, 5, 17);
+  // Any k noise sets cover far less than the planted cover.
+  std::vector<SetId> noise;
+  for (SetId s = 10; s < 20; ++s) noise.push_back(s);
+  EXPECT_LT(inst.system.CoverageOf(noise), inst.planted_coverage / 2);
+}
+
+TEST(LargeSetFamily, JumboSetsDominate) {
+  auto inst = LargeSetFamily(200, 1000, 4, 19);
+  EXPECT_EQ(inst.planted_solution.size(), 4u);
+  EXPECT_NEAR(static_cast<double>(inst.planted_coverage), 500.0, 4.0);
+  // Singletons contribute 1 each.
+  for (SetId s = 4; s < 200; ++s) EXPECT_EQ(inst.system.set(s).size(), 1u);
+}
+
+TEST(LargeSetFamily, NoCommonElements) {
+  auto inst = LargeSetFamily(200, 1000, 4, 23);
+  auto freq = ElementFrequencies(inst.system);
+  // Every element belongs to few sets (jumbo blocks are disjoint).
+  EXPECT_LE(*std::max_element(freq.begin(), freq.end()), 8u);
+}
+
+TEST(SmallSetFamily, OptIsManyEqualSlices) {
+  auto inst = SmallSetFamily(300, 2000, 50, 29);
+  EXPECT_EQ(inst.planted_solution.size(), 50u);
+  // Each planted set contributes coverage/k exactly.
+  uint64_t per = inst.planted_coverage / 50;
+  for (SetId s = 0; s < 50; ++s) {
+    EXPECT_EQ(inst.system.set(s).size(), per);
+  }
+}
+
+TEST(SmallSetFamily, DecoysAreWeak) {
+  auto inst = SmallSetFamily(300, 2000, 50, 31);
+  std::vector<SetId> decoys;
+  for (SetId s = 50; s < 100; ++s) decoys.push_back(s);
+  EXPECT_LT(inst.system.CoverageOf(decoys), inst.planted_coverage / 4);
+}
+
+TEST(CommonElementFamily, CoreElementsAreCommon) {
+  uint64_t m = 256, k = 4;
+  double beta = 4;
+  auto inst = CommonElementFamily(m, 1000, k, beta, 32, 37);
+  auto freq = ElementFrequencies(inst.system);
+  uint64_t want = static_cast<uint64_t>(m / (beta * k));
+  for (ElementId e = 0; e < 32; ++e) {
+    EXPECT_GE(freq[e], want) << "core element " << e;
+  }
+  // Background elements are rare.
+  uint64_t rare = 0;
+  for (ElementId e = 32; e < 1000; ++e) rare = std::max(rare, freq[e]);
+  EXPECT_LT(rare, want);
+}
+
+TEST(GraphNeighborhoods, Shape) {
+  auto inst = GraphNeighborhoods(500, 6.0, 41);
+  EXPECT_EQ(inst.system.num_sets(), 500u);
+  EXPECT_EQ(inst.system.num_elements(), 500u);
+  double total = static_cast<double>(inst.system.TotalEdges());
+  EXPECT_NEAR(total / 500.0, 6.0, 1.0);  // average out-degree
+  // No self-loops.
+  for (SetId v = 0; v < 500; ++v) {
+    for (ElementId u : inst.system.set(v)) EXPECT_NE(u, v);
+  }
+}
+
+TEST(AllGenerators, Deterministic) {
+  EXPECT_EQ(PlantedCover(50, 500, 5, 0.5, 4, 99).system.sets(),
+            PlantedCover(50, 500, 5, 0.5, 4, 99).system.sets());
+  EXPECT_EQ(LargeSetFamily(50, 500, 3, 99).system.sets(),
+            LargeSetFamily(50, 500, 3, 99).system.sets());
+  EXPECT_EQ(SmallSetFamily(50, 500, 10, 99).system.sets(),
+            SmallSetFamily(50, 500, 10, 99).system.sets());
+  EXPECT_EQ(CommonElementFamily(64, 500, 4, 2, 16, 99).system.sets(),
+            CommonElementFamily(64, 500, 4, 2, 16, 99).system.sets());
+  EXPECT_EQ(GraphNeighborhoods(100, 4, 99).system.sets(),
+            GraphNeighborhoods(100, 4, 99).system.sets());
+}
+
+}  // namespace
+}  // namespace streamkc

@@ -1,0 +1,156 @@
+#include "hash/kwise_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "hash/mersenne.h"
+
+namespace streamkc {
+namespace {
+
+TEST(Mersenne, ReduceIdentityBelowPrime) {
+  EXPECT_EQ(MersenneReduce(0), 0u);
+  EXPECT_EQ(MersenneReduce(12345), 12345u);
+  EXPECT_EQ(MersenneReduce(kMersennePrime61 - 1), kMersennePrime61 - 1);
+}
+
+TEST(Mersenne, ReduceWraps) {
+  EXPECT_EQ(MersenneReduce(kMersennePrime61), 0u);
+  EXPECT_EQ(MersenneReduce(static_cast<__uint128_t>(kMersennePrime61) + 5), 5u);
+}
+
+TEST(Mersenne, MulMatchesBigInt) {
+  // Cross-check against direct 128-bit modulo.
+  uint64_t a = 0x123456789abcdefULL % kMersennePrime61;
+  uint64_t b = 0xfedcba987654321ULL % kMersennePrime61;
+  __uint128_t direct = static_cast<__uint128_t>(a) * b % kMersennePrime61;
+  EXPECT_EQ(MersenneMul(a, b), static_cast<uint64_t>(direct));
+}
+
+TEST(Mersenne, AddWraps) {
+  EXPECT_EQ(MersenneAdd(kMersennePrime61 - 1, 1), 0u);
+  EXPECT_EQ(MersenneAdd(kMersennePrime61 - 1, 2), 1u);
+}
+
+TEST(Mersenne, FoldStaysInField) {
+  EXPECT_LT(MersenneFold(~0ULL), kMersennePrime61);
+  EXPECT_EQ(MersenneFold(5), 5u);
+}
+
+TEST(KWiseHash, Deterministic) {
+  KWiseHash h1(4, 99), h2(4, 99), h3(4, 100);
+  for (uint64_t x = 0; x < 100; ++x) {
+    EXPECT_EQ(h1.Map(x), h2.Map(x));
+  }
+  int same = 0;
+  for (uint64_t x = 0; x < 100; ++x) same += (h1.Map(x) == h3.Map(x));
+  EXPECT_LE(same, 1);
+}
+
+TEST(KWiseHash, MapRangeBounds) {
+  KWiseHash h(2, 5);
+  for (uint64_t x = 0; x < 1000; ++x) {
+    EXPECT_LT(h.MapRange(x, 17), 17u);
+  }
+  EXPECT_EQ(h.MapRange(12345, 1), 0u);
+}
+
+TEST(KWiseHash, MapRangeUniformity) {
+  // Chi-square-ish check: bucket counts close to expectation.
+  KWiseHash h(2, 7);
+  const int kBuckets = 16, kDraws = 64000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int x = 0; x < kDraws; ++x) ++counts[h.MapRange(x, kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 6 * std::sqrt(kDraws / kBuckets));
+  }
+}
+
+TEST(KWiseHash, PairwiseCollisionRate) {
+  // Pr[h(x) = h(y)] should be ~1/range for x != y.
+  const uint64_t kRange = 64;
+  int collisions = 0;
+  const int kPairs = 20000;
+  for (int t = 0; t < kPairs; ++t) {
+    KWiseHash h(2, 10000 + t);
+    collisions += (h.MapRange(1, kRange) == h.MapRange(2, kRange));
+  }
+  double rate = collisions / static_cast<double>(kPairs);
+  EXPECT_NEAR(rate, 1.0 / kRange, 0.006);
+}
+
+TEST(KWiseHash, SignBalanced) {
+  KWiseHash h = KWiseHash::FourWise(77);
+  int sum = 0;
+  const int kDraws = 100000;
+  for (int x = 0; x < kDraws; ++x) sum += h.Sign(x);
+  // Mean should be near 0 with std ~ sqrt(kDraws).
+  EXPECT_LT(std::abs(sum), 6 * static_cast<int>(std::sqrt(kDraws)));
+}
+
+TEST(KWiseHash, SignPairwiseIndependent) {
+  // E[s(x)s(y)] ≈ 0 over random functions.
+  int sum = 0;
+  const int kTrials = 20000;
+  for (int t = 0; t < kTrials; ++t) {
+    KWiseHash h = KWiseHash::FourWise(50000 + t);
+    sum += h.Sign(3) * h.Sign(4);
+  }
+  EXPECT_LT(std::abs(sum), 6 * static_cast<int>(std::sqrt(kTrials)));
+}
+
+TEST(KWiseHash, KeepRateAccurate) {
+  // Keep with rate 1/8 over many functions.
+  int kept = 0;
+  const int kTrials = 20000;
+  for (int t = 0; t < kTrials; ++t) {
+    KWiseHash h(2, 90000 + t);
+    kept += h.Keep(42, 1, 8);
+  }
+  EXPECT_NEAR(kept / static_cast<double>(kTrials), 0.125, 0.01);
+}
+
+TEST(KWiseHash, KeepClipsAtOne) {
+  KWiseHash h(2, 3);
+  for (uint64_t x = 0; x < 100; ++x) {
+    EXPECT_TRUE(h.Keep(x, 10, 10));
+    EXPECT_TRUE(h.Keep(x, 20, 10));
+  }
+}
+
+TEST(KWiseHash, LogWiseDegreeScales) {
+  KWiseHash small = KWiseHash::LogWise(16, 16, 1);
+  KWiseHash big = KWiseHash::LogWise(1 << 20, 1 << 20, 1);
+  EXPECT_GT(big.degree(), small.degree());
+  EXPECT_EQ(small.degree(), 4u + 4u + 8u);
+}
+
+TEST(KWiseHash, MemoryProportionalToDegree) {
+  KWiseHash d2(2, 1), d16(16, 1);
+  EXPECT_EQ(d2.MemoryBytes(), 2 * sizeof(uint64_t));
+  EXPECT_EQ(d16.MemoryBytes(), 16 * sizeof(uint64_t));
+}
+
+TEST(KWiseHash, FourWiseFourthMomentBehaved) {
+  // For 4-wise independent signs, E[(Σ s(x))⁴] over x in a window of size w
+  // equals 3w² - 2w (same as fully independent). Sanity-check the empirical
+  // fourth moment is in that ballpark.
+  const int kWindow = 16;
+  const int kTrials = 4000;
+  double fourth = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    KWiseHash h = KWiseHash::FourWise(7777 + t);
+    double s = 0;
+    for (int x = 0; x < kWindow; ++x) s += h.Sign(x);
+    fourth += s * s * s * s;
+  }
+  fourth /= kTrials;
+  double expected = 3.0 * kWindow * kWindow - 2.0 * kWindow;
+  EXPECT_NEAR(fourth, expected, 0.25 * expected);
+}
+
+}  // namespace
+}  // namespace streamkc

@@ -1,0 +1,104 @@
+// White-box verification of the polynomial hash family: the Horner-evaluated
+// Map() must equal a brute-force polynomial evaluation over GF(2^61 − 1),
+// and the advertised independence must be measurable.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "hash/kwise_hash.h"
+#include "hash/mersenne.h"
+
+namespace streamkc {
+namespace {
+
+// Brute-force c_0 + c_1 x + ... + c_{d-1} x^{d-1} mod p using repeated
+// MersenneMul (no Horner), reconstructed from the hash's observable outputs:
+// for a degree-d family, d point evaluations determine the polynomial, so we
+// recover the coefficients by Lagrange-free linear algebra on small cases —
+// or, simpler and fully black-box: check the polynomial identity
+//   sum over a (d)-point arithmetic progression of finite differences.
+// A degree-(d-1) polynomial has vanishing d-th finite differences mod p.
+uint64_t MersenneSub(uint64_t a, uint64_t b) {
+  return MersenneAdd(a, kMersennePrime61 - b);
+}
+
+TEST(PolynomialHash, FiniteDifferencesVanish) {
+  // For a degree-(d-1) polynomial h, the d-th finite difference
+  // Δ^d h(x) = Σ (-1)^i C(d,i) h(x + i) ≡ 0 (mod p). This pins down that
+  // Map really is a polynomial of the advertised degree — Horner bugs,
+  // off-by-one degree errors, or any non-polynomial mixing would break it.
+  for (uint32_t d : {2u, 3u, 4u, 8u}) {
+    KWiseHash h(d, 1234 + d);
+    // Binomial coefficients C(d, i).
+    std::vector<uint64_t> binom(d + 1, 1);
+    for (uint32_t i = 1; i <= d; ++i) {
+      binom[i] = binom[i - 1] * (d - i + 1) / i;
+    }
+    for (uint64_t x = 10; x < 20; ++x) {
+      uint64_t acc = 0;
+      for (uint32_t i = 0; i <= d; ++i) {
+        uint64_t term = MersenneMul(binom[i] % kMersennePrime61, h.Map(x + i));
+        acc = (i % 2 == 0) ? MersenneAdd(acc, term) : MersenneSub(acc, term);
+      }
+      EXPECT_EQ(acc, 0u) << "degree " << d << " x " << x;
+    }
+  }
+}
+
+TEST(PolynomialHash, LowerDegreeDifferencesDoNotVanish) {
+  // Conversely the (d-1)-th difference of a degree-(d-1) polynomial is a
+  // nonzero constant (w.h.p. over coefficients): the family is not secretly
+  // lower-degree.
+  for (uint32_t d : {2u, 4u, 8u}) {
+    KWiseHash h(d, 77 + d);
+    std::vector<uint64_t> binom(d, 1);
+    for (uint32_t i = 1; i < d; ++i) binom[i] = binom[i - 1] * (d - i) / i;
+    int nonzero = 0;
+    for (uint64_t x = 0; x < 5; ++x) {
+      uint64_t acc = 0;
+      for (uint32_t i = 0; i < d; ++i) {
+        uint64_t term = MersenneMul(binom[i] % kMersennePrime61, h.Map(x + i));
+        acc = (i % 2 == 0) ? MersenneAdd(acc, term) : MersenneSub(acc, term);
+      }
+      nonzero += (acc != 0);
+    }
+    EXPECT_EQ(nonzero, 5) << "degree " << d;
+  }
+}
+
+TEST(PolynomialHash, PairwiseJointDistribution) {
+  // Measurable pairwise independence: over random functions, the joint
+  // distribution of (h(0) mod 4, h(1) mod 4) should be uniform on 16 cells.
+  std::map<std::pair<uint64_t, uint64_t>, int> cells;
+  const int kTrials = 32000;
+  for (int t = 0; t < kTrials; ++t) {
+    KWiseHash h = KWiseHash::Pairwise(500000 + t);
+    cells[{h.MapRange(0, 4), h.MapRange(1, 4)}]++;
+  }
+  EXPECT_EQ(cells.size(), 16u);
+  for (const auto& [cell, count] : cells) {
+    EXPECT_NEAR(count, kTrials / 16.0, 6 * std::sqrt(kTrials / 16.0))
+        << cell.first << "," << cell.second;
+  }
+}
+
+TEST(PolynomialHash, DegreeOneIsConstant) {
+  // d = 1: a constant function family (degree-0 polynomial) — documented
+  // boundary behavior.
+  KWiseHash h(1, 9);
+  uint64_t v = h.Map(0);
+  for (uint64_t x = 1; x < 50; ++x) EXPECT_EQ(h.Map(x), v);
+}
+
+TEST(PolynomialHash, OutputsStayInField) {
+  KWiseHash h(8, 11);
+  for (uint64_t x = 0; x < 1000; ++x) {
+    EXPECT_LT(h.Map(x * 0x123456789ULL), kMersennePrime61);
+  }
+}
+
+}  // namespace
+}  // namespace streamkc

@@ -1,0 +1,57 @@
+#include "hash/tabulation_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace streamkc {
+namespace {
+
+TEST(TabulationHash, Deterministic) {
+  TabulationHash h1(5), h2(5), h3(6);
+  for (uint64_t x = 0; x < 200; ++x) EXPECT_EQ(h1.Map(x), h2.Map(x));
+  int same = 0;
+  for (uint64_t x = 0; x < 200; ++x) same += (h1.Map(x) == h3.Map(x));
+  EXPECT_EQ(same, 0);
+}
+
+TEST(TabulationHash, AllBytePositionsMatter) {
+  TabulationHash h(9);
+  for (int byte = 0; byte < 8; ++byte) {
+    uint64_t a = 0;
+    uint64_t b = 1ULL << (8 * byte);
+    EXPECT_NE(h.Map(a), h.Map(b)) << "byte " << byte;
+  }
+}
+
+TEST(TabulationHash, RangeBounds) {
+  TabulationHash h(11);
+  for (uint64_t x = 0; x < 1000; ++x) EXPECT_LT(h.MapRange(x, 13), 13u);
+}
+
+TEST(TabulationHash, Uniformity) {
+  TabulationHash h(13);
+  const int kBuckets = 32, kDraws = 64000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int x = 0; x < kDraws; ++x) ++counts[h.MapRange(x, kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 6 * std::sqrt(kDraws / kBuckets));
+  }
+}
+
+TEST(TabulationHash, FewCollisionsOn64BitOutput) {
+  TabulationHash h(17);
+  std::set<uint64_t> seen;
+  for (uint64_t x = 0; x < 100000; ++x) seen.insert(h.Map(x));
+  EXPECT_EQ(seen.size(), 100000u);  // 64-bit collisions vanishingly unlikely
+}
+
+TEST(TabulationHash, MemoryIsEightTables) {
+  TabulationHash h(1);
+  EXPECT_EQ(h.MemoryBytes(), 8 * 256 * sizeof(uint64_t));
+}
+
+}  // namespace
+}  // namespace streamkc

@@ -1,0 +1,61 @@
+#include "offline/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "offline/greedy.h"
+#include "setsys/generators.h"
+
+namespace streamkc {
+namespace {
+
+TEST(RandomKBaseline, DistinctSets) {
+  auto inst = RandomUniform(50, 200, 8, 1);
+  CoverSolution sol = RandomKBaseline(inst.system, 10, 7);
+  EXPECT_EQ(sol.sets.size(), 10u);
+  std::set<SetId> unique(sol.sets.begin(), sol.sets.end());
+  EXPECT_EQ(unique.size(), 10u);
+  EXPECT_EQ(sol.coverage, inst.system.CoverageOf(sol.sets));
+}
+
+TEST(RandomKBaseline, KExceedsM) {
+  auto inst = RandomUniform(5, 50, 4, 2);
+  CoverSolution sol = RandomKBaseline(inst.system, 20, 3);
+  EXPECT_EQ(sol.sets.size(), 5u);
+}
+
+TEST(RandomKBaseline, Deterministic) {
+  auto inst = RandomUniform(40, 100, 5, 4);
+  EXPECT_EQ(RandomKBaseline(inst.system, 8, 9).sets,
+            RandomKBaseline(inst.system, 8, 9).sets);
+}
+
+TEST(TopKBySize, PicksLargest) {
+  SetSystem sys(20, {{0}, {1, 2, 3, 4, 5}, {6, 7}, {8, 9, 10}});
+  CoverSolution sol = TopKBySizeBaseline(sys, 2);
+  std::set<SetId> got(sol.sets.begin(), sol.sets.end());
+  EXPECT_TRUE(got.count(1));
+  EXPECT_TRUE(got.count(3));
+  EXPECT_EQ(sol.coverage, 8u);
+}
+
+TEST(TopKBySize, GreedyAtLeastAsGoodOnOverlap) {
+  // Top-k by size ignores overlap; greedy must not be worse.
+  SetSystem sys(12, {{0, 1, 2, 3, 4}, {0, 1, 2, 3, 5}, {6, 7, 8}, {9, 10}});
+  CoverSolution topk = TopKBySizeBaseline(sys, 2);
+  CoverSolution greedy = GreedyMaxCover(sys, 2);
+  EXPECT_GE(greedy.coverage, topk.coverage);
+  EXPECT_EQ(greedy.coverage, 8u);
+  EXPECT_EQ(topk.coverage, 6u);
+}
+
+TEST(Baselines, GreedyDominatesRandomOnPlanted) {
+  auto inst = PlantedCover(100, 1000, 10, 0.5, 5, 6);
+  CoverSolution greedy = GreedyMaxCover(inst.system, 10);
+  CoverSolution random = RandomKBaseline(inst.system, 10, 11);
+  EXPECT_GT(greedy.coverage, random.coverage);
+}
+
+}  // namespace
+}  // namespace streamkc

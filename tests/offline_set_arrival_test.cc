@@ -1,0 +1,87 @@
+#include "offline/set_arrival_streaming.h"
+
+#include <gtest/gtest.h>
+
+#include "offline/greedy.h"
+#include "setsys/generators.h"
+
+namespace streamkc {
+namespace {
+
+SetArrivalSieve::Config MakeConfig(uint64_t k, uint64_t n) {
+  SetArrivalSieve::Config c;
+  c.k = k;
+  c.epsilon = 0.2;
+  c.opt_upper_bound = n;
+  return c;
+}
+
+TEST(SetArrivalSieve, SingleSetInstance) {
+  SetArrivalSieve sieve(MakeConfig(1, 100));
+  sieve.OfferSet(3, {1, 2, 3, 4});
+  CoverSolution sol = sieve.Finalize();
+  EXPECT_EQ(sol.coverage, 4u);
+  ASSERT_EQ(sol.sets.size(), 1u);
+  EXPECT_EQ(sol.sets[0], 3u);
+}
+
+TEST(SetArrivalSieve, DuplicateElementsInOffer) {
+  SetArrivalSieve sieve(MakeConfig(1, 100));
+  sieve.OfferSet(0, {5, 5, 5, 6});
+  EXPECT_EQ(sieve.Finalize().coverage, 2u);
+}
+
+// Property: the sieve is a (2+ε)-approximation of OPT on set-arrival
+// streams. Check against greedy (which is within 1.582 of OPT, so sieve
+// must reach ≥ greedy/(2+2ε) up to rounding).
+class SieveQuality : public ::testing::TestWithParam<int> {};
+
+TEST_P(SieveQuality, WithinFactorOfGreedy) {
+  int seed = GetParam();
+  auto inst = RandomUniform(80, 400, 15, seed);
+  const uint64_t k = 8;
+  auto stream = inst.system.MakeStream(ArrivalOrder::kSetContiguous, 0);
+  CoverSolution sieve = RunSetArrivalSieve(stream, MakeConfig(k, 400));
+  CoverSolution greedy = GreedyMaxCover(inst.system, k);
+  EXPECT_LE(sieve.coverage, greedy.coverage + 1);
+  // (2+ε) w.r.t. OPT ≥ greedy ⇒ allow a factor ~2.6 slack vs greedy.
+  EXPECT_GE(static_cast<double>(sieve.coverage),
+            static_cast<double>(greedy.coverage) / 2.8);
+  EXPECT_LE(sieve.sets.size(), k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SieveQuality, ::testing::Range(1, 9));
+
+TEST(SetArrivalSieve, RecoversPlantedCover) {
+  auto inst = PlantedCover(60, 600, 6, 0.6, 4, 3);
+  auto stream = inst.system.MakeStream(ArrivalOrder::kSetContiguous, 0);
+  CoverSolution sol = RunSetArrivalSieve(stream, MakeConfig(6, 600));
+  EXPECT_GE(sol.coverage, inst.planted_coverage / 3);
+}
+
+TEST(RunSetArrivalSieve, RejectsNonContiguousStream) {
+  // Interleaved sets violate the set-arrival contract.
+  std::vector<Edge> edges{{0, 1}, {1, 2}, {0, 3}};
+  VectorEdgeStream stream(std::move(edges));
+  SetArrivalSieve::Config c = MakeConfig(2, 10);
+  EXPECT_DEATH(RunSetArrivalSieve(stream, c), "CHECK failed");
+}
+
+TEST(RunSetArrivalSieve, ReportsMemory) {
+  auto inst = RandomUniform(40, 200, 10, 5);
+  auto stream = inst.system.MakeStream(ArrivalOrder::kSetContiguous, 0);
+  size_t bytes = 0;
+  RunSetArrivalSieve(stream, MakeConfig(5, 200), &bytes);
+  EXPECT_GT(bytes, 0u);
+}
+
+TEST(SetArrivalSieve, NeverExceedsK) {
+  auto inst = ZipfFrequency(100, 300, 12, 1.0, 7);
+  auto stream = inst.system.MakeStream(ArrivalOrder::kSetContiguous, 0);
+  CoverSolution sol = RunSetArrivalSieve(stream, MakeConfig(3, 300));
+  EXPECT_LE(sol.sets.size(), 3u);
+  EXPECT_EQ(sol.coverage, inst.system.CoverageOf(sol.sets));
+}
+
+}  // namespace
+}  // namespace streamkc

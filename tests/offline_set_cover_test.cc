@@ -1,0 +1,124 @@
+#include "offline/set_cover.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "offline/multi_pass_set_cover.h"
+#include "setsys/generators.h"
+
+namespace streamkc {
+namespace {
+
+TEST(GreedySetCover, CoversEverything) {
+  SetSystem sys(6, {{0, 1, 2}, {2, 3}, {4, 5}, {1}});
+  SetCoverSolution sol = GreedySetCover(sys);
+  EXPECT_EQ(sol.covered, 6u);
+  EXPECT_EQ(sys.CoverageOf(sol.sets), 6u);
+}
+
+TEST(GreedySetCover, IgnoresUncoverableElements) {
+  SetSystem sys(10, {{0, 1}, {2}});  // elements 3..9 in no set
+  SetCoverSolution sol = GreedySetCover(sys);
+  EXPECT_EQ(sol.covered, 3u);
+  EXPECT_EQ(sol.sets.size(), 2u);
+}
+
+TEST(GreedySetCover, EmptyInstance) {
+  SetSystem sys(4, {});
+  SetCoverSolution sol = GreedySetCover(sys);
+  EXPECT_TRUE(sol.sets.empty());
+  EXPECT_EQ(sol.covered, 0u);
+}
+
+TEST(GreedySetCover, ClassicLogNTrap) {
+  // The textbook instance where greedy uses more sets than OPT: two "row"
+  // sets cover everything, but greedy prefers the big column.
+  SetSystem sys(8, {
+                       {0, 1, 2, 3},        // row A (OPT)
+                       {4, 5, 6, 7},        // row B (OPT)
+                       {0, 1, 4, 5, 2, 6},  // greedy bait
+                   });
+  SetCoverSolution greedy = GreedySetCover(sys);
+  SetCoverSolution exact = ExactSetCover(sys);
+  EXPECT_EQ(exact.sets.size(), 2u);
+  EXPECT_GE(greedy.sets.size(), exact.sets.size());
+}
+
+TEST(ExactSetCover, MinimumCardinality) {
+  SetSystem sys(5, {{0}, {1}, {2}, {3}, {4}, {0, 1, 2, 3, 4}});
+  SetCoverSolution sol = ExactSetCover(sys);
+  EXPECT_EQ(sol.sets.size(), 1u);
+  EXPECT_EQ(sol.sets[0], 5u);
+}
+
+// Property: greedy's cover size ≤ (ln n + 1)·OPT on random instances.
+class GreedySetCoverBound : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedySetCoverBound, WithinLogFactor) {
+  auto inst = RandomUniform(14, 40, 8, GetParam());
+  SetCoverSolution greedy = GreedySetCover(inst.system);
+  SetCoverSolution exact = ExactSetCover(inst.system);
+  EXPECT_EQ(greedy.covered, exact.covered);
+  double bound = (std::log(40.0) + 1.0) * static_cast<double>(exact.sets.size());
+  EXPECT_LE(static_cast<double>(greedy.sets.size()), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedySetCoverBound, ::testing::Range(1, 9));
+
+TEST(MultiPassSetCover, CoversWithAnyPassBudget) {
+  auto inst = RandomUniform(60, 200, 16, 3);
+  VectorEdgeStream stream =
+      inst.system.MakeStream(ArrivalOrder::kSetContiguous, 0);
+  for (uint32_t p : {1u, 2u, 4u, 8u}) {
+    stream.Reset();
+    MultiPassSetCoverResult r = RunMultiPassSetCover(stream, 200, p);
+    EXPECT_EQ(r.solution.covered, inst.system.CoveredUniverseSize())
+        << "passes " << p;
+    EXPECT_EQ(inst.system.CoverageOf(r.solution.sets), r.solution.covered);
+    EXPECT_LE(r.passes_used, p + 2);
+  }
+}
+
+TEST(MultiPassSetCover, MorePassesSmallerCover) {
+  // The [21] trade-off: the solution shrinks (weakly) as passes grow, and
+  // with many passes it approaches the greedy size.
+  auto inst = ZipfFrequency(120, 300, 12, 0.9, 7);
+  VectorEdgeStream stream =
+      inst.system.MakeStream(ArrivalOrder::kSetContiguous, 0);
+  stream.Reset();
+  size_t one_pass = RunMultiPassSetCover(stream, 300, 1).solution.sets.size();
+  stream.Reset();
+  size_t many_pass = RunMultiPassSetCover(stream, 300, 8).solution.sets.size();
+  SetCoverSolution greedy = GreedySetCover(inst.system);
+  EXPECT_LE(many_pass, one_pass);
+  EXPECT_LE(many_pass, greedy.sets.size() * 3);
+}
+
+TEST(MultiPassSetCover, SolutionHasDistinctSets) {
+  auto inst = RandomUniform(50, 150, 10, 11);
+  VectorEdgeStream stream =
+      inst.system.MakeStream(ArrivalOrder::kSetContiguous, 0);
+  MultiPassSetCoverResult r = RunMultiPassSetCover(stream, 150, 3);
+  std::set<SetId> unique(r.solution.sets.begin(), r.solution.sets.end());
+  EXPECT_EQ(unique.size(), r.solution.sets.size());
+}
+
+TEST(MultiPassSetCover, MemoryIsBitmapScale) {
+  auto inst = RandomUniform(100, 1000, 20, 13);
+  VectorEdgeStream stream =
+      inst.system.MakeStream(ArrivalOrder::kSetContiguous, 0);
+  MultiPassSetCoverResult r = RunMultiPassSetCover(stream, 1000, 4);
+  // Õ(n): bitmap (n/8 bytes) + solution ids.
+  EXPECT_LE(r.memory_bytes, 1000 / 8 + r.solution.sets.size() * 8 + 64);
+}
+
+TEST(MultiPassSetCover, RejectsInterleavedStream) {
+  std::vector<Edge> edges{{0, 1}, {1, 2}, {0, 3}};
+  VectorEdgeStream stream(std::move(edges));
+  EXPECT_DEATH(RunMultiPassSetCover(stream, 5, 2), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace streamkc

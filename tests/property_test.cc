@@ -1,0 +1,127 @@
+// Cross-cutting property tests: invariants that must hold over randomized
+// sweeps of instances, not just on hand-picked cases.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/estimate_max_cover.h"
+#include "core/report_max_cover.h"
+#include "sketch/count_sketch.h"
+#include "sketch/l0_estimator.h"
+#include "test_util.h"
+
+namespace streamkc {
+namespace {
+
+// P1: the estimator never materially overestimates OPT — the lower-bound
+// half of the (α,δ,η)-oracle contract — on arbitrary random instances.
+// Practical mode takes the max over ~30 noisy per-guess lower bounds, whose
+// selection bias can exceed OPT by a small constant (documented in
+// DESIGN.md §5); the acceptance bound below is 1.5× an upper bound on OPT.
+// Theory mode's constants keep the strict w.h.p. guarantee instead.
+class NeverOverestimate : public ::testing::TestWithParam<int> {};
+
+TEST_P(NeverOverestimate, OnRandomInstances) {
+  int seed = GetParam();
+  Rng rng(9000 + seed);
+  uint64_t m = 256 + rng.UniformU64(1024);
+  uint64_t n = 256 + rng.UniformU64(2048);
+  uint64_t set_size = 2 + rng.UniformU64(12);
+  uint64_t k = 4 + rng.UniformU64(24);
+  double alpha = 4.0 * (1 + rng.UniformU64(3));
+  auto inst = RandomUniform(m, n, std::min(set_size, n), rng.Fork());
+
+  EstimateMaxCover::Config c;
+  c.params = Params::Practical(m, n, k, alpha);
+  c.seed = rng.Fork();
+  EstimateMaxCover est(c);
+  FeedSystem(inst.system, ArrivalOrder::kRandom, rng.Fork(), est);
+  EstimateOutcome out = est.Finalize();
+  EXPECT_LE(out.estimate, OptUpperBound(inst.system, k) * 1.5)
+      << "m=" << m << " n=" << n << " k=" << k << " alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NeverOverestimate, ::testing::Range(0, 12));
+
+// P2: reported solutions are always valid — ≤ k distinct in-range ids.
+class ValidSolutions : public ::testing::TestWithParam<int> {};
+
+TEST_P(ValidSolutions, OnRandomInstances) {
+  int seed = GetParam();
+  Rng rng(7000 + seed);
+  uint64_t m = 256 + rng.UniformU64(512);
+  uint64_t n = 512 + rng.UniformU64(1024);
+  uint64_t k = 4 + rng.UniformU64(32);
+  auto inst = ZipfFrequency(m, n, 8, 0.8, rng.Fork());
+
+  ReportMaxCover::Config c;
+  c.params = Params::Practical(m, n, k, 8);
+  c.seed = rng.Fork();
+  ReportMaxCover rep(c);
+  FeedSystem(inst.system, ArrivalOrder::kRandom, rng.Fork(), rep);
+  MaxCoverSolution sol = rep.Finalize();
+  EXPECT_LE(sol.sets.size(), k);
+  std::set<SetId> unique(sol.sets.begin(), sol.sets.end());
+  EXPECT_EQ(unique.size(), sol.sets.size());
+  for (SetId s : sol.sets) EXPECT_LT(s, m);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ValidSolutions, ::testing::Range(0, 10));
+
+// P3: CountSketch linearity — Add(x, a); Add(x, b) ≡ Add(x, a+b), and
+// interleaving streams never changes state.
+TEST(SketchProperties, CountSketchLinearity) {
+  CountSketch::Config cfg{.depth = 3, .width = 64, .seed = 1};
+  CountSketch split(cfg), joint(cfg);
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    uint64_t id = rng.UniformU64(100);
+    int64_t a = static_cast<int64_t>(rng.UniformU64(10));
+    int64_t b = static_cast<int64_t>(rng.UniformU64(10)) - 5;
+    split.Add(id, a);
+    split.Add(id, b);
+    joint.Add(id, a + b);
+  }
+  for (uint64_t id = 0; id < 100; ++id) {
+    EXPECT_DOUBLE_EQ(split.PointQuery(id), joint.PointQuery(id));
+  }
+}
+
+// P4: L0 estimates are invariant under permutation AND duplication of the
+// input (pure set semantics).
+TEST(SketchProperties, L0SetSemantics) {
+  std::vector<uint64_t> ids;
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) ids.push_back(rng.UniformU64(700));
+  L0Estimator forward({.num_mins = 64, .seed = 11});
+  for (uint64_t id : ids) forward.Add(id);
+  // Reverse order + every element twice.
+  L0Estimator backward({.num_mins = 64, .seed = 11});
+  for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
+    backward.Add(*it);
+    backward.Add(*it);
+  }
+  EXPECT_DOUBLE_EQ(forward.Estimate(), backward.Estimate());
+}
+
+// P5: estimates are scale-monotone — adding sets to an instance (leaving k
+// fixed) cannot materially reduce the estimator's output, since coverage is
+// monotone. (Checked against a generous noise allowance.)
+TEST(SketchProperties, EstimateMonotoneUnderInstanceGrowth) {
+  auto small_inst = PlantedCover(1024, 4096, 16, 0.25, 5, 7);
+  // Same instance plus a second planted 16-cover of 2× the coverage.
+  auto big_inst = PlantedCover(1024, 4096, 16, 0.75, 5, 7);
+  auto run = [](const SetSystem& sys) {
+    EstimateMaxCover::Config c;
+    c.params = Params::Practical(sys.num_sets(), sys.num_elements(), 16, 8);
+    c.seed = 21;
+    EstimateMaxCover est(c);
+    FeedSystem(sys, ArrivalOrder::kRandom, 2, est);
+    return est.Finalize().estimate;
+  };
+  EXPECT_GT(run(big_inst.system), run(small_inst.system));
+}
+
+}  // namespace
+}  // namespace streamkc

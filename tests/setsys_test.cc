@@ -1,0 +1,130 @@
+#include "setsys/set_system.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "setsys/frequency.h"
+#include "stream/stream_stats.h"
+
+namespace streamkc {
+namespace {
+
+SetSystem Small() {
+  return SetSystem(6, {{0, 1, 2}, {2, 3}, {4}, {0, 1, 2, 3, 4}, {}});
+}
+
+TEST(SetSystem, BasicAccessors) {
+  SetSystem sys = Small();
+  EXPECT_EQ(sys.num_elements(), 6u);
+  EXPECT_EQ(sys.num_sets(), 5u);
+  EXPECT_EQ(sys.set(0).size(), 3u);
+  EXPECT_TRUE(sys.set(4).empty());
+}
+
+TEST(SetSystem, DeduplicatesOnConstruction) {
+  SetSystem sys(4, {{1, 1, 2, 2, 2}});
+  EXPECT_EQ(sys.set(0).size(), 2u);
+  EXPECT_TRUE(std::is_sorted(sys.set(0).begin(), sys.set(0).end()));
+}
+
+TEST(SetSystem, TotalEdges) { EXPECT_EQ(Small().TotalEdges(), 11u); }
+
+TEST(SetSystem, CoverageOfSingle) {
+  SetSystem sys = Small();
+  std::vector<SetId> q{0};
+  EXPECT_EQ(sys.CoverageOf(q), 3u);
+}
+
+TEST(SetSystem, CoverageOfOverlapping) {
+  SetSystem sys = Small();
+  std::vector<SetId> q{0, 1};
+  EXPECT_EQ(sys.CoverageOf(q), 4u);  // {0,1,2,3}
+}
+
+TEST(SetSystem, CoverageOfAll) {
+  SetSystem sys = Small();
+  std::vector<SetId> q{0, 1, 2, 3, 4};
+  EXPECT_EQ(sys.CoverageOf(q), 5u);  // element 5 uncovered
+}
+
+TEST(SetSystem, CoverageOfEmpty) {
+  SetSystem sys = Small();
+  EXPECT_EQ(sys.CoverageOf({}), 0u);
+}
+
+TEST(SetSystem, CoveredUniverseSize) {
+  EXPECT_EQ(Small().CoveredUniverseSize(), 5u);
+}
+
+TEST(SetSystem, MaterializeEdgesRoundTrips) {
+  SetSystem sys = Small();
+  auto edges = sys.MaterializeEdges();
+  EXPECT_EQ(edges.size(), sys.TotalEdges());
+  VectorEdgeStream stream(edges);
+  StreamStats stats = ComputeStreamStats(stream);
+  EXPECT_EQ(stats.num_distinct_sets, 4u);  // set 4 is empty, emits nothing
+  EXPECT_EQ(stats.num_distinct_elements, 5u);
+  EXPECT_EQ(stats.set_size.at(3), 5u);
+}
+
+TEST(SetSystem, MakeStreamOrders) {
+  SetSystem sys = Small();
+  auto s1 = sys.MakeStream(ArrivalOrder::kRandom, 1);
+  auto s2 = sys.MakeStream(ArrivalOrder::kRandom, 1);
+  EXPECT_EQ(s1.edges().size(), s2.edges().size());
+  for (size_t i = 0; i < s1.edges().size(); ++i) {
+    EXPECT_EQ(s1.edges()[i], s2.edges()[i]);
+  }
+}
+
+TEST(Frequency, ElementFrequencies) {
+  SetSystem sys = Small();
+  auto freq = ElementFrequencies(sys);
+  EXPECT_EQ(freq[0], 2u);
+  EXPECT_EQ(freq[2], 3u);
+  EXPECT_EQ(freq[5], 0u);
+}
+
+TEST(Frequency, CommonThresholdShape) {
+  // Threshold must scale as m/λ.
+  double t1 = CommonThreshold(1000, 1000, 10, 1.0);
+  double t2 = CommonThreshold(1000, 1000, 20, 1.0);
+  EXPECT_NEAR(t1 / t2, 2.0, 1e-9);
+  double t3 = CommonThreshold(2000, 1000, 10, 1.0);
+  EXPECT_GT(t3, t1);
+}
+
+TEST(Frequency, CommonElementsDetectsCore) {
+  // Element 0 in every set; others rare.
+  std::vector<std::vector<ElementId>> sets(64);
+  for (size_t i = 0; i < sets.size(); ++i) sets[i] = {0, static_cast<ElementId>(i + 1)};
+  SetSystem sys(80, std::move(sets));
+  // λ chosen so the threshold sits between freq(0)=64 and freq(other)=1:
+  // threshold = m·log2(m)·log2(n)/λ = 64·6·~6.3/λ; pick λ so thr≈32.
+  double lambda = 64.0 * 6 * std::log2(80.0) / 32.0;
+  auto common = CommonElements(sys, lambda, 1.0);
+  ASSERT_EQ(common.size(), 1u);
+  EXPECT_EQ(common[0], 0u);
+}
+
+TEST(Frequency, MonotoneInLambda) {
+  // Observation 2.2: U^cmn_{λ1} ⊆ U^cmn_{λ2} for λ1 ≤ λ2.
+  std::vector<std::vector<ElementId>> sets(32);
+  for (size_t i = 0; i < sets.size(); ++i) {
+    sets[i] = {0};
+    if (i % 2 == 0) sets[i].push_back(1);
+    if (i % 4 == 0) sets[i].push_back(2);
+  }
+  SetSystem sys(4, std::move(sets));
+  auto c_small = CommonElements(sys, 50, 1.0);
+  auto c_large = CommonElements(sys, 400, 1.0);
+  EXPECT_LE(c_small.size(), c_large.size());
+  for (ElementId e : c_small) {
+    EXPECT_NE(std::find(c_large.begin(), c_large.end(), e), c_large.end());
+  }
+}
+
+}  // namespace
+}  // namespace streamkc

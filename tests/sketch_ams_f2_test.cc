@@ -1,0 +1,102 @@
+#include "sketch/ams_f2.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "util/random.h"
+
+namespace streamkc {
+namespace {
+
+TEST(AmsF2, EmptyIsZero) {
+  AmsF2Sketch f2({.rows = 5, .cols = 8, .seed = 1});
+  EXPECT_DOUBLE_EQ(f2.Estimate(), 0.0);
+}
+
+TEST(AmsF2, SingleHeavyCoordinate) {
+  AmsF2Sketch f2({.rows = 5, .cols = 8, .seed = 2});
+  for (int i = 0; i < 100; ++i) f2.Add(7);
+  // Exactly one coordinate with a = 100: F2 = 10000, and the sketch is exact
+  // for a single coordinate (signs square away).
+  EXPECT_DOUBLE_EQ(f2.Estimate(), 10000.0);
+}
+
+TEST(AmsF2, LinearInDelta) {
+  AmsF2Sketch a({.rows = 3, .cols = 4, .seed = 3});
+  AmsF2Sketch b({.rows = 3, .cols = 4, .seed = 3});
+  a.Add(5, 10);
+  for (int i = 0; i < 10; ++i) b.Add(5, 1);
+  EXPECT_DOUBLE_EQ(a.Estimate(), b.Estimate());
+}
+
+TEST(AmsF2, NegativeDeltasCancel) {
+  AmsF2Sketch f2({.rows = 3, .cols = 4, .seed = 4});
+  f2.Add(1, 5);
+  f2.Add(1, -5);
+  EXPECT_DOUBLE_EQ(f2.Estimate(), 0.0);
+}
+
+class AmsF2Accuracy
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(AmsF2Accuracy, UniformVector) {
+  auto [n, seed] = GetParam();
+  AmsF2Sketch f2({.rows = 5, .cols = 24, .seed = seed});
+  for (int i = 0; i < n; ++i) f2.Add(i);
+  double truth = n;  // all frequencies 1
+  EXPECT_NEAR(f2.Estimate(), truth, 0.5 * truth);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AmsF2Accuracy,
+                         ::testing::Combine(::testing::Values(100, 1000, 10000),
+                                            ::testing::Values(1u, 2u, 3u, 4u)));
+
+TEST(AmsF2, SkewedVectorAccuracy) {
+  // Zipf-ish frequencies; compare against exact F2.
+  Rng rng(5);
+  std::vector<int> freq(200);
+  double truth = 0;
+  AmsF2Sketch f2({.rows = 5, .cols = 32, .seed = 6});
+  for (int i = 0; i < 200; ++i) {
+    freq[i] = 1 + static_cast<int>(200.0 / (i + 1));
+    truth += static_cast<double>(freq[i]) * freq[i];
+    f2.Add(i, freq[i]);
+  }
+  EXPECT_NEAR(f2.Estimate(), truth, 0.4 * truth);
+}
+
+TEST(AmsF2, AverageErrorShrinksWithCols) {
+  auto avg_err = [](uint32_t cols) {
+    double total = 0;
+    const int kTrials = 30;
+    for (int t = 0; t < kTrials; ++t) {
+      AmsF2Sketch f2({.rows = 1, .cols = cols, .seed = 100u + t});
+      for (int i = 0; i < 2000; ++i) f2.Add(i);
+      total += std::abs(f2.Estimate() - 2000.0) / 2000.0;
+    }
+    return total / kTrials;
+  };
+  EXPECT_LT(avg_err(64), avg_err(2));
+}
+
+TEST(AmsF2, DeterministicInSeed) {
+  AmsF2Sketch a({.rows = 3, .cols = 8, .seed = 7});
+  AmsF2Sketch b({.rows = 3, .cols = 8, .seed = 7});
+  for (int i = 0; i < 1000; ++i) {
+    a.Add(i % 37);
+    b.Add(i % 37);
+  }
+  EXPECT_DOUBLE_EQ(a.Estimate(), b.Estimate());
+}
+
+TEST(AmsF2, MemoryMatchesGrid) {
+  AmsF2Sketch f2({.rows = 4, .cols = 8, .seed = 8});
+  // 32 counters + 32 four-wise hashes (4 words each).
+  EXPECT_EQ(f2.MemoryBytes(), 32 * sizeof(int64_t) + 32 * 4 * sizeof(uint64_t));
+}
+
+}  // namespace
+}  // namespace streamkc

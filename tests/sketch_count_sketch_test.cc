@@ -1,0 +1,95 @@
+#include "sketch/count_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace streamkc {
+namespace {
+
+TEST(CountSketch, EmptyQueryIsZeroish) {
+  CountSketch cs({.depth = 5, .width = 64, .seed = 1});
+  EXPECT_DOUBLE_EQ(cs.PointQuery(42), 0.0);
+}
+
+TEST(CountSketch, SingleItemExact) {
+  CountSketch cs({.depth = 5, .width = 64, .seed = 2});
+  for (int i = 0; i < 500; ++i) cs.Add(9);
+  EXPECT_DOUBLE_EQ(cs.PointQuery(9), 500.0);
+}
+
+TEST(CountSketch, LinearInDelta) {
+  CountSketch a({.depth = 3, .width = 32, .seed = 3});
+  CountSketch b({.depth = 3, .width = 32, .seed = 3});
+  a.Add(4, 25);
+  for (int i = 0; i < 25; ++i) b.Add(4);
+  EXPECT_DOUBLE_EQ(a.PointQuery(4), b.PointQuery(4));
+}
+
+TEST(CountSketch, HeavyItemAmongNoise) {
+  CountSketch cs({.depth = 5, .width = 256, .seed = 4});
+  // Heavy: 1000 on id 0; noise: 2000 distinct unit items.
+  cs.Add(0, 1000);
+  for (uint64_t i = 1; i <= 2000; ++i) cs.Add(i);
+  // Error bound ~ sqrt(F2_noise/width) = sqrt(2000/256) ≈ 2.8 per row.
+  EXPECT_NEAR(cs.PointQuery(0), 1000.0, 50.0);
+}
+
+TEST(CountSketch, UnseenItemNearZero) {
+  CountSketch cs({.depth = 5, .width = 256, .seed = 5});
+  for (uint64_t i = 0; i < 2000; ++i) cs.Add(i);
+  EXPECT_NEAR(cs.PointQuery(999999), 0.0, 50.0);
+}
+
+TEST(CountSketch, WiderIsMoreAccurate) {
+  auto avg_err = [](uint32_t width) {
+    double total = 0;
+    const int kTrials = 20;
+    for (int t = 0; t < kTrials; ++t) {
+      CountSketch cs({.depth = 1, .width = width, .seed = 100u + t});
+      cs.Add(0, 100);
+      for (uint64_t i = 1; i <= 5000; ++i) cs.Add(i);
+      total += std::abs(cs.PointQuery(0) - 100.0);
+    }
+    return total / kTrials;
+  };
+  EXPECT_LT(avg_err(1024), avg_err(16));
+}
+
+TEST(CountSketch, MedianRobustToOneBadRow) {
+  // With depth 5 the median tolerates outlier rows; typical error stays near
+  // the per-row bound even with colliding noise.
+  CountSketch cs({.depth = 5, .width = 128, .seed = 6});
+  cs.Add(7, 300);
+  for (uint64_t i = 100; i < 3000; ++i) cs.Add(i, 2);
+  EXPECT_NEAR(cs.PointQuery(7), 300.0, 120.0);
+}
+
+TEST(CountSketch, NegativeDeltasSupported) {
+  CountSketch cs({.depth = 5, .width = 64, .seed = 7});
+  cs.Add(3, 50);
+  cs.Add(3, -20);
+  EXPECT_DOUBLE_EQ(cs.PointQuery(3), 30.0);
+}
+
+TEST(CountSketch, DeterministicInSeed) {
+  CountSketch a({.depth = 3, .width = 64, .seed = 8});
+  CountSketch b({.depth = 3, .width = 64, .seed = 8});
+  for (uint64_t i = 0; i < 1000; ++i) {
+    a.Add(i % 91);
+    b.Add(i % 91);
+  }
+  for (uint64_t i = 0; i < 91; ++i) {
+    EXPECT_DOUBLE_EQ(a.PointQuery(i), b.PointQuery(i));
+  }
+}
+
+TEST(CountSketch, MemoryMatchesGrid) {
+  CountSketch cs({.depth = 4, .width = 128, .seed = 9});
+  EXPECT_GE(cs.MemoryBytes(), 4 * 128 * sizeof(int64_t));
+  EXPECT_LE(cs.MemoryBytes(), 4 * 128 * sizeof(int64_t) + 1024);
+}
+
+}  // namespace
+}  // namespace streamkc

@@ -1,0 +1,151 @@
+#include "sketch/f2_contributing.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace streamkc {
+namespace {
+
+bool ContainsAnyOf(const std::vector<ContributingCoordinate>& out,
+                   uint64_t lo, uint64_t hi) {
+  return std::any_of(out.begin(), out.end(), [lo, hi](const auto& cc) {
+    return cc.id >= lo && cc.id < hi;
+  });
+}
+
+TEST(F2Contributing, EmptyStream) {
+  F2Contributing fc({.gamma = 0.1, .max_class_size = 64, .domain_size = 1000,
+                     .seed = 1});
+  EXPECT_TRUE(fc.Extract().empty());
+}
+
+TEST(F2Contributing, LevelCountMatchesClassBound) {
+  // Full-rate levels collapse into one: with sample_factor·log2(domain) ≈
+  // 120, guesses 2^0..2^6 all sample at rate 1 and share a single level.
+  F2Contributing fc({.gamma = 0.1, .max_class_size = 64, .domain_size = 1000,
+                     .seed = 1});
+  EXPECT_EQ(fc.num_levels(), 1u);
+  F2Contributing fc1({.gamma = 0.1, .max_class_size = 1, .domain_size = 1000,
+                      .seed = 1});
+  EXPECT_EQ(fc1.num_levels(), 1u);
+  // Once guesses exceed the full-rate regime, sub-sampled levels appear:
+  // guesses up to 2^14 with rate 120/2^i < 1 for i ≥ 7 → 1 + 8 levels.
+  F2Contributing fc2({.gamma = 0.1, .max_class_size = 1 << 14,
+                      .domain_size = 1000, .seed = 1});
+  EXPECT_GT(fc2.num_levels(), 5u);
+  EXPECT_LT(fc2.num_levels(), 15u);
+}
+
+TEST(F2Contributing, SingleHugeCoordinate) {
+  // A class of size 1 that is 1-contributing: must be found.
+  F2Contributing fc({.gamma = 0.25, .max_class_size = 16, .domain_size = 4096,
+                     .seed = 2});
+  fc.Add(99, 200);
+  for (uint64_t i = 0; i < 300; ++i) fc.Add(i + 1000);
+  auto out = fc.Extract();
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front().id, 99u);
+  EXPECT_GE(out.front().estimate, 100.0);
+  EXPECT_LE(out.front().estimate, 300.0);
+}
+
+TEST(F2Contributing, FindsMidSizeContributingClass) {
+  // Class of 64 coordinates with a = 32 each: |R|·a² = 65536.
+  // Background: 4096 units. The class carries ~94% of F2: heavily
+  // γ-contributing for γ = 0.1.
+  F2Contributing fc({.gamma = 0.1, .max_class_size = 256, .domain_size = 8192,
+                     .seed = 3});
+  for (uint64_t j = 0; j < 64; ++j) fc.Add(5000 + j, 32);
+  for (uint64_t i = 0; i < 4096; ++i) fc.Add(i);
+  auto out = fc.Extract();
+  ASSERT_TRUE(ContainsAnyOf(out, 5000, 5064));
+  // The representative's estimate must be (1 ± 1/2)-accurate.
+  for (const auto& cc : out) {
+    if (cc.id >= 5000 && cc.id < 5064) {
+      EXPECT_GE(cc.estimate, 16.0);
+      EXPECT_LE(cc.estimate, 48.0);
+    }
+  }
+}
+
+TEST(F2Contributing, FindsLargeClassViaSampling) {
+  // Class of 1024 coordinates, a = 12 each: class F2 ≈ 147K vs. 2048 unit
+  // noise. Deep subsampling levels are the only way to see these: at full
+  // rate each coordinate sits below the heavy-hitter noise floor, while at
+  // rate ~1/64 the survivors dominate the sampled F2. Probabilistic: demand
+  // ≥ 4/5 across seeds.
+  int ok = 0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    F2Contributing fc({.gamma = 0.2, .max_class_size = 4096,
+                       .domain_size = 16384, .seed = 40 + seed});
+    for (uint64_t j = 0; j < 1024; ++j) fc.Add(8000 + j, 12);
+    for (uint64_t i = 0; i < 2048; ++i) fc.Add(i);
+    ok += ContainsAnyOf(fc.Extract(), 8000, 9024);
+  }
+  EXPECT_GE(ok, 4);
+}
+
+TEST(F2Contributing, SucceedsAcrossSeeds) {
+  // Theorem 2.11 is probabilistic; demand ≥ 4/5 success over seeds.
+  int ok = 0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    F2Contributing fc({.gamma = 0.2, .max_class_size = 512,
+                       .domain_size = 8192, .seed = 10 + seed});
+    for (uint64_t j = 0; j < 128; ++j) fc.Add(4000 + j, 16);
+    for (uint64_t i = 0; i < 1024; ++i) fc.Add(i);
+    ok += ContainsAnyOf(fc.Extract(), 4000, 4128);
+  }
+  EXPECT_GE(ok, 4);
+}
+
+TEST(F2Contributing, RespectsClassSizeBound) {
+  // Remark 4.12: with max_class_size = 4, a contributing class of 512
+  // coordinates should generally NOT be caught (no sampling level is sparse
+  // enough), while a singleton class is.
+  F2Contributing fc({.gamma = 0.2, .max_class_size = 4, .domain_size = 8192,
+                     .sample_factor = 1.0, .seed = 5});
+  fc.Add(7, 250);                                     // singleton class
+  for (uint64_t j = 0; j < 512; ++j) fc.Add(1000 + j, 30);  // big class
+  auto out = fc.Extract();
+  EXPECT_TRUE(ContainsAnyOf(out, 7, 8));
+}
+
+TEST(F2Contributing, EstimatePreservedUnderSampling) {
+  // Sampling is per-coordinate: a survivor's estimated frequency reflects
+  // ALL its updates, not a sampled fraction.
+  F2Contributing fc({.gamma = 0.3, .max_class_size = 64, .domain_size = 4096,
+                     .seed = 6});
+  for (int rep = 0; rep < 50; ++rep) {
+    for (uint64_t j = 0; j < 8; ++j) fc.Add(100 + j);
+  }
+  auto out = fc.Extract();
+  ASSERT_FALSE(out.empty());
+  for (const auto& cc : out) {
+    EXPECT_GE(cc.estimate, 25.0);
+    EXPECT_LE(cc.estimate, 75.0);
+  }
+}
+
+TEST(F2Contributing, SpaceScalesWithGammaInverse) {
+  F2Contributing coarse({.gamma = 0.2, .max_class_size = 64,
+                         .domain_size = 4096, .seed = 7});
+  F2Contributing fine({.gamma = 0.002, .max_class_size = 64,
+                       .domain_size = 4096, .seed = 7});
+  EXPECT_GT(fine.MemoryBytes(), 10 * coarse.MemoryBytes());
+}
+
+TEST(F2Contributing, DeterministicInSeed) {
+  auto run = [](uint64_t seed) {
+    F2Contributing fc({.gamma = 0.1, .max_class_size = 64,
+                       .domain_size = 2048, .seed = seed});
+    for (uint64_t j = 0; j < 32; ++j) fc.Add(j, 10);
+    auto out = fc.Extract();
+    return out.size();
+  };
+  EXPECT_EQ(run(42), run(42));
+}
+
+}  // namespace
+}  // namespace streamkc

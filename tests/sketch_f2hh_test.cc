@@ -1,0 +1,140 @@
+#include "sketch/f2_heavy_hitters.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace streamkc {
+namespace {
+
+bool Contains(const std::vector<HeavyHitter>& hhs, uint64_t id) {
+  return std::any_of(hhs.begin(), hhs.end(),
+                     [id](const HeavyHitter& h) { return h.id == id; });
+}
+
+TEST(F2HeavyHitters, EmptyStream) {
+  F2HeavyHitters hh({.phi = 0.1, .seed = 1});
+  EXPECT_TRUE(hh.Extract().empty());
+}
+
+TEST(F2HeavyHitters, SingleItemIsHeavy) {
+  F2HeavyHitters hh({.phi = 0.1, .seed = 2});
+  for (int i = 0; i < 100; ++i) hh.Add(5);
+  auto out = hh.Extract();
+  ASSERT_TRUE(Contains(out, 5));
+  EXPECT_NEAR(out.front().estimate, 100.0, 1.0);
+}
+
+TEST(F2HeavyHitters, FindsPlantedHeavyAmongNoise) {
+  // Theorem 2.10 contract: must return every j with a[j]² ≥ φ·F2.
+  F2HeavyHitters hh({.phi = 0.05, .seed = 3});
+  // Noise: 4000 unit items → F2_noise = 4000. Heavy: a = 40 → a² = 1600,
+  // F2 total ≈ 5600, ratio ≈ 0.28 ≥ φ.
+  hh.Add(123456, 40);
+  for (uint64_t i = 0; i < 4000; ++i) hh.Add(i);
+  auto out = hh.Extract();
+  ASSERT_TRUE(Contains(out, 123456));
+}
+
+TEST(F2HeavyHitters, FrequencyEstimateWithinHalf) {
+  // The returned value must be a (1 ± 1/2)-approximation.
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    F2HeavyHitters hh({.phi = 0.05, .seed = seed});
+    hh.Add(777, 60);
+    for (uint64_t i = 0; i < 3000; ++i) hh.Add(i + 1000000);
+    auto out = hh.Extract();
+    ASSERT_TRUE(Contains(out, 777)) << "seed " << seed;
+    for (const auto& h : out) {
+      if (h.id == 777) {
+        EXPECT_GE(h.estimate, 30.0) << "seed " << seed;
+        EXPECT_LE(h.estimate, 90.0) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(F2HeavyHitters, LightItemsNotReported) {
+  F2HeavyHitters hh({.phi = 0.1, .seed = 4});
+  hh.Add(1, 100);  // the only heavy item
+  for (uint64_t i = 10; i < 1000; ++i) hh.Add(i);  // unit noise
+  auto out = hh.Extract();
+  ASSERT_TRUE(Contains(out, 1));
+  // No unit-frequency item should read as heavy: threshold is
+  // sqrt(phi*F2/4) = sqrt(0.1*~11000/4) ≈ 16.
+  for (const auto& h : out) {
+    EXPECT_EQ(h.id, 1u) << "spurious heavy hitter " << h.id;
+  }
+}
+
+TEST(F2HeavyHitters, MultipleHeavyAllFound) {
+  F2HeavyHitters hh({.phi = 0.02, .seed = 5});
+  for (uint64_t j = 0; j < 5; ++j) hh.Add(1000 + j, 50);
+  for (uint64_t i = 0; i < 2000; ++i) hh.Add(i);
+  auto out = hh.Extract();
+  for (uint64_t j = 0; j < 5; ++j) {
+    EXPECT_TRUE(Contains(out, 1000 + j)) << "missing heavy " << j;
+  }
+}
+
+TEST(F2HeavyHitters, SortedByEstimateDescending) {
+  F2HeavyHitters hh({.phi = 0.01, .seed = 6});
+  hh.Add(1, 100);
+  hh.Add(2, 70);
+  hh.Add(3, 40);
+  auto out = hh.Extract();
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_GE(out[i - 1].estimate, out[i].estimate);
+  }
+}
+
+TEST(F2HeavyHitters, SpaceScalesWithPhiInverse) {
+  F2HeavyHitters coarse({.phi = 0.1, .seed = 7});
+  F2HeavyHitters fine({.phi = 0.001, .seed = 7});
+  EXPECT_GT(fine.MemoryBytes(), 10 * coarse.MemoryBytes());
+}
+
+TEST(F2HeavyHitters, CandidatePruningBoundsMemory) {
+  F2HeavyHitters hh({.phi = 0.05, .seed = 8});
+  for (uint64_t i = 0; i < 50000; ++i) hh.Add(i);
+  // Candidate set is capped at ~2·cand_factor/φ = 160 entries; memory stays
+  // small despite 50k distinct ids.
+  EXPECT_LT(hh.MemoryBytes(), 200u << 10);
+}
+
+TEST(F2HeavyHitters, EstimateF2Reasonable) {
+  F2HeavyHitters hh({.phi = 0.05, .seed = 9});
+  for (uint64_t i = 0; i < 5000; ++i) hh.Add(i);
+  EXPECT_NEAR(hh.EstimateF2(), 5000.0, 2500.0);
+}
+
+TEST(F2HeavyHitters, RecallOverZipfSweep) {
+  // Zipf stream: top items are heavy. Check ≥ 90% recall of truly-φ-heavy
+  // ids over several seeds.
+  int found = 0, expected = 0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    std::vector<int64_t> freq(500);
+    double f2 = 0;
+    for (int i = 0; i < 500; ++i) {
+      freq[i] = 1 + 3000 / (i + 1);
+      f2 += static_cast<double>(freq[i]) * freq[i];
+    }
+    F2HeavyHitters hh({.phi = 0.01, .seed = 100 + seed});
+    for (int i = 0; i < 500; ++i) hh.Add(i, freq[i]);
+    auto out = hh.Extract();
+    for (int i = 0; i < 500; ++i) {
+      if (static_cast<double>(freq[i]) * freq[i] >= 0.01 * f2) {
+        ++expected;
+        found += Contains(out, i);
+      }
+    }
+  }
+  ASSERT_GT(expected, 0);
+  EXPECT_GE(static_cast<double>(found) / expected, 0.9);
+}
+
+}  // namespace
+}  // namespace streamkc

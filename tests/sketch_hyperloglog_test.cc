@@ -1,0 +1,94 @@
+#include "sketch/hyperloglog.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+namespace streamkc {
+namespace {
+
+TEST(HyperLogLog, EmptyIsZero) {
+  HyperLogLog hll({.precision = 10, .seed = 1});
+  EXPECT_NEAR(hll.Estimate(), 0.0, 1e-9);
+}
+
+TEST(HyperLogLog, SmallCardinalitiesViaLinearCounting) {
+  HyperLogLog hll({.precision = 12, .seed = 2});
+  for (uint64_t i = 0; i < 50; ++i) hll.Add(i);
+  EXPECT_NEAR(hll.Estimate(), 50.0, 5.0);
+}
+
+TEST(HyperLogLog, DuplicatesDoNotInflate) {
+  HyperLogLog hll({.precision = 10, .seed = 3});
+  for (int rep = 0; rep < 100; ++rep) {
+    for (uint64_t i = 0; i < 200; ++i) hll.Add(i);
+  }
+  EXPECT_NEAR(hll.Estimate(), 200.0, 25.0);
+}
+
+class HllAccuracy
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint32_t>> {};
+
+TEST_P(HllAccuracy, WithinExpectedError) {
+  auto [n, precision] = GetParam();
+  double total_err = 0;
+  const int kSeeds = 8;
+  for (int s = 0; s < kSeeds; ++s) {
+    HyperLogLog hll({.precision = precision, .seed = 100u + s});
+    for (uint64_t i = 0; i < n; ++i) hll.Add(i * 0x9e3779b97f4a7c15ULL + s);
+    total_err += std::abs(hll.Estimate() - static_cast<double>(n)) / n;
+  }
+  double expected = 1.04 / std::sqrt(static_cast<double>(1u << precision));
+  EXPECT_LT(total_err / kSeeds, 4 * expected + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HllAccuracy,
+    ::testing::Combine(::testing::Values(1000, 20000, 200000),
+                       ::testing::Values(8u, 12u)));
+
+TEST(HyperLogLog, PrecisionImprovesAccuracy) {
+  auto avg_err = [](uint32_t precision) {
+    double total = 0;
+    const int kSeeds = 10;
+    for (int s = 0; s < kSeeds; ++s) {
+      HyperLogLog hll({.precision = precision, .seed = 500u + s});
+      for (uint64_t i = 0; i < 50000; ++i) hll.Add(i * 31 + s);
+      total += std::abs(hll.Estimate() - 50000.0) / 50000.0;
+    }
+    return total / kSeeds;
+  };
+  EXPECT_LT(avg_err(14), avg_err(6));
+}
+
+TEST(HyperLogLog, MergeEqualsUnion) {
+  HyperLogLog a({.precision = 12, .seed = 7});
+  HyperLogLog b({.precision = 12, .seed = 7});
+  HyperLogLog whole({.precision = 12, .seed = 7});
+  for (uint64_t i = 0; i < 30000; ++i) {
+    (i % 2 ? a : b).Add(i);
+    whole.Add(i);
+  }
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Estimate(), whole.Estimate());
+}
+
+TEST(HyperLogLog, MergeMismatchAborts) {
+  HyperLogLog a({.precision = 10, .seed = 1});
+  HyperLogLog b({.precision = 12, .seed = 1});
+  EXPECT_DEATH(a.Merge(b), "CHECK failed");
+}
+
+TEST(HyperLogLog, MemoryIsRegistersPlusTables) {
+  HyperLogLog hll({.precision = 12, .seed = 1});
+  EXPECT_EQ(hll.MemoryBytes(), (1u << 12) + 8 * 256 * sizeof(uint64_t));
+}
+
+TEST(HyperLogLog, InvalidPrecisionAborts) {
+  EXPECT_DEATH(HyperLogLog({.precision = 3, .seed = 1}), "CHECK failed");
+  EXPECT_DEATH(HyperLogLog({.precision = 19, .seed = 1}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace streamkc

@@ -1,0 +1,132 @@
+#include "sketch/l0_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+namespace streamkc {
+namespace {
+
+TEST(L0Estimator, ExactWhileSmall) {
+  L0Estimator l0({.num_mins = 32, .seed = 1});
+  for (uint64_t i = 0; i < 20; ++i) l0.Add(i);
+  EXPECT_TRUE(l0.IsExact());
+  EXPECT_DOUBLE_EQ(l0.Estimate(), 20.0);
+}
+
+TEST(L0Estimator, DuplicatesDoNotInflate) {
+  L0Estimator l0({.num_mins = 32, .seed = 2});
+  for (int rep = 0; rep < 50; ++rep) {
+    for (uint64_t i = 0; i < 10; ++i) l0.Add(i);
+  }
+  EXPECT_TRUE(l0.IsExact());
+  EXPECT_DOUBLE_EQ(l0.Estimate(), 10.0);
+  EXPECT_EQ(l0.items_added(), 500u);
+}
+
+TEST(L0Estimator, EmptyIsZero) {
+  L0Estimator l0({.num_mins = 16, .seed = 3});
+  EXPECT_DOUBLE_EQ(l0.Estimate(), 0.0);
+}
+
+TEST(L0Estimator, SaturatesExactlyAtCapacityPlusOne) {
+  L0Estimator l0({.num_mins = 8, .seed = 4});
+  for (uint64_t i = 0; i < 8; ++i) l0.Add(i);
+  EXPECT_TRUE(l0.IsExact());
+  l0.Add(8);
+  EXPECT_FALSE(l0.IsExact());
+}
+
+// Accuracy sweep: the KMV estimate must be within the Theorem 2.12 bound
+// (1 ± 1/2) — in fact much tighter — across cardinalities and seeds.
+class L0Accuracy : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(L0Accuracy, WithinTheorem212Bound) {
+  auto [n, seed] = GetParam();
+  L0Estimator l0({.num_mins = 64, .seed = static_cast<uint64_t>(seed)});
+  for (uint64_t i = 0; i < n; ++i) l0.Add(i * 0x9e3779b9 + 7);
+  double est = l0.Estimate();
+  EXPECT_GE(est, 0.5 * static_cast<double>(n));
+  EXPECT_LE(est, 1.5 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, L0Accuracy,
+    ::testing::Combine(::testing::Values(100, 1000, 10000, 100000),
+                       ::testing::Values(1, 2, 3, 4, 5)));
+
+TEST(L0Estimator, TypicalErrorMuchBetterThanWorstCase) {
+  // Average relative error over seeds should be ~2/sqrt(64) ≈ 12%.
+  double total_err = 0;
+  const int kTrials = 20;
+  const uint64_t kN = 5000;
+  for (int t = 0; t < kTrials; ++t) {
+    L0Estimator l0({.num_mins = 64, .seed = 100 + static_cast<uint64_t>(t)});
+    for (uint64_t i = 0; i < kN; ++i) l0.Add(i);
+    total_err += std::abs(l0.Estimate() - kN) / kN;
+  }
+  EXPECT_LT(total_err / kTrials, 0.15);
+}
+
+TEST(L0Estimator, MoreMinsMoreAccuracy) {
+  // Error should shrink roughly like 1/sqrt(num_mins).
+  auto avg_err = [](uint32_t mins) {
+    double total = 0;
+    const int kTrials = 30;
+    for (int t = 0; t < kTrials; ++t) {
+      L0Estimator l0({.num_mins = mins, .seed = 500 + static_cast<uint64_t>(t)});
+      for (uint64_t i = 0; i < 20000; ++i) l0.Add(i);
+      total += std::abs(l0.Estimate() - 20000) / 20000;
+    }
+    return total / kTrials;
+  };
+  EXPECT_LT(avg_err(256), avg_err(16));
+}
+
+TEST(L0Estimator, MergeEqualsUnion) {
+  L0Estimator a({.num_mins = 64, .seed = 9});
+  L0Estimator b({.num_mins = 64, .seed = 9});
+  for (uint64_t i = 0; i < 3000; ++i) a.Add(i);
+  for (uint64_t i = 2000; i < 6000; ++i) b.Add(i);
+  L0Estimator u({.num_mins = 64, .seed = 9});
+  for (uint64_t i = 0; i < 6000; ++i) u.Add(i);
+  a.Merge(b);
+  EXPECT_NEAR(a.Estimate(), u.Estimate(), 1e-9);
+}
+
+TEST(L0Estimator, MergeExactSmall) {
+  L0Estimator a({.num_mins = 64, .seed = 10});
+  L0Estimator b({.num_mins = 64, .seed = 10});
+  for (uint64_t i = 0; i < 10; ++i) a.Add(i);
+  for (uint64_t i = 5; i < 15; ++i) b.Add(i);
+  a.Merge(b);
+  EXPECT_TRUE(a.IsExact());
+  EXPECT_DOUBLE_EQ(a.Estimate(), 15.0);
+}
+
+TEST(L0Estimator, MergeMismatchedSeedAborts) {
+  L0Estimator a({.num_mins = 64, .seed = 1});
+  L0Estimator b({.num_mins = 64, .seed = 2});
+  EXPECT_DEATH(a.Merge(b), "CHECK failed");
+}
+
+TEST(L0Estimator, MemoryBoundedByConfig) {
+  L0Estimator l0({.num_mins = 64, .seed = 11});
+  for (uint64_t i = 0; i < 100000; ++i) l0.Add(i);
+  // 64 minima + pairwise hash (2 words): well under 2 KiB.
+  EXPECT_LE(l0.MemoryBytes(), 2048u);
+}
+
+TEST(L0Estimator, DeterministicInSeed) {
+  L0Estimator a({.num_mins = 32, .seed = 12});
+  L0Estimator b({.num_mins = 32, .seed = 12});
+  for (uint64_t i = 0; i < 5000; ++i) {
+    a.Add(i);
+    b.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(a.Estimate(), b.Estimate());
+}
+
+}  // namespace
+}  // namespace streamkc

@@ -1,0 +1,134 @@
+// Mergeability tests: all linear sketches must satisfy
+//   sketch(stream A) ⊕ sketch(stream B) == sketch(A ++ B)
+// exactly (counter-level equality), which is what makes the pipeline usable
+// over distributed or sharded streams.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sketch/ams_f2.h"
+#include "sketch/count_sketch.h"
+#include "sketch/f2_contributing.h"
+#include "sketch/f2_heavy_hitters.h"
+
+namespace streamkc {
+namespace {
+
+TEST(CountSketchMerge, EqualsConcatenation) {
+  CountSketch::Config cfg{.depth = 5, .width = 128, .seed = 3};
+  CountSketch a(cfg), b(cfg), whole(cfg);
+  for (uint64_t i = 0; i < 2000; ++i) {
+    uint64_t id = i % 97;
+    if (i < 1000) {
+      a.Add(id);
+    } else {
+      b.Add(id);
+    }
+    whole.Add(id);
+  }
+  a.Merge(b);
+  for (uint64_t id = 0; id < 97; ++id) {
+    EXPECT_DOUBLE_EQ(a.PointQuery(id), whole.PointQuery(id));
+  }
+  EXPECT_DOUBLE_EQ(a.EstimateF2(), whole.EstimateF2());
+  EXPECT_DOUBLE_EQ(a.QuickF2(), whole.QuickF2());
+}
+
+TEST(CountSketchMerge, MismatchedGeometryAborts) {
+  CountSketch a({.depth = 5, .width = 128, .seed = 3});
+  CountSketch b({.depth = 5, .width = 64, .seed = 3});
+  CountSketch c({.depth = 5, .width = 128, .seed = 4});
+  EXPECT_DEATH(a.Merge(b), "CHECK failed");
+  EXPECT_DEATH(a.Merge(c), "CHECK failed");
+}
+
+TEST(AmsF2Merge, EqualsConcatenation) {
+  AmsF2Sketch::Config cfg{.rows = 3, .cols = 8, .seed = 5};
+  AmsF2Sketch a(cfg), b(cfg), whole(cfg);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    uint64_t id = i % 41;
+    (i % 2 ? a : b).Add(id);
+    whole.Add(id);
+  }
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Estimate(), whole.Estimate());
+}
+
+TEST(F2HeavyHittersMerge, FindsHeavySplitAcrossShards) {
+  // The heavy id's mass is split between shards so that NEITHER shard sees
+  // it as heavy locally; the merged sketch must still report it.
+  F2HeavyHitters::Config cfg{.phi = 0.05, .seed = 7};
+  F2HeavyHitters a(cfg), b(cfg);
+  for (int i = 0; i < 30; ++i) a.Add(12345);
+  for (int i = 0; i < 30; ++i) b.Add(12345);
+  for (uint64_t i = 0; i < 1500; ++i) (i % 2 ? a : b).Add(i);
+  a.Merge(b);
+  auto out = a.Extract();
+  bool found = std::any_of(out.begin(), out.end(), [](const HeavyHitter& h) {
+    return h.id == 12345;
+  });
+  ASSERT_TRUE(found);
+  for (const auto& h : out) {
+    if (h.id == 12345) {
+      EXPECT_GE(h.estimate, 30.0);
+      EXPECT_LE(h.estimate, 90.0);
+    }
+  }
+}
+
+TEST(F2HeavyHittersMerge, CounterStateMatchesWholeStream) {
+  F2HeavyHitters::Config cfg{.phi = 0.02, .seed = 9};
+  F2HeavyHitters a(cfg), b(cfg), whole(cfg);
+  for (uint64_t i = 0; i < 4000; ++i) {
+    uint64_t id = (i * 31) % 511;
+    (i < 2000 ? a : b).Add(id);
+    whole.Add(id);
+  }
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.EstimateF2(), whole.EstimateF2());
+  for (uint64_t id = 0; id < 511; id += 17) {
+    EXPECT_DOUBLE_EQ(a.EstimateFrequency(id), whole.EstimateFrequency(id));
+  }
+}
+
+TEST(F2ContributingMerge, FindsClassSplitAcrossShards) {
+  F2Contributing::Config cfg{.gamma = 0.2,
+                             .max_class_size = 256,
+                             .domain_size = 8192,
+                             .seed = 11};
+  F2Contributing a(cfg), b(cfg);
+  // 64-coordinate class, half its mass per shard.
+  for (uint64_t j = 0; j < 64; ++j) {
+    a.Add(5000 + j, 16);
+    b.Add(5000 + j, 16);
+  }
+  for (uint64_t i = 0; i < 1024; ++i) (i % 2 ? a : b).Add(i);
+  a.Merge(b);
+  auto out = a.Extract();
+  bool found =
+      std::any_of(out.begin(), out.end(), [](const ContributingCoordinate& cc) {
+        return cc.id >= 5000 && cc.id < 5064;
+      });
+  EXPECT_TRUE(found);
+  // Frequencies reflect the combined stream: each class coordinate is 32.
+  // (Dedup keeps the max across levels, so allow extra one-sided noise
+  // headroom beyond the per-level (1 ± 1/2) contract.)
+  for (const auto& cc : out) {
+    if (cc.id >= 5000 && cc.id < 5064) {
+      EXPECT_GE(cc.estimate, 16.0);
+      EXPECT_LE(cc.estimate, 80.0);
+    }
+  }
+}
+
+TEST(F2ContributingMerge, MismatchedSeedAborts) {
+  F2Contributing a({.gamma = 0.2, .max_class_size = 64, .domain_size = 1024,
+                    .seed = 1});
+  F2Contributing b({.gamma = 0.2, .max_class_size = 64, .domain_size = 1024,
+                    .seed = 2});
+  EXPECT_DEATH(a.Merge(b), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace streamkc

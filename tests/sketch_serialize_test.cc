@@ -1,0 +1,192 @@
+// Checkpoint/restore round-trip tests: a restored sketch must be
+// bit-identical in behavior to the saved one — same estimates, and it must
+// continue the stream seamlessly (save mid-stream, restore, keep feeding,
+// compare against an uninterrupted run).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sketch/ams_f2.h"
+#include "sketch/count_sketch.h"
+#include "sketch/f2_contributing.h"
+#include "sketch/f2_heavy_hitters.h"
+#include "sketch/hyperloglog.h"
+#include "sketch/l0_estimator.h"
+
+namespace streamkc {
+namespace {
+
+TEST(L0Serialize, RoundTripPreservesEstimate) {
+  L0Estimator original({.num_mins = 64, .seed = 7});
+  for (uint64_t i = 0; i < 5000; ++i) original.Add(i * 17);
+  std::stringstream buffer;
+  original.Save(buffer);
+  L0Estimator restored = L0Estimator::Load(buffer);
+  EXPECT_DOUBLE_EQ(restored.Estimate(), original.Estimate());
+  EXPECT_EQ(restored.items_added(), original.items_added());
+  EXPECT_EQ(restored.IsExact(), original.IsExact());
+}
+
+TEST(L0Serialize, ContinuesStreamSeamlessly) {
+  L0Estimator uninterrupted({.num_mins = 32, .seed = 9});
+  L0Estimator first_half({.num_mins = 32, .seed = 9});
+  for (uint64_t i = 0; i < 1000; ++i) {
+    uninterrupted.Add(i);
+    first_half.Add(i);
+  }
+  std::stringstream buffer;
+  first_half.Save(buffer);
+  L0Estimator resumed = L0Estimator::Load(buffer);
+  for (uint64_t i = 1000; i < 2000; ++i) {
+    uninterrupted.Add(i);
+    resumed.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(resumed.Estimate(), uninterrupted.Estimate());
+}
+
+TEST(L0Serialize, ExactModeSurvives) {
+  L0Estimator original({.num_mins = 64, .seed = 3});
+  for (uint64_t i = 0; i < 10; ++i) original.Add(i);
+  std::stringstream buffer;
+  original.Save(buffer);
+  L0Estimator restored = L0Estimator::Load(buffer);
+  EXPECT_TRUE(restored.IsExact());
+  EXPECT_DOUBLE_EQ(restored.Estimate(), 10.0);
+}
+
+TEST(L0Serialize, CorruptMagicAborts) {
+  std::stringstream buffer;
+  buffer.write("XXXXYYYY", 8);
+  EXPECT_DEATH(L0Estimator::Load(buffer), "CHECK failed");
+}
+
+TEST(L0Serialize, TruncatedStreamAborts) {
+  L0Estimator original({.num_mins = 64, .seed = 7});
+  for (uint64_t i = 0; i < 500; ++i) original.Add(i);
+  std::stringstream buffer;
+  original.Save(buffer);
+  std::string bytes = buffer.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+  EXPECT_DEATH(L0Estimator::Load(truncated), "CHECK failed");
+}
+
+TEST(CountSketchSerialize, RoundTripPreservesQueries) {
+  CountSketch original({.depth = 5, .width = 128, .seed = 11});
+  for (uint64_t i = 0; i < 3000; ++i) original.Add(i % 200, 1 + i % 3);
+  std::stringstream buffer;
+  original.Save(buffer);
+  CountSketch restored = CountSketch::Load(buffer);
+  for (uint64_t id = 0; id < 200; id += 7) {
+    EXPECT_DOUBLE_EQ(restored.PointQuery(id), original.PointQuery(id));
+  }
+  EXPECT_DOUBLE_EQ(restored.EstimateF2(), original.EstimateF2());
+  EXPECT_DOUBLE_EQ(restored.QuickF2(), original.QuickF2());
+}
+
+TEST(CountSketchSerialize, RestoredSketchMerges) {
+  // A restored shard must merge with a live one (same seed).
+  CountSketch::Config cfg{.depth = 3, .width = 64, .seed = 13};
+  CountSketch shard_a(cfg), shard_b(cfg), whole(cfg);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    (i % 2 ? shard_a : shard_b).Add(i % 50);
+    whole.Add(i % 50);
+  }
+  std::stringstream buffer;
+  shard_a.Save(buffer);
+  CountSketch restored = CountSketch::Load(buffer);
+  restored.Merge(shard_b);
+  for (uint64_t id = 0; id < 50; ++id) {
+    EXPECT_DOUBLE_EQ(restored.PointQuery(id), whole.PointQuery(id));
+  }
+}
+
+TEST(HllSerialize, RoundTripPreservesEstimate) {
+  HyperLogLog original({.precision = 12, .seed = 17});
+  for (uint64_t i = 0; i < 40000; ++i) original.Add(i);
+  std::stringstream buffer;
+  original.Save(buffer);
+  HyperLogLog restored = HyperLogLog::Load(buffer);
+  EXPECT_DOUBLE_EQ(restored.Estimate(), original.Estimate());
+}
+
+TEST(HllSerialize, ContinuesStream) {
+  HyperLogLog uninterrupted({.precision = 10, .seed = 19});
+  HyperLogLog half({.precision = 10, .seed = 19});
+  for (uint64_t i = 0; i < 5000; ++i) {
+    uninterrupted.Add(i);
+    half.Add(i);
+  }
+  std::stringstream buffer;
+  half.Save(buffer);
+  HyperLogLog resumed = HyperLogLog::Load(buffer);
+  for (uint64_t i = 5000; i < 10000; ++i) {
+    uninterrupted.Add(i);
+    resumed.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(resumed.Estimate(), uninterrupted.Estimate());
+}
+
+TEST(AmsSerialize, RoundTripPreservesEstimate) {
+  AmsF2Sketch original({.rows = 5, .cols = 16, .seed = 21});
+  for (uint64_t i = 0; i < 2000; ++i) original.Add(i % 321);
+  std::stringstream buffer;
+  original.Save(buffer);
+  AmsF2Sketch restored = AmsF2Sketch::Load(buffer);
+  EXPECT_DOUBLE_EQ(restored.Estimate(), original.Estimate());
+}
+
+TEST(F2HhSerialize, RoundTripPreservesExtraction) {
+  F2HeavyHitters original({.phi = 0.05, .seed = 23});
+  original.Add(777, 80);
+  for (uint64_t i = 0; i < 2000; ++i) original.Add(i);
+  std::stringstream buffer;
+  original.Save(buffer);
+  F2HeavyHitters restored = F2HeavyHitters::Load(buffer);
+  auto a = original.Extract();
+  auto b = restored.Extract();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_DOUBLE_EQ(a[i].estimate, b[i].estimate);
+  }
+  EXPECT_DOUBLE_EQ(restored.EstimateF2(), original.EstimateF2());
+}
+
+TEST(F2HhSerialize, RestoredContinuesAndMerges) {
+  F2HeavyHitters::Config cfg{.phi = 0.05, .seed = 29};
+  F2HeavyHitters uninterrupted(cfg), half(cfg), other(cfg);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    uninterrupted.Add(i % 97);
+    half.Add(i % 97);
+  }
+  std::stringstream buffer;
+  half.Save(buffer);
+  F2HeavyHitters resumed = F2HeavyHitters::Load(buffer);
+  for (uint64_t i = 1000; i < 2000; ++i) {
+    uninterrupted.Add(i % 97);
+    resumed.Add(i % 97);
+  }
+  EXPECT_DOUBLE_EQ(resumed.EstimateF2(), uninterrupted.EstimateF2());
+  (void)other;
+}
+
+TEST(F2ContributingSerialize, RoundTripPreservesExtraction) {
+  F2Contributing original({.gamma = 0.2, .max_class_size = 256,
+                           .domain_size = 8192, .seed = 31});
+  for (uint64_t j = 0; j < 64; ++j) original.Add(5000 + j, 24);
+  for (uint64_t i = 0; i < 1024; ++i) original.Add(i);
+  std::stringstream buffer;
+  original.Save(buffer);
+  F2Contributing restored = F2Contributing::Load(buffer);
+  auto a = original.Extract();
+  auto b = restored.Extract();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_DOUBLE_EQ(a[i].estimate, b[i].estimate);
+  }
+}
+
+}  // namespace
+}  // namespace streamkc

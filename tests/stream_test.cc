@@ -1,0 +1,143 @@
+#include "stream/edge_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "stream/stream_stats.h"
+
+namespace streamkc {
+namespace {
+
+std::vector<Edge> SampleEdges() {
+  return {{0, 10}, {0, 11}, {1, 10}, {1, 12}, {2, 13}, {2, 10}, {2, 11}};
+}
+
+TEST(VectorEdgeStream, IteratesAll) {
+  VectorEdgeStream s(SampleEdges());
+  Edge e;
+  int count = 0;
+  while (s.Next(&e)) ++count;
+  EXPECT_EQ(count, 7);
+  EXPECT_FALSE(s.Next(&e));
+}
+
+TEST(VectorEdgeStream, ResetRewinds) {
+  VectorEdgeStream s(SampleEdges());
+  Edge e;
+  while (s.Next(&e)) {
+  }
+  s.Reset();
+  int count = 0;
+  while (s.Next(&e)) ++count;
+  EXPECT_EQ(count, 7);
+}
+
+TEST(VectorEdgeStream, SizeHint) {
+  VectorEdgeStream s(SampleEdges());
+  EXPECT_EQ(s.SizeHint(), 7u);
+}
+
+TEST(ApplyArrivalOrder, SetContiguousGroupsSets) {
+  auto edges = SampleEdges();
+  ApplyArrivalOrder(edges, ArrivalOrder::kRandom, 3);
+  ApplyArrivalOrder(edges, ArrivalOrder::kSetContiguous, 0);
+  std::set<SetId> closed;
+  SetId current = edges[0].set;
+  for (const Edge& e : edges) {
+    if (e.set != current) {
+      EXPECT_TRUE(closed.insert(current).second);
+      current = e.set;
+    }
+  }
+  EXPECT_FALSE(closed.count(current));
+}
+
+TEST(ApplyArrivalOrder, RandomPreservesMultiset) {
+  auto edges = SampleEdges();
+  auto orig = edges;
+  ApplyArrivalOrder(edges, ArrivalOrder::kRandom, 42);
+  auto key = [](const Edge& e) { return std::make_pair(e.set, e.element); };
+  std::multiset<std::pair<SetId, ElementId>> a, b;
+  for (const Edge& e : edges) a.insert(key(e));
+  for (const Edge& e : orig) b.insert(key(e));
+  EXPECT_EQ(a, b);
+}
+
+TEST(ApplyArrivalOrder, RandomDeterministicInSeed) {
+  auto e1 = SampleEdges();
+  auto e2 = SampleEdges();
+  ApplyArrivalOrder(e1, ArrivalOrder::kRandom, 9);
+  ApplyArrivalOrder(e2, ArrivalOrder::kRandom, 9);
+  EXPECT_EQ(e1.size(), e2.size());
+  for (size_t i = 0; i < e1.size(); ++i) EXPECT_EQ(e1[i], e2[i]);
+}
+
+TEST(ApplyArrivalOrder, ElementContiguous) {
+  auto edges = SampleEdges();
+  ApplyArrivalOrder(edges, ArrivalOrder::kElementContiguous, 0);
+  for (size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_LE(edges[i - 1].element, edges[i].element);
+  }
+}
+
+TEST(ApplyArrivalOrder, RoundRobinInterleaves) {
+  auto edges = SampleEdges();
+  ApplyArrivalOrder(edges, ArrivalOrder::kRoundRobin, 0);
+  EXPECT_EQ(edges.size(), 7u);
+  // First round: one edge from each of the three sets.
+  std::set<SetId> first_three{edges[0].set, edges[1].set, edges[2].set};
+  EXPECT_EQ(first_three.size(), 3u);
+}
+
+TEST(ApplyArrivalOrder, ReversedSetsDescending) {
+  auto edges = SampleEdges();
+  ApplyArrivalOrder(edges, ArrivalOrder::kReversedSets, 0);
+  for (size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_GE(edges[i - 1].set, edges[i].set);
+  }
+}
+
+TEST(ArrivalOrderName, AllNamed) {
+  EXPECT_EQ(ArrivalOrderName(ArrivalOrder::kSetContiguous), "set-contiguous");
+  EXPECT_EQ(ArrivalOrderName(ArrivalOrder::kRandom), "random");
+  EXPECT_EQ(ArrivalOrderName(ArrivalOrder::kElementContiguous),
+            "element-contiguous");
+  EXPECT_EQ(ArrivalOrderName(ArrivalOrder::kRoundRobin), "round-robin");
+  EXPECT_EQ(ArrivalOrderName(ArrivalOrder::kReversedSets), "reversed-sets");
+}
+
+TEST(StreamStats, CountsDistinct) {
+  VectorEdgeStream s(SampleEdges());
+  StreamStats stats = ComputeStreamStats(s);
+  EXPECT_EQ(stats.num_edges, 7u);
+  EXPECT_EQ(stats.num_distinct_edges, 7u);
+  EXPECT_EQ(stats.num_distinct_sets, 3u);
+  EXPECT_EQ(stats.num_distinct_elements, 4u);
+  EXPECT_EQ(stats.element_frequency.at(10), 3u);
+  EXPECT_EQ(stats.set_size.at(2), 3u);
+  EXPECT_EQ(stats.MaxElementFrequency(), 3u);
+  EXPECT_EQ(stats.MaxSetSize(), 3u);
+}
+
+TEST(StreamStats, DuplicatesIgnored) {
+  std::vector<Edge> edges = SampleEdges();
+  edges.push_back(edges[0]);
+  edges.push_back(edges[0]);
+  VectorEdgeStream s(std::move(edges));
+  StreamStats stats = ComputeStreamStats(s);
+  EXPECT_EQ(stats.num_edges, 9u);
+  EXPECT_EQ(stats.num_distinct_edges, 7u);
+  EXPECT_EQ(stats.set_size.at(0), 2u);
+}
+
+TEST(EdgeHash, DistinctForDistinctEdges) {
+  EdgeHash h;
+  EXPECT_NE(h(Edge{1, 2}), h(Edge{2, 1}));
+  EXPECT_EQ(h(Edge{1, 2}), h(Edge{1, 2}));
+}
+
+}  // namespace
+}  // namespace streamkc

@@ -1,0 +1,113 @@
+#include "stream/text_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "setsys/generators.h"
+#include "stream/stream_stats.h"
+
+namespace streamkc {
+namespace {
+
+class TextStreamTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const char* name) {
+    return ::testing::TempDir() + "/streamkc_" + name + ".txt";
+  }
+};
+
+TEST_F(TextStreamTest, RoundTrip) {
+  std::string path = TempPath("roundtrip");
+  std::vector<Edge> edges{{1, 10}, {2, 20}, {1, 30}, {999999, 123456789}};
+  WriteEdgesToFile(path, edges);
+  TextEdgeStream stream(path);
+  Edge e;
+  size_t i = 0;
+  while (stream.Next(&e)) {
+    ASSERT_LT(i, edges.size());
+    EXPECT_EQ(e, edges[i]);
+    ++i;
+  }
+  EXPECT_EQ(i, edges.size());
+  std::remove(path.c_str());
+}
+
+TEST_F(TextStreamTest, SkipsCommentsAndBlanks) {
+  std::string path = TempPath("comments");
+  {
+    std::ofstream out(path);
+    out << "# header\n\n  \n5 6\n# mid comment\n7 8\n";
+  }
+  TextEdgeStream stream(path);
+  Edge e;
+  ASSERT_TRUE(stream.Next(&e));
+  EXPECT_EQ(e, (Edge{5, 6}));
+  ASSERT_TRUE(stream.Next(&e));
+  EXPECT_EQ(e, (Edge{7, 8}));
+  EXPECT_FALSE(stream.Next(&e));
+  std::remove(path.c_str());
+}
+
+TEST_F(TextStreamTest, ResetRewinds) {
+  std::string path = TempPath("reset");
+  WriteEdgesToFile(path, {{1, 2}, {3, 4}});
+  TextEdgeStream stream(path);
+  Edge e;
+  while (stream.Next(&e)) {
+  }
+  stream.Reset();
+  int count = 0;
+  while (stream.Next(&e)) ++count;
+  EXPECT_EQ(count, 2);
+  std::remove(path.c_str());
+}
+
+TEST_F(TextStreamTest, MissingSecondNumberAborts) {
+  std::string path = TempPath("malformed");
+  {
+    std::ofstream out(path);
+    out << "5\n";
+  }
+  TextEdgeStream stream(path);
+  Edge e;
+  EXPECT_DEATH(stream.Next(&e), "CHECK failed");
+  std::remove(path.c_str());
+}
+
+TEST_F(TextStreamTest, GarbageAborts) {
+  std::string path = TempPath("garbage");
+  {
+    std::ofstream out(path);
+    out << "5 banana\n";
+  }
+  TextEdgeStream stream(path);
+  Edge e;
+  EXPECT_DEATH(stream.Next(&e), "CHECK failed");
+  std::remove(path.c_str());
+}
+
+TEST_F(TextStreamTest, MissingFileAborts) {
+  EXPECT_DEATH(TextEdgeStream("/nonexistent/really/not/here.txt"),
+               "CHECK failed");
+}
+
+TEST_F(TextStreamTest, MatchesInMemoryStreamStats) {
+  std::string path = TempPath("stats");
+  auto inst = RandomUniform(40, 100, 6, 3);
+  auto edges = inst.system.MaterializeEdges();
+  WriteEdgesToFile(path, edges);
+
+  TextEdgeStream file_stream(path);
+  StreamStats file_stats = ComputeStreamStats(file_stream);
+  VectorEdgeStream mem_stream(edges);
+  StreamStats mem_stats = ComputeStreamStats(mem_stream);
+  EXPECT_EQ(file_stats.num_edges, mem_stats.num_edges);
+  EXPECT_EQ(file_stats.num_distinct_sets, mem_stats.num_distinct_sets);
+  EXPECT_EQ(file_stats.num_distinct_elements, mem_stats.num_distinct_elements);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace streamkc

@@ -1,0 +1,35 @@
+// Shared helpers for streamkc behavioral tests.
+
+#ifndef STREAMKC_TESTS_TEST_UTIL_H_
+#define STREAMKC_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+
+#include "core/streaming_interface.h"
+#include "offline/greedy.h"
+#include "setsys/generators.h"
+#include "setsys/set_system.h"
+
+namespace streamkc {
+
+// Streams `sys` into `alg` in the given arrival order.
+inline void FeedSystem(const SetSystem& sys, ArrivalOrder order, uint64_t seed,
+                       StreamingEstimator& alg) {
+  VectorEdgeStream stream = sys.MakeStream(order, seed);
+  FeedStream(stream, alg);
+}
+
+// Greedy coverage, used as the OPT reference in quality assertions: greedy
+// is within (1 - 1/e) of OPT, so OPT ≤ greedy / 0.632.
+inline double OptUpperBound(const SetSystem& sys, uint64_t k) {
+  return static_cast<double>(LazyGreedyMaxCover(sys, k).coverage) /
+         (1.0 - 1.0 / 2.718281828459045);
+}
+
+inline uint64_t GreedyCoverage(const SetSystem& sys, uint64_t k) {
+  return LazyGreedyMaxCover(sys, k).coverage;
+}
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_TESTS_TEST_UTIL_H_

@@ -1,0 +1,87 @@
+#include "util/math_util.h"
+
+#include <gtest/gtest.h>
+
+namespace streamkc {
+namespace {
+
+TEST(FloorLog2, PowersOfTwo) {
+  EXPECT_EQ(FloorLog2(1), 0u);
+  EXPECT_EQ(FloorLog2(2), 1u);
+  EXPECT_EQ(FloorLog2(1024), 10u);
+  EXPECT_EQ(FloorLog2(1ULL << 63), 63u);
+}
+
+TEST(FloorLog2, NonPowers) {
+  EXPECT_EQ(FloorLog2(3), 1u);
+  EXPECT_EQ(FloorLog2(1023), 9u);
+  EXPECT_EQ(FloorLog2(1025), 10u);
+}
+
+TEST(CeilLog2, PowersOfTwo) {
+  EXPECT_EQ(CeilLog2(1), 0u);
+  EXPECT_EQ(CeilLog2(2), 1u);
+  EXPECT_EQ(CeilLog2(1024), 10u);
+}
+
+TEST(CeilLog2, NonPowers) {
+  EXPECT_EQ(CeilLog2(3), 2u);
+  EXPECT_EQ(CeilLog2(1023), 10u);
+  EXPECT_EQ(CeilLog2(1025), 11u);
+}
+
+TEST(IsPowerOfTwo, Basic) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(65));
+}
+
+TEST(NextPowerOfTwo, Basic) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(4), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+}
+
+TEST(Log2AtLeast1, ClampsBelowTwo) {
+  EXPECT_DOUBLE_EQ(Log2AtLeast1(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Log2AtLeast1(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Log2AtLeast1(8.0), 3.0);
+}
+
+TEST(CeilDiv, Basic) {
+  EXPECT_EQ(CeilDiv(10, 3), 4u);
+  EXPECT_EQ(CeilDiv(9, 3), 3u);
+  EXPECT_EQ(CeilDiv(0, 3), 0u);
+  EXPECT_EQ(CeilDiv(1, 1), 1u);
+}
+
+TEST(Median, OddCount) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({5}), 5.0);
+}
+
+TEST(Median, EvenCount) {
+  EXPECT_DOUBLE_EQ(Median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({1, 2}), 1.5);
+}
+
+TEST(Median, Unsorted) { EXPECT_DOUBLE_EQ(Median({9, -1, 5, 5, 0}), 5.0); }
+
+TEST(Mean, Basic) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({-2, 2}), 0.0);
+}
+
+TEST(StdDev, Basic) {
+  EXPECT_DOUBLE_EQ(StdDev({1, 1, 1, 1}), 0.0);
+  EXPECT_NEAR(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 1e-3);
+}
+
+TEST(MathDeath, MedianEmptyAborts) {
+  EXPECT_DEATH(Median({}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace streamkc

@@ -1,0 +1,151 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace streamkc {
+namespace {
+
+TEST(SplitMix64, DeterministicAndMixing) {
+  EXPECT_EQ(SplitMix64(1), SplitMix64(1));
+  EXPECT_NE(SplitMix64(1), SplitMix64(2));
+  // Consecutive inputs should produce wildly different outputs.
+  uint64_t diff = SplitMix64(100) ^ SplitMix64(101);
+  EXPECT_GE(__builtin_popcountll(diff), 10);
+}
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    (void)c;
+  }
+  Rng d(42), e(43);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (d.Next() == e.Next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformU64InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformU64(10), 10u);
+  }
+  EXPECT_EQ(rng.UniformU64(1), 0u);
+}
+
+TEST(Rng, UniformU64CoversAllValues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformU64(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformU64RoughlyUniform) {
+  Rng rng(13);
+  const int kBuckets = 16, kDraws = 160000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.UniformU64(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 6 * std::sqrt(kDraws / kBuckets));
+  }
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(17);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformRange(5, 8));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(*seen.begin(), 5u);
+  EXPECT_EQ(*seen.rbegin(), 8u);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(19);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesP) {
+  Rng rng(23);
+  int hits = 0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / static_cast<double>(kDraws), 0.3, 0.01);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(31);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  auto orig = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, orig);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(37);
+  auto sample = rng.SampleWithoutReplacement(1000, 100);
+  EXPECT_EQ(sample.size(), 100u);
+  std::set<uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 100u);
+  for (uint64_t x : sample) EXPECT_LT(x, 1000u);
+}
+
+TEST(Rng, SampleWithoutReplacementFull) {
+  Rng rng(41);
+  auto sample = rng.SampleWithoutReplacement(50, 50);
+  std::set<uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 50u);
+}
+
+TEST(Rng, SampleWithoutReplacementEmpty) {
+  Rng rng(43);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(10, 0).empty());
+}
+
+TEST(Rng, SampleWithoutReplacementUniformish) {
+  // Element 0 should appear in a 10-of-100 sample about 10% of the time.
+  int hits = 0;
+  const int kTrials = 5000;
+  for (int t = 0; t < kTrials; ++t) {
+    Rng rng(1000 + t);
+    auto s = rng.SampleWithoutReplacement(100, 10);
+    hits += std::count(s.begin(), s.end(), 0u);
+  }
+  EXPECT_NEAR(hits / static_cast<double>(kTrials), 0.10, 0.02);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng rng(47);
+  uint64_t s1 = rng.Fork();
+  uint64_t s2 = rng.Fork();
+  EXPECT_NE(s1, s2);
+  Rng a(s1), b(s2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace streamkc

@@ -1,0 +1,227 @@
+// streamkc command-line tool: run the paper's algorithms on edge files.
+//
+//   streamkc_cli generate --family planted --m 2048 --n 4096 --k 32
+//                --seed 1 --out edges.txt
+//   streamkc_cli stats    edges.txt
+//   streamkc_cli estimate edges.txt --m 2048 --n 4096 --k 32 --alpha 8
+//   streamkc_cli estimate edges.txt --m 2048 --n 4096 --k 32 --budget-kb 512
+//   streamkc_cli report   edges.txt --m 2048 --n 4096 --k 32 --alpha 8
+//   streamkc_cli twopass  edges.txt --m 2048 --n 4096 --k 32 --alpha 8
+//
+// Input format: one "set element" pair per line ('#' comments allowed), any
+// order — the general edge-arrival model. `estimate`/`report` are single
+// pass; `twopass` reads the file twice for a narrower sketch.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/estimate_max_cover.h"
+#include "core/report_max_cover.h"
+#include "core/two_pass.h"
+#include "setsys/generators.h"
+#include "stream/stream_stats.h"
+#include "stream/text_stream.h"
+#include "util/stopwatch.h"
+
+namespace streamkc {
+namespace {
+
+struct Args {
+  std::string command;
+  std::string file;
+  uint64_t m = 0, n = 0, k = 0, seed = 1;
+  double alpha = 8;
+  size_t budget_kb = 0;
+  std::string family = "planted";
+  std::string out;
+};
+
+[[noreturn]] void Usage(const char* msg) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage:\n"
+               "  streamkc_cli generate --family planted|random|zipf|graph"
+               " --m M --n N --k K [--seed S] --out FILE\n"
+               "  streamkc_cli stats FILE\n"
+               "  streamkc_cli estimate FILE --m M --n N --k K"
+               " (--alpha A | --budget-kb B) [--seed S]\n"
+               "  streamkc_cli report  FILE --m M --n N --k K --alpha A"
+               " [--seed S]\n"
+               "  streamkc_cli twopass FILE --m M --n N --k K --alpha A"
+               " [--seed S]\n");
+  std::exit(2);
+}
+
+uint64_t ParseU64(const char* s) {
+  char* end = nullptr;
+  uint64_t v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') Usage("bad integer argument");
+  return v;
+}
+
+Args Parse(int argc, char** argv) {
+  if (argc < 2) Usage(nullptr);
+  Args a;
+  a.command = argv[1];
+  int i = 2;
+  if (a.command != "generate" && i < argc && argv[i][0] != '-') {
+    a.file = argv[i++];
+  }
+  for (; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) Usage("missing flag value");
+      return argv[++i];
+    };
+    if (flag == "--m") {
+      a.m = ParseU64(next());
+    } else if (flag == "--n") {
+      a.n = ParseU64(next());
+    } else if (flag == "--k") {
+      a.k = ParseU64(next());
+    } else if (flag == "--seed") {
+      a.seed = ParseU64(next());
+    } else if (flag == "--alpha") {
+      a.alpha = static_cast<double>(ParseU64(next()));
+    } else if (flag == "--budget-kb") {
+      a.budget_kb = ParseU64(next());
+    } else if (flag == "--family") {
+      a.family = next();
+    } else if (flag == "--out") {
+      a.out = next();
+    } else {
+      Usage(("unknown flag " + flag).c_str());
+    }
+  }
+  return a;
+}
+
+int CmdGenerate(const Args& a) {
+  if (a.out.empty() || a.m == 0 || a.n == 0) Usage("generate needs --m --n --out");
+  GeneratedInstance inst;
+  uint64_t k = a.k ? a.k : 16;
+  if (a.family == "planted") {
+    inst = PlantedCover(a.m, a.n, k, 0.5, 6, a.seed);
+  } else if (a.family == "random") {
+    inst = RandomUniform(a.m, a.n, 12, a.seed);
+  } else if (a.family == "zipf") {
+    inst = ZipfFrequency(a.m, a.n, 12, 1.1, a.seed);
+  } else if (a.family == "graph") {
+    inst = GraphNeighborhoods(a.n, 16.0, a.seed);
+  } else {
+    Usage("unknown --family");
+  }
+  auto edges = inst.system.MaterializeEdges();
+  ApplyArrivalOrder(edges, ArrivalOrder::kRandom, a.seed);
+  WriteEdgesToFile(a.out, edges);
+  std::printf("wrote %zu edges (%s family, m=%llu n=%llu) to %s\n",
+              edges.size(), inst.family.c_str(),
+              (unsigned long long)inst.system.num_sets(),
+              (unsigned long long)inst.system.num_elements(), a.out.c_str());
+  if (inst.planted_coverage > 0) {
+    std::printf("planted %zu-set cover with coverage %llu\n",
+                inst.planted_solution.size(),
+                (unsigned long long)inst.planted_coverage);
+  }
+  return 0;
+}
+
+int CmdStats(const Args& a) {
+  if (a.file.empty()) Usage("stats needs a FILE");
+  TextEdgeStream stream(a.file);
+  StreamStats stats = ComputeStreamStats(stream);
+  std::printf("edges              : %llu (%llu distinct)\n",
+              (unsigned long long)stats.num_edges,
+              (unsigned long long)stats.num_distinct_edges);
+  std::printf("sets (m)           : %llu\n",
+              (unsigned long long)stats.num_distinct_sets);
+  std::printf("elements (n)       : %llu\n",
+              (unsigned long long)stats.num_distinct_elements);
+  std::printf("max set size       : %llu\n",
+              (unsigned long long)stats.MaxSetSize());
+  std::printf("max element freq   : %llu\n",
+              (unsigned long long)stats.MaxElementFrequency());
+  return 0;
+}
+
+Params MakeParams(const Args& a) {
+  if (a.m == 0 || a.n == 0 || a.k == 0) Usage("need --m --n --k");
+  double alpha = a.alpha;
+  if (a.budget_kb != 0) {
+    alpha = Params::AlphaForBudget(a.m, a.n, a.k, a.budget_kb << 10);
+    std::printf("budget %zu KiB -> alpha %.1f\n", a.budget_kb, alpha);
+  }
+  return Params::Practical(a.m, a.n, a.k, alpha);
+}
+
+int CmdEstimate(const Args& a) {
+  if (a.file.empty()) Usage("estimate needs a FILE");
+  EstimateMaxCover::Config c;
+  c.params = MakeParams(a);
+  c.seed = a.seed;
+  EstimateMaxCover est(c);
+  TextEdgeStream stream(a.file);
+  Stopwatch sw;
+  FeedStream(stream, est);
+  EstimateOutcome out = est.Finalize();
+  std::printf("coverage estimate  : %.0f\n", out.estimate);
+  std::printf("winning subroutine : %s\n", out.source.c_str());
+  std::printf("sketch memory      : %zu KiB\n", est.MemoryBytes() >> 10);
+  std::printf("pass time          : %.2fs\n", sw.ElapsedSeconds());
+  return 0;
+}
+
+int CmdReport(const Args& a) {
+  if (a.file.empty()) Usage("report needs a FILE");
+  ReportMaxCover::Config c;
+  c.params = MakeParams(a);
+  c.seed = a.seed;
+  ReportMaxCover rep(c);
+  TextEdgeStream stream(a.file);
+  Stopwatch sw;
+  FeedStream(stream, rep);
+  MaxCoverSolution sol = rep.Finalize();
+  std::printf("coverage estimate  : %.0f (%s)\n", sol.estimate,
+              sol.source.c_str());
+  std::printf("selected sets (%zu): ", sol.sets.size());
+  for (SetId s : sol.sets) std::printf("%llu ", (unsigned long long)s);
+  std::printf("\nsketch memory      : %zu KiB, pass time %.2fs\n",
+              rep.MemoryBytes() >> 10, sw.ElapsedSeconds());
+  return 0;
+}
+
+int CmdTwoPass(const Args& a) {
+  if (a.file.empty()) Usage("twopass needs a FILE");
+  TwoPassMaxCover::Config c;
+  c.params = MakeParams(a);
+  c.seed = a.seed;
+  TextEdgeStream stream(a.file);
+  TwoPassMaxCover tp(c);
+  Stopwatch sw;
+  EstimateOutcome out = RunTwoPass(stream, c, &tp);
+  std::printf("coverage estimate  : %.0f (%s)\n", out.estimate,
+              out.source.c_str());
+  std::printf("OPT bracket        : [%llu, %llu] -> %u oracles\n",
+              (unsigned long long)tp.guess_lo(),
+              (unsigned long long)tp.guess_hi(), tp.num_oracles());
+  std::printf("peak memory        : %zu KiB, total time %.2fs\n",
+              tp.peak_memory_bytes() >> 10, sw.ElapsedSeconds());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  Args a = Parse(argc, argv);
+  if (a.command == "generate") return CmdGenerate(a);
+  if (a.command == "stats") return CmdStats(a);
+  if (a.command == "estimate") return CmdEstimate(a);
+  if (a.command == "report") return CmdReport(a);
+  if (a.command == "twopass") return CmdTwoPass(a);
+  Usage(("unknown command " + a.command).c_str());
+}
+
+}  // namespace
+}  // namespace streamkc
+
+int main(int argc, char** argv) { return streamkc::Main(argc, argv); }
