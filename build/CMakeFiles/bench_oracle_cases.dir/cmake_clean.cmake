@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_oracle_cases.dir/bench/bench_oracle_cases.cc.o"
+  "CMakeFiles/bench_oracle_cases.dir/bench/bench_oracle_cases.cc.o.d"
+  "bench/bench_oracle_cases"
+  "bench/bench_oracle_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oracle_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

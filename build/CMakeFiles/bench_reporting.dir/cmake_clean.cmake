@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reporting.dir/bench/bench_reporting.cc.o"
+  "CMakeFiles/bench_reporting.dir/bench/bench_reporting.cc.o.d"
+  "bench/bench_reporting"
+  "bench/bench_reporting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reporting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_set_cover.dir/bench/bench_set_cover.cc.o"
+  "CMakeFiles/bench_set_cover.dir/bench/bench_set_cover.cc.o.d"
+  "bench/bench_set_cover"
+  "bench/bench_set_cover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_set_cover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

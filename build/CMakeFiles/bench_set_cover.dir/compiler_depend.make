@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_set_cover.
+# This may be replaced when dependencies are built.

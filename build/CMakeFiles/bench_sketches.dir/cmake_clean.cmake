@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sketches.dir/bench/bench_sketches.cc.o"
+  "CMakeFiles/bench_sketches.dir/bench/bench_sketches.cc.o.d"
+  "bench/bench_sketches"
+  "bench/bench_sketches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sketches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

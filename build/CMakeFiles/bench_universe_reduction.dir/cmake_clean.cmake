@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_universe_reduction.dir/bench/bench_universe_reduction.cc.o"
+  "CMakeFiles/bench_universe_reduction.dir/bench/bench_universe_reduction.cc.o.d"
+  "bench/bench_universe_reduction"
+  "bench/bench_universe_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_universe_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blog_watch.dir/blog_watch.cpp.o"
+  "CMakeFiles/blog_watch.dir/blog_watch.cpp.o.d"
+  "blog_watch"
+  "blog_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blog_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_coverage.dir/distributed_coverage.cpp.o"
+  "CMakeFiles/distributed_coverage.dir/distributed_coverage.cpp.o.d"
+  "distributed_coverage"
+  "distributed_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsj_game.dir/dsj_game.cpp.o"
+  "CMakeFiles/dsj_game.dir/dsj_game.cpp.o.d"
+  "dsj_game"
+  "dsj_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsj_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

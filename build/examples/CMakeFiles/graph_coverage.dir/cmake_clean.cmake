@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_coverage.dir/graph_coverage.cpp.o"
+  "CMakeFiles/graph_coverage.dir/graph_coverage.cpp.o.d"
+  "graph_coverage"
+  "graph_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

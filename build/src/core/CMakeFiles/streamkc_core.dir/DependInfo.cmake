@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dsj_protocol.cc" "src/core/CMakeFiles/streamkc_core.dir/dsj_protocol.cc.o" "gcc" "src/core/CMakeFiles/streamkc_core.dir/dsj_protocol.cc.o.d"
+  "/root/repo/src/core/element_sampler.cc" "src/core/CMakeFiles/streamkc_core.dir/element_sampler.cc.o" "gcc" "src/core/CMakeFiles/streamkc_core.dir/element_sampler.cc.o.d"
+  "/root/repo/src/core/estimate_max_cover.cc" "src/core/CMakeFiles/streamkc_core.dir/estimate_max_cover.cc.o" "gcc" "src/core/CMakeFiles/streamkc_core.dir/estimate_max_cover.cc.o.d"
+  "/root/repo/src/core/large_common.cc" "src/core/CMakeFiles/streamkc_core.dir/large_common.cc.o" "gcc" "src/core/CMakeFiles/streamkc_core.dir/large_common.cc.o.d"
+  "/root/repo/src/core/large_set.cc" "src/core/CMakeFiles/streamkc_core.dir/large_set.cc.o" "gcc" "src/core/CMakeFiles/streamkc_core.dir/large_set.cc.o.d"
+  "/root/repo/src/core/oracle.cc" "src/core/CMakeFiles/streamkc_core.dir/oracle.cc.o" "gcc" "src/core/CMakeFiles/streamkc_core.dir/oracle.cc.o.d"
+  "/root/repo/src/core/params.cc" "src/core/CMakeFiles/streamkc_core.dir/params.cc.o" "gcc" "src/core/CMakeFiles/streamkc_core.dir/params.cc.o.d"
+  "/root/repo/src/core/report_max_cover.cc" "src/core/CMakeFiles/streamkc_core.dir/report_max_cover.cc.o" "gcc" "src/core/CMakeFiles/streamkc_core.dir/report_max_cover.cc.o.d"
+  "/root/repo/src/core/set_sampler.cc" "src/core/CMakeFiles/streamkc_core.dir/set_sampler.cc.o" "gcc" "src/core/CMakeFiles/streamkc_core.dir/set_sampler.cc.o.d"
+  "/root/repo/src/core/small_set.cc" "src/core/CMakeFiles/streamkc_core.dir/small_set.cc.o" "gcc" "src/core/CMakeFiles/streamkc_core.dir/small_set.cc.o.d"
+  "/root/repo/src/core/two_pass.cc" "src/core/CMakeFiles/streamkc_core.dir/two_pass.cc.o" "gcc" "src/core/CMakeFiles/streamkc_core.dir/two_pass.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/offline/CMakeFiles/streamkc_offline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/streamkc_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/setsys/CMakeFiles/streamkc_setsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/streamkc_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/streamkc_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/streamkc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

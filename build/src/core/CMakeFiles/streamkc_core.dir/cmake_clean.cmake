@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamkc_core.dir/dsj_protocol.cc.o"
+  "CMakeFiles/streamkc_core.dir/dsj_protocol.cc.o.d"
+  "CMakeFiles/streamkc_core.dir/element_sampler.cc.o"
+  "CMakeFiles/streamkc_core.dir/element_sampler.cc.o.d"
+  "CMakeFiles/streamkc_core.dir/estimate_max_cover.cc.o"
+  "CMakeFiles/streamkc_core.dir/estimate_max_cover.cc.o.d"
+  "CMakeFiles/streamkc_core.dir/large_common.cc.o"
+  "CMakeFiles/streamkc_core.dir/large_common.cc.o.d"
+  "CMakeFiles/streamkc_core.dir/large_set.cc.o"
+  "CMakeFiles/streamkc_core.dir/large_set.cc.o.d"
+  "CMakeFiles/streamkc_core.dir/oracle.cc.o"
+  "CMakeFiles/streamkc_core.dir/oracle.cc.o.d"
+  "CMakeFiles/streamkc_core.dir/params.cc.o"
+  "CMakeFiles/streamkc_core.dir/params.cc.o.d"
+  "CMakeFiles/streamkc_core.dir/report_max_cover.cc.o"
+  "CMakeFiles/streamkc_core.dir/report_max_cover.cc.o.d"
+  "CMakeFiles/streamkc_core.dir/set_sampler.cc.o"
+  "CMakeFiles/streamkc_core.dir/set_sampler.cc.o.d"
+  "CMakeFiles/streamkc_core.dir/small_set.cc.o"
+  "CMakeFiles/streamkc_core.dir/small_set.cc.o.d"
+  "CMakeFiles/streamkc_core.dir/two_pass.cc.o"
+  "CMakeFiles/streamkc_core.dir/two_pass.cc.o.d"
+  "libstreamkc_core.a"
+  "libstreamkc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamkc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamkc_hash.dir/kwise_hash.cc.o"
+  "CMakeFiles/streamkc_hash.dir/kwise_hash.cc.o.d"
+  "libstreamkc_hash.a"
+  "libstreamkc_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamkc_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

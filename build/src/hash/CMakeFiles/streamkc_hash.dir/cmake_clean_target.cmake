@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstreamkc_hash.a"
+)

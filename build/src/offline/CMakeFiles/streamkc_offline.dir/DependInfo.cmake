@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/offline/baselines.cc" "src/offline/CMakeFiles/streamkc_offline.dir/baselines.cc.o" "gcc" "src/offline/CMakeFiles/streamkc_offline.dir/baselines.cc.o.d"
+  "/root/repo/src/offline/exact.cc" "src/offline/CMakeFiles/streamkc_offline.dir/exact.cc.o" "gcc" "src/offline/CMakeFiles/streamkc_offline.dir/exact.cc.o.d"
+  "/root/repo/src/offline/greedy.cc" "src/offline/CMakeFiles/streamkc_offline.dir/greedy.cc.o" "gcc" "src/offline/CMakeFiles/streamkc_offline.dir/greedy.cc.o.d"
+  "/root/repo/src/offline/multi_pass_set_cover.cc" "src/offline/CMakeFiles/streamkc_offline.dir/multi_pass_set_cover.cc.o" "gcc" "src/offline/CMakeFiles/streamkc_offline.dir/multi_pass_set_cover.cc.o.d"
+  "/root/repo/src/offline/set_arrival_streaming.cc" "src/offline/CMakeFiles/streamkc_offline.dir/set_arrival_streaming.cc.o" "gcc" "src/offline/CMakeFiles/streamkc_offline.dir/set_arrival_streaming.cc.o.d"
+  "/root/repo/src/offline/set_cover.cc" "src/offline/CMakeFiles/streamkc_offline.dir/set_cover.cc.o" "gcc" "src/offline/CMakeFiles/streamkc_offline.dir/set_cover.cc.o.d"
+  "/root/repo/src/offline/sketch_greedy.cc" "src/offline/CMakeFiles/streamkc_offline.dir/sketch_greedy.cc.o" "gcc" "src/offline/CMakeFiles/streamkc_offline.dir/sketch_greedy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sketch/CMakeFiles/streamkc_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/setsys/CMakeFiles/streamkc_setsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/streamkc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/streamkc_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/streamkc_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

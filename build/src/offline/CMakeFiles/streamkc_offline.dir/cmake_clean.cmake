@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamkc_offline.dir/baselines.cc.o"
+  "CMakeFiles/streamkc_offline.dir/baselines.cc.o.d"
+  "CMakeFiles/streamkc_offline.dir/exact.cc.o"
+  "CMakeFiles/streamkc_offline.dir/exact.cc.o.d"
+  "CMakeFiles/streamkc_offline.dir/greedy.cc.o"
+  "CMakeFiles/streamkc_offline.dir/greedy.cc.o.d"
+  "CMakeFiles/streamkc_offline.dir/multi_pass_set_cover.cc.o"
+  "CMakeFiles/streamkc_offline.dir/multi_pass_set_cover.cc.o.d"
+  "CMakeFiles/streamkc_offline.dir/set_arrival_streaming.cc.o"
+  "CMakeFiles/streamkc_offline.dir/set_arrival_streaming.cc.o.d"
+  "CMakeFiles/streamkc_offline.dir/set_cover.cc.o"
+  "CMakeFiles/streamkc_offline.dir/set_cover.cc.o.d"
+  "CMakeFiles/streamkc_offline.dir/sketch_greedy.cc.o"
+  "CMakeFiles/streamkc_offline.dir/sketch_greedy.cc.o.d"
+  "libstreamkc_offline.a"
+  "libstreamkc_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamkc_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstreamkc_offline.a"
+)

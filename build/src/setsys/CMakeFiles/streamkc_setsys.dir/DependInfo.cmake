@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/setsys/dsj_instance.cc" "src/setsys/CMakeFiles/streamkc_setsys.dir/dsj_instance.cc.o" "gcc" "src/setsys/CMakeFiles/streamkc_setsys.dir/dsj_instance.cc.o.d"
+  "/root/repo/src/setsys/frequency.cc" "src/setsys/CMakeFiles/streamkc_setsys.dir/frequency.cc.o" "gcc" "src/setsys/CMakeFiles/streamkc_setsys.dir/frequency.cc.o.d"
+  "/root/repo/src/setsys/generators.cc" "src/setsys/CMakeFiles/streamkc_setsys.dir/generators.cc.o" "gcc" "src/setsys/CMakeFiles/streamkc_setsys.dir/generators.cc.o.d"
+  "/root/repo/src/setsys/set_system.cc" "src/setsys/CMakeFiles/streamkc_setsys.dir/set_system.cc.o" "gcc" "src/setsys/CMakeFiles/streamkc_setsys.dir/set_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stream/CMakeFiles/streamkc_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/streamkc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

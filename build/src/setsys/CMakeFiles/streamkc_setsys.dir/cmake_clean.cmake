@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamkc_setsys.dir/dsj_instance.cc.o"
+  "CMakeFiles/streamkc_setsys.dir/dsj_instance.cc.o.d"
+  "CMakeFiles/streamkc_setsys.dir/frequency.cc.o"
+  "CMakeFiles/streamkc_setsys.dir/frequency.cc.o.d"
+  "CMakeFiles/streamkc_setsys.dir/generators.cc.o"
+  "CMakeFiles/streamkc_setsys.dir/generators.cc.o.d"
+  "CMakeFiles/streamkc_setsys.dir/set_system.cc.o"
+  "CMakeFiles/streamkc_setsys.dir/set_system.cc.o.d"
+  "libstreamkc_setsys.a"
+  "libstreamkc_setsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamkc_setsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

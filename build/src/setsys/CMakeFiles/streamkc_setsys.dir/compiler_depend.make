@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for streamkc_setsys.
+# This may be replaced when dependencies are built.

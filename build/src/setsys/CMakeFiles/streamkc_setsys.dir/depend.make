@@ -1,0 +1,2 @@
+# Empty dependencies file for streamkc_setsys.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/ams_f2.cc" "src/sketch/CMakeFiles/streamkc_sketch.dir/ams_f2.cc.o" "gcc" "src/sketch/CMakeFiles/streamkc_sketch.dir/ams_f2.cc.o.d"
+  "/root/repo/src/sketch/count_sketch.cc" "src/sketch/CMakeFiles/streamkc_sketch.dir/count_sketch.cc.o" "gcc" "src/sketch/CMakeFiles/streamkc_sketch.dir/count_sketch.cc.o.d"
+  "/root/repo/src/sketch/f2_contributing.cc" "src/sketch/CMakeFiles/streamkc_sketch.dir/f2_contributing.cc.o" "gcc" "src/sketch/CMakeFiles/streamkc_sketch.dir/f2_contributing.cc.o.d"
+  "/root/repo/src/sketch/f2_heavy_hitters.cc" "src/sketch/CMakeFiles/streamkc_sketch.dir/f2_heavy_hitters.cc.o" "gcc" "src/sketch/CMakeFiles/streamkc_sketch.dir/f2_heavy_hitters.cc.o.d"
+  "/root/repo/src/sketch/hyperloglog.cc" "src/sketch/CMakeFiles/streamkc_sketch.dir/hyperloglog.cc.o" "gcc" "src/sketch/CMakeFiles/streamkc_sketch.dir/hyperloglog.cc.o.d"
+  "/root/repo/src/sketch/l0_estimator.cc" "src/sketch/CMakeFiles/streamkc_sketch.dir/l0_estimator.cc.o" "gcc" "src/sketch/CMakeFiles/streamkc_sketch.dir/l0_estimator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hash/CMakeFiles/streamkc_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/streamkc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamkc_sketch.dir/ams_f2.cc.o"
+  "CMakeFiles/streamkc_sketch.dir/ams_f2.cc.o.d"
+  "CMakeFiles/streamkc_sketch.dir/count_sketch.cc.o"
+  "CMakeFiles/streamkc_sketch.dir/count_sketch.cc.o.d"
+  "CMakeFiles/streamkc_sketch.dir/f2_contributing.cc.o"
+  "CMakeFiles/streamkc_sketch.dir/f2_contributing.cc.o.d"
+  "CMakeFiles/streamkc_sketch.dir/f2_heavy_hitters.cc.o"
+  "CMakeFiles/streamkc_sketch.dir/f2_heavy_hitters.cc.o.d"
+  "CMakeFiles/streamkc_sketch.dir/hyperloglog.cc.o"
+  "CMakeFiles/streamkc_sketch.dir/hyperloglog.cc.o.d"
+  "CMakeFiles/streamkc_sketch.dir/l0_estimator.cc.o"
+  "CMakeFiles/streamkc_sketch.dir/l0_estimator.cc.o.d"
+  "libstreamkc_sketch.a"
+  "libstreamkc_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamkc_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

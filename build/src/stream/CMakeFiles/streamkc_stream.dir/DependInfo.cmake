@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/edge_stream.cc" "src/stream/CMakeFiles/streamkc_stream.dir/edge_stream.cc.o" "gcc" "src/stream/CMakeFiles/streamkc_stream.dir/edge_stream.cc.o.d"
+  "/root/repo/src/stream/stream_stats.cc" "src/stream/CMakeFiles/streamkc_stream.dir/stream_stats.cc.o" "gcc" "src/stream/CMakeFiles/streamkc_stream.dir/stream_stats.cc.o.d"
+  "/root/repo/src/stream/text_stream.cc" "src/stream/CMakeFiles/streamkc_stream.dir/text_stream.cc.o" "gcc" "src/stream/CMakeFiles/streamkc_stream.dir/text_stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/streamkc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamkc_stream.dir/edge_stream.cc.o"
+  "CMakeFiles/streamkc_stream.dir/edge_stream.cc.o.d"
+  "CMakeFiles/streamkc_stream.dir/stream_stats.cc.o"
+  "CMakeFiles/streamkc_stream.dir/stream_stats.cc.o.d"
+  "CMakeFiles/streamkc_stream.dir/text_stream.cc.o"
+  "CMakeFiles/streamkc_stream.dir/text_stream.cc.o.d"
+  "libstreamkc_stream.a"
+  "libstreamkc_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamkc_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

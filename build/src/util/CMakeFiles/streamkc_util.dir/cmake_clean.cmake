@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamkc_util.dir/math_util.cc.o"
+  "CMakeFiles/streamkc_util.dir/math_util.cc.o.d"
+  "CMakeFiles/streamkc_util.dir/random.cc.o"
+  "CMakeFiles/streamkc_util.dir/random.cc.o.d"
+  "libstreamkc_util.a"
+  "libstreamkc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamkc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

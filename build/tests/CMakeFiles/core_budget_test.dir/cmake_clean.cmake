@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_budget_test.dir/core_budget_test.cc.o"
+  "CMakeFiles/core_budget_test.dir/core_budget_test.cc.o.d"
+  "core_budget_test"
+  "core_budget_test.pdb"
+  "core_budget_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_budget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

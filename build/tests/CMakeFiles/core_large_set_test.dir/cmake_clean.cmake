@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_large_set_test.dir/core_large_set_test.cc.o"
+  "CMakeFiles/core_large_set_test.dir/core_large_set_test.cc.o.d"
+  "core_large_set_test"
+  "core_large_set_test.pdb"
+  "core_large_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_large_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

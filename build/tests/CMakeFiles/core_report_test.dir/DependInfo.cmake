@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_report_test.cc" "tests/CMakeFiles/core_report_test.dir/core_report_test.cc.o" "gcc" "tests/CMakeFiles/core_report_test.dir/core_report_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/streamkc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/offline/CMakeFiles/streamkc_offline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/streamkc_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/setsys/CMakeFiles/streamkc_setsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/streamkc_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/streamkc_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/streamkc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

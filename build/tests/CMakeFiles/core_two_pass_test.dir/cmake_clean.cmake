@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_two_pass_test.dir/core_two_pass_test.cc.o"
+  "CMakeFiles/core_two_pass_test.dir/core_two_pass_test.cc.o.d"
+  "core_two_pass_test"
+  "core_two_pass_test.pdb"
+  "core_two_pass_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_two_pass_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

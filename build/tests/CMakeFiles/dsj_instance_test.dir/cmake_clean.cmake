@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsj_instance_test.dir/dsj_instance_test.cc.o"
+  "CMakeFiles/dsj_instance_test.dir/dsj_instance_test.cc.o.d"
+  "dsj_instance_test"
+  "dsj_instance_test.pdb"
+  "dsj_instance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsj_instance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_polynomial_test.dir/hash_polynomial_test.cc.o"
+  "CMakeFiles/hash_polynomial_test.dir/hash_polynomial_test.cc.o.d"
+  "hash_polynomial_test"
+  "hash_polynomial_test.pdb"
+  "hash_polynomial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_polynomial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

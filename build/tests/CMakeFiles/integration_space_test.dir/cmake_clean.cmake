@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_space_test.dir/integration_space_test.cc.o"
+  "CMakeFiles/integration_space_test.dir/integration_space_test.cc.o.d"
+  "integration_space_test"
+  "integration_space_test.pdb"
+  "integration_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

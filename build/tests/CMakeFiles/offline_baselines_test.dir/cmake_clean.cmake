@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_baselines_test.dir/offline_baselines_test.cc.o"
+  "CMakeFiles/offline_baselines_test.dir/offline_baselines_test.cc.o.d"
+  "offline_baselines_test"
+  "offline_baselines_test.pdb"
+  "offline_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

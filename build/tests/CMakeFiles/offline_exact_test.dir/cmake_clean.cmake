@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_exact_test.dir/offline_exact_test.cc.o"
+  "CMakeFiles/offline_exact_test.dir/offline_exact_test.cc.o.d"
+  "offline_exact_test"
+  "offline_exact_test.pdb"
+  "offline_exact_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_exact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_set_arrival_test.dir/offline_set_arrival_test.cc.o"
+  "CMakeFiles/offline_set_arrival_test.dir/offline_set_arrival_test.cc.o.d"
+  "offline_set_arrival_test"
+  "offline_set_arrival_test.pdb"
+  "offline_set_arrival_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_set_arrival_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

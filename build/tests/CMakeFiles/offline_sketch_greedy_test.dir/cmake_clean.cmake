@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_sketch_greedy_test.dir/offline_sketch_greedy_test.cc.o"
+  "CMakeFiles/offline_sketch_greedy_test.dir/offline_sketch_greedy_test.cc.o.d"
+  "offline_sketch_greedy_test"
+  "offline_sketch_greedy_test.pdb"
+  "offline_sketch_greedy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_sketch_greedy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setsys_test.dir/setsys_test.cc.o"
+  "CMakeFiles/setsys_test.dir/setsys_test.cc.o.d"
+  "setsys_test"
+  "setsys_test.pdb"
+  "setsys_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setsys_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_ams_f2_test.dir/sketch_ams_f2_test.cc.o"
+  "CMakeFiles/sketch_ams_f2_test.dir/sketch_ams_f2_test.cc.o.d"
+  "sketch_ams_f2_test"
+  "sketch_ams_f2_test.pdb"
+  "sketch_ams_f2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_ams_f2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_f2_contributing_test.dir/sketch_f2_contributing_test.cc.o"
+  "CMakeFiles/sketch_f2_contributing_test.dir/sketch_f2_contributing_test.cc.o.d"
+  "sketch_f2_contributing_test"
+  "sketch_f2_contributing_test.pdb"
+  "sketch_f2_contributing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_f2_contributing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

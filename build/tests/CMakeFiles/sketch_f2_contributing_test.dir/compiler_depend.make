@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sketch_f2_contributing_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_hyperloglog_test.dir/sketch_hyperloglog_test.cc.o"
+  "CMakeFiles/sketch_hyperloglog_test.dir/sketch_hyperloglog_test.cc.o.d"
+  "sketch_hyperloglog_test"
+  "sketch_hyperloglog_test.pdb"
+  "sketch_hyperloglog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_hyperloglog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

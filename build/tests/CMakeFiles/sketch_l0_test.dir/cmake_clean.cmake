@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_l0_test.dir/sketch_l0_test.cc.o"
+  "CMakeFiles/sketch_l0_test.dir/sketch_l0_test.cc.o.d"
+  "sketch_l0_test"
+  "sketch_l0_test.pdb"
+  "sketch_l0_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_l0_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_merge_test.dir/sketch_merge_test.cc.o"
+  "CMakeFiles/sketch_merge_test.dir/sketch_merge_test.cc.o.d"
+  "sketch_merge_test"
+  "sketch_merge_test.pdb"
+  "sketch_merge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_text_test.dir/stream_text_test.cc.o"
+  "CMakeFiles/stream_text_test.dir/stream_text_test.cc.o.d"
+  "stream_text_test"
+  "stream_text_test.pdb"
+  "stream_text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

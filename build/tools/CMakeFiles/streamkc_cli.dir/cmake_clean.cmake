@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamkc_cli.dir/streamkc_cli.cc.o"
+  "CMakeFiles/streamkc_cli.dir/streamkc_cli.cc.o.d"
+  "streamkc_cli"
+  "streamkc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamkc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

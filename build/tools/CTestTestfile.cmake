@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_generate "/root/repo/build/tools/streamkc_cli" "generate" "--family" "planted" "--m" "512" "--n" "1024" "--k" "16" "--seed" "3" "--out" "/root/repo/build/cli_demo_edges.txt")
+set_tests_properties(cli_generate PROPERTIES  FIXTURES_SETUP "cli_demo_file" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_stats "/root/repo/build/tools/streamkc_cli" "stats" "/root/repo/build/cli_demo_edges.txt")
+set_tests_properties(cli_stats PROPERTIES  FIXTURES_REQUIRED "cli_demo_file" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_estimate "/root/repo/build/tools/streamkc_cli" "estimate" "/root/repo/build/cli_demo_edges.txt" "--m" "512" "--n" "1024" "--k" "16" "--alpha" "8")
+set_tests_properties(cli_estimate PROPERTIES  FIXTURES_REQUIRED "cli_demo_file" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_estimate_budget "/root/repo/build/tools/streamkc_cli" "estimate" "/root/repo/build/cli_demo_edges.txt" "--m" "512" "--n" "1024" "--k" "16" "--budget-kb" "256")
+set_tests_properties(cli_estimate_budget PROPERTIES  FIXTURES_REQUIRED "cli_demo_file" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_report "/root/repo/build/tools/streamkc_cli" "report" "/root/repo/build/cli_demo_edges.txt" "--m" "512" "--n" "1024" "--k" "16" "--alpha" "8")
+set_tests_properties(cli_report PROPERTIES  FIXTURES_REQUIRED "cli_demo_file" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_twopass "/root/repo/build/tools/streamkc_cli" "twopass" "/root/repo/build/cli_demo_edges.txt" "--m" "512" "--n" "1024" "--k" "16" "--alpha" "8")
+set_tests_properties(cli_twopass PROPERTIES  FIXTURES_REQUIRED "cli_demo_file" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/tools/streamkc_cli" "bogus")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
