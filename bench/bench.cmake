@@ -4,8 +4,8 @@
 function(streamkc_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
   target_link_libraries(${name} PRIVATE
-    streamkc_core streamkc_offline streamkc_sketch streamkc_setsys
-    streamkc_stream streamkc_hash streamkc_util)
+    streamkc_runtime streamkc_core streamkc_offline streamkc_sketch
+    streamkc_setsys streamkc_stream streamkc_hash streamkc_util)
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endfunction()
@@ -19,6 +19,7 @@ streamkc_bench(bench_baselines)
 streamkc_bench(bench_reporting)
 streamkc_bench(bench_ablation)
 streamkc_bench(bench_set_cover)
+streamkc_bench(bench_runtime)
 
 # Throughput micro-benchmarks use google-benchmark.
 add_executable(bench_micro ${CMAKE_SOURCE_DIR}/bench/bench_micro.cc)

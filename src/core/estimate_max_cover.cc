@@ -65,6 +65,20 @@ void EstimateMaxCover::Process(const Edge& edge) {
   }
 }
 
+void EstimateMaxCover::Merge(const EstimateMaxCover& other) {
+  CHECK_EQ(config_.seed, other.config_.seed);
+  CHECK_EQ(trivial_mode_, other.trivial_mode_);
+  if (trivial_mode_) {
+    covered_elements_->Merge(*other.covered_elements_);
+    return;
+  }
+  CHECK_EQ(oracles_.size(), other.oracles_.size());
+  for (size_t i = 0; i < oracles_.size(); ++i) {
+    CHECK_EQ(oracles_[i].z, other.oracles_[i].z);
+    oracles_[i].oracle->Merge(*other.oracles_[i].oracle);
+  }
+}
+
 std::optional<std::pair<size_t, double>> EstimateMaxCover::BestLevel() const {
   const Params& p = config_.params;
   // est_z = max over the repetitions of guess z; then keep guesses passing

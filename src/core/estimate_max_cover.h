@@ -52,6 +52,11 @@ class EstimateMaxCover : public StreamingEstimator {
   // z-threshold rule guarantee an answer (0 only for an empty stream).
   EstimateOutcome Finalize() const;
 
+  // Merges another estimator built with the same Config: every (guess,
+  // repetition) oracle folds its same-seeded twin, so the merged state is
+  // exactly the single-pass state on the concatenated stream.
+  void Merge(const EstimateMaxCover& other);
+
   // Reporting mode only: the winning oracle's witness sets (empty in trivial
   // mode — the trivial branch's solution lives in ReportMaxCover).
   std::vector<SetId> ExtractSolution(uint64_t max_sets) const;

@@ -52,6 +52,20 @@ void LargeCommon::Process(const Edge& edge) {
   }
 }
 
+void LargeCommon::Merge(const LargeCommon& other) {
+  CHECK_EQ(config_.seed, other.config_.seed);
+  CHECK_EQ(levels_.size(), other.levels_.size());
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    Level& mine = levels_[i];
+    const Level& theirs = other.levels_[i];
+    mine.coverage.Merge(theirs.coverage);
+    CHECK_EQ(mine.group_coverage.size(), theirs.group_coverage.size());
+    for (size_t g = 0; g < mine.group_coverage.size(); ++g) {
+      mine.group_coverage[g].Merge(theirs.group_coverage[g]);
+    }
+  }
+}
+
 std::optional<std::pair<size_t, double>> LargeCommon::BestLevel() const {
   const Params& p = config_.params;
   double u = static_cast<double>(config_.universe_size);

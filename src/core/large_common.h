@@ -45,6 +45,12 @@ class LargeCommon : public StreamingEstimator {
 
   EstimateOutcome Finalize() const;
 
+  // Merges another instance built with the same Config (same seed, so the
+  // per-level samplers and hashes are identical). Purely L0 unions — the
+  // merged state equals the single-threaded state on the concatenated
+  // stream exactly.
+  void Merge(const LargeCommon& other);
+
   // Reporting mode only, after a feasible Finalize(): enumerates the sets of
   // the winning level's best group, at most max_sets of them, by scanning
   // set-id space [0, m). Deterministic; uses no stream-time storage beyond

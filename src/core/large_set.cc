@@ -137,6 +137,24 @@ void LargeSetComplete::Process(const Edge& edge) {
   }
 }
 
+void LargeSetComplete::Merge(const LargeSetComplete& other) {
+  CHECK_EQ(config_.seed, other.config_.seed);
+  CHECK_EQ(num_supersets_, other.num_supersets_);
+  cntr_small_.Merge(other.cntr_small_);
+  cntr_large_.Merge(other.cntr_large_);
+  // Pool entries are keyed by superset id; which ids appear depends only on
+  // the observed edges (the pool hash is shared), so union-by-key plus L0
+  // merge reproduces the single-threaded pool on the concatenated stream.
+  for (const auto& [superset, de] : other.pool_) {
+    auto it = pool_.find(superset);
+    if (it == pool_.end()) {
+      pool_.emplace(superset, de);
+    } else {
+      it->second.Merge(de);
+    }
+  }
+}
+
 std::optional<LargeSetComplete::Candidate> LargeSetComplete::BestCandidate()
     const {
   const Params& p = config_.params;
@@ -232,6 +250,12 @@ LargeSet::LargeSet(const Config& config) : config_(config) {
 
 void LargeSet::Process(const Edge& edge) {
   for (auto& rep : reps_) rep.Process(edge);
+}
+
+void LargeSet::Merge(const LargeSet& other) {
+  CHECK_EQ(config_.seed, other.config_.seed);
+  CHECK_EQ(reps_.size(), other.reps_.size());
+  for (size_t i = 0; i < reps_.size(); ++i) reps_[i].Merge(other.reps_[i]);
 }
 
 std::optional<size_t> LargeSet::BestRep() const {

@@ -62,6 +62,11 @@ class LargeSetComplete : public StreamingEstimator {
   // Estimate is at universe scale (already divided by the element rate).
   EstimateOutcome Finalize() const;
 
+  // Merges another repetition built with the same Config: contributing
+  // sketches add (linearity) and pooled per-superset L0 counters union by
+  // superset id.
+  void Merge(const LargeSetComplete& other);
+
   // Reporting mode, after a feasible Finalize(): the winning superset's
   // member sets {S : h(S) = i*}, at most max_sets of them.
   std::vector<SetId> ExtractSolution(uint64_t max_sets) const;
@@ -113,6 +118,9 @@ class LargeSet : public StreamingEstimator {
   void Process(const Edge& edge) override;
 
   EstimateOutcome Finalize() const;
+
+  // Merges another instance built with the same Config (repetition-wise).
+  void Merge(const LargeSet& other);
 
   std::vector<SetId> ExtractSolution(uint64_t max_sets) const;
 

@@ -44,6 +44,14 @@ void Oracle::Process(const Edge& edge) {
   if (small_set_ != nullptr) small_set_->Process(edge);
 }
 
+void Oracle::Merge(const Oracle& other) {
+  CHECK_EQ(config_.seed, other.config_.seed);
+  CHECK_EQ(small_set_ != nullptr, other.small_set_ != nullptr);
+  large_common_->Merge(*other.large_common_);
+  large_set_->Merge(*other.large_set_);
+  if (small_set_ != nullptr) small_set_->Merge(*other.small_set_);
+}
+
 EstimateOutcome Oracle::Finalize() const {
   EstimateOutcome best;
   best.source = "oracle-infeasible";

@@ -46,6 +46,9 @@ class Oracle : public StreamingEstimator {
   // Max over feasible subroutines; outcome.source names the winner.
   EstimateOutcome Finalize() const;
 
+  // Merges another oracle built with the same Config, subroutine-wise.
+  void Merge(const Oracle& other);
+
   // Reporting mode: delegates to the winning subroutine.
   std::vector<SetId> ExtractSolution(uint64_t max_sets) const;
 

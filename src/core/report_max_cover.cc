@@ -57,6 +57,21 @@ void ReportMaxCover::Process(const Edge& edge) {
   if (estimator_.trivial_mode()) set_sample_.Add(edge.set);
 }
 
+void ReportMaxCover::Merge(const ReportMaxCover& other) {
+  CHECK_EQ(config_.seed, other.config_.seed);
+  estimator_.Merge(other.estimator_);
+  // Canonical bottom-k union: sort/unique the combined entries and keep the
+  // smallest capacity of them. Rebuilding the heap keeps later Add() calls
+  // valid (the merged state can keep streaming).
+  auto& heap = set_sample_.heap;
+  heap.insert(heap.end(), other.set_sample_.heap.begin(),
+              other.set_sample_.heap.end());
+  std::sort(heap.begin(), heap.end());
+  heap.erase(std::unique(heap.begin(), heap.end()), heap.end());
+  if (heap.size() > set_sample_.capacity) heap.resize(set_sample_.capacity);
+  std::make_heap(heap.begin(), heap.end());
+}
+
 MaxCoverSolution ReportMaxCover::Finalize() const {
   EstimateOutcome est = estimator_.Finalize();
   MaxCoverSolution sol;

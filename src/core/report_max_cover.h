@@ -50,6 +50,11 @@ class ReportMaxCover : public StreamingEstimator {
   // The reported k-cover. sets.size() ≤ k.
   MaxCoverSolution Finalize() const;
 
+  // Merges another reporter built with the same Config. The bottom-k sample
+  // keeps the k smallest distinct (hash, id) pairs of the union — the same
+  // set a single pass over the concatenated stream retains.
+  void Merge(const ReportMaxCover& other);
+
   size_t MemoryBytes() const override;
 
  private:

@@ -102,19 +102,71 @@ void SmallSet::Process(const Edge& edge) {
   }
 }
 
+void SmallSet::MergeInstance(Instance& mine, const Instance& theirs) {
+  // A dead instance stopped ingesting at an arbitrary stream position, so
+  // its frozen sample is meaningless; death is contagious (the combined
+  // stream overflows any rate the dead side already exhausted).
+  if (mine.rescales >= kMaxRescales || theirs.rescales >= kMaxRescales) {
+    mine.rescales = kMaxRescales;
+    mine.edges.clear();
+    mine.stored_bytes = 0;
+    return;
+  }
+  // Equalize to the smaller element rate. Both sides share the sampler
+  // (same seed), so pruning mine down IS the uniform sample at that rate.
+  while (mine.element_rate_num > theirs.element_rate_num &&
+         mine.rescales < kMaxRescales) {
+    Rescale(mine);
+  }
+  // Union in the other sample, filtering to the (now no larger) local rate.
+  // Each stream token was routed to exactly one shard, so this multiset
+  // union reproduces the single-threaded sample at this rate.
+  for (const auto& [set, elements] : theirs.edges) {
+    auto* list = &mine.edges[set];
+    for (ElementId e : elements) {
+      if (!mine.ElementSampled(e)) continue;
+      list->push_back(e);
+      mine.stored_bytes += sizeof(ElementId) + sizeof(SetId) / 4;
+    }
+    if (list->empty()) mine.edges.erase(set);
+  }
+  // The combined sample may overflow a budget neither shard hit alone:
+  // cascade exactly as Process() would have.
+  while (mine.stored_bytes > budget_bytes_ && mine.rescales < kMaxRescales) {
+    Rescale(mine);
+  }
+  if (mine.rescales >= kMaxRescales && mine.stored_bytes > budget_bytes_) {
+    mine.edges.clear();
+    mine.stored_bytes = 0;
+  }
+}
+
+void SmallSet::Merge(const SmallSet& other) {
+  CHECK_EQ(config_.seed, other.config_.seed);
+  CHECK_EQ(instances_.size(), other.instances_.size());
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    MergeInstance(instances_[i], other.instances_[i]);
+  }
+}
+
 std::optional<SmallSet::Evaluation> SmallSet::Evaluate(
     const Instance& inst) const {
   if (inst.rescales >= kMaxRescales || inst.edges.empty()) return std::nullopt;
-  // Build positional lists for greedy, remembering the real set ids.
+  // Build positional lists for greedy, remembering the real set ids. Sets are
+  // visited in sorted id order: unordered_map iteration depends on insertion
+  // history, which differs between a single-pass build and a sharded merge,
+  // and greedy breaks coverage ties by position. Canonical order makes the
+  // evaluation a pure function of the stored sample.
   std::vector<SetId> ids;
-  std::vector<std::vector<ElementId>> lists;
   ids.reserve(inst.edges.size());
-  lists.reserve(inst.edges.size());
-  for (const auto& [set, elements] : inst.edges) {
-    std::vector<ElementId> dedup = elements;
+  for (const auto& [set, elements] : inst.edges) ids.push_back(set);
+  std::sort(ids.begin(), ids.end());
+  std::vector<std::vector<ElementId>> lists;
+  lists.reserve(ids.size());
+  for (SetId set : ids) {
+    std::vector<ElementId> dedup = inst.edges.at(set);
     std::sort(dedup.begin(), dedup.end());
     dedup.erase(std::unique(dedup.begin(), dedup.end()), dedup.end());
-    ids.push_back(set);
     lists.push_back(std::move(dedup));
   }
   CoverSolution sol = GreedyOnLists(lists, k_prime_);

@@ -50,6 +50,16 @@ class SmallSet : public StreamingEstimator {
 
   EstimateOutcome Finalize() const;
 
+  // Merges another instance built with the same Config. Per (guess, rep)
+  // instance: both stored samples are pruned to the smaller element rate
+  // (membership is a range test, so pruning IS the sample at that rate),
+  // unioned, and re-checked against the byte budget. Because an instance's
+  // final state is a pure function of (observed edge multiset, budget) —
+  // the rescale cascade fires iff the full sample at a rate overflows,
+  // regardless of arrival order — the merged state equals the
+  // single-threaded state on the concatenated stream.
+  void Merge(const SmallSet& other);
+
   // Reporting mode, after a feasible Finalize(): the actual set ids chosen
   // by greedy on the winning sub-instance (at most k′ ≤ k of them).
   std::vector<SetId> ExtractSolution(uint64_t max_sets) const;
@@ -96,6 +106,9 @@ class SmallSet : public StreamingEstimator {
 
   // Halves inst's element rate and prunes its stored sample accordingly.
   void Rescale(Instance& inst);
+
+  // Folds the same-seeded instance `theirs` into `mine` (see Merge()).
+  void MergeInstance(Instance& mine, const Instance& theirs);
 
   // Greedy evaluation of one stored instance; nullopt if infeasible.
   std::optional<Evaluation> Evaluate(const Instance& inst) const;

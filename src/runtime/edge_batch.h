@@ -1,0 +1,32 @@
+// The unit of hand-off between the ingestion producer and worker shards.
+//
+// Routing edges one at a time through a concurrent queue would spend more
+// cycles on synchronization than on sketch updates (a queue operation is
+// ~100ns under contention; an L0/CountSketch update is ~20-50ns). Batching
+// `batch_size` edges per hand-off amortizes the queue cost down to <1ns per
+// edge, which is what makes the sharded pipeline's overhead negligible
+// against the estimator work.
+
+#ifndef STREAMKC_RUNTIME_EDGE_BATCH_H_
+#define STREAMKC_RUNTIME_EDGE_BATCH_H_
+
+#include <vector>
+
+#include "stream/edge.h"
+
+namespace streamkc {
+
+struct EdgeBatch {
+  std::vector<Edge> edges;
+
+  EdgeBatch() = default;
+  explicit EdgeBatch(size_t reserve) { edges.reserve(reserve); }
+
+  bool empty() const { return edges.empty(); }
+  size_t size() const { return edges.size(); }
+  void Clear() { edges.clear(); }
+};
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_RUNTIME_EDGE_BATCH_H_

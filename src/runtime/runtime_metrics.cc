@@ -1,0 +1,94 @@
+#include "runtime/runtime_metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace streamkc {
+
+void RuntimeMetrics::Reset(uint32_t num_shards) {
+  num_shards_ = num_shards;
+  shards_ = std::make_unique<PerShard[]>(num_shards);
+  edges_ingested.store(0, std::memory_order_relaxed);
+  batches_enqueued.store(0, std::memory_order_relaxed);
+  queue_full_stalls.store(0, std::memory_order_relaxed);
+  merges.store(0, std::memory_order_relaxed);
+  merged_state_bytes.store(0, std::memory_order_relaxed);
+  wall_ns.store(0, std::memory_order_relaxed);
+}
+
+RuntimeMetrics::PerShard& RuntimeMetrics::shard(uint32_t s) {
+  CHECK_LT(s, num_shards_);
+  return shards_[s];
+}
+
+const RuntimeMetrics::PerShard& RuntimeMetrics::shard(uint32_t s) const {
+  CHECK_LT(s, num_shards_);
+  return shards_[s];
+}
+
+uint64_t RuntimeMetrics::TotalShardEdges() const {
+  uint64_t total = 0;
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    total += shards_[s].edges.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t RuntimeMetrics::TotalStateBytes() const {
+  uint64_t total = 0;
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    total += shards_[s].state_bytes.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double RuntimeMetrics::EdgesPerSecond() const {
+  uint64_t ns = wall_ns.load(std::memory_order_relaxed);
+  if (ns == 0) return 0;
+  return static_cast<double>(edges_ingested.load(std::memory_order_relaxed)) *
+         1e9 / static_cast<double>(ns);
+}
+
+std::string RuntimeMetrics::ToJson() const {
+  char buf[256];
+  std::string out;
+  out.reserve(512 + 128 * num_shards_);
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\n"
+      "  \"edges_ingested\": %" PRIu64 ",\n"
+      "  \"batches_enqueued\": %" PRIu64 ",\n"
+      "  \"queue_full_stalls\": %" PRIu64 ",\n"
+      "  \"merges\": %" PRIu64 ",\n"
+      "  \"merged_state_bytes\": %" PRIu64 ",\n"
+      "  \"total_shard_state_bytes\": %" PRIu64 ",\n"
+      "  \"wall_ns\": %" PRIu64 ",\n"
+      "  \"edges_per_second\": %.0f,\n"
+      "  \"shards\": [",
+      edges_ingested.load(std::memory_order_relaxed),
+      batches_enqueued.load(std::memory_order_relaxed),
+      queue_full_stalls.load(std::memory_order_relaxed),
+      merges.load(std::memory_order_relaxed),
+      merged_state_bytes.load(std::memory_order_relaxed), TotalStateBytes(),
+      wall_ns.load(std::memory_order_relaxed), EdgesPerSecond());
+  out += buf;
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    const PerShard& ps = shards_[s];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n    {\"shard\": %u, \"edges\": %" PRIu64
+                  ", \"batches\": %" PRIu64 ", \"busy_ns\": %" PRIu64
+                  ", \"state_bytes\": %" PRIu64 "}",
+                  s == 0 ? "" : ",", s,
+                  ps.edges.load(std::memory_order_relaxed),
+                  ps.batches.load(std::memory_order_relaxed),
+                  ps.busy_ns.load(std::memory_order_relaxed),
+                  ps.state_bytes.load(std::memory_order_relaxed));
+    out += buf;
+  }
+  out += num_shards_ > 0 ? "\n  ]\n}" : "]\n}";
+  return out;
+}
+
+}  // namespace streamkc

@@ -1,0 +1,65 @@
+// Ingestion-engine observability: atomic counters + JSON snapshot.
+//
+// Counters are written from three contexts — the producer thread
+// (edges_ingested, batches_enqueued, queue_full_stalls), each worker thread
+// (its own PerShard row), and the coordinator after the join
+// (state_bytes, wall_ns, merges). All cross-thread counters are relaxed
+// atomics: they are statistics, not synchronization; the pipeline's
+// happens-before edges come from the rings and thread joins.
+//
+// ToJson() renders a point-in-time snapshot; it is meant to be called after
+// Run() returns (calling it mid-run is safe but reads moving counters).
+
+#ifndef STREAMKC_RUNTIME_RUNTIME_METRICS_H_
+#define STREAMKC_RUNTIME_RUNTIME_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace streamkc {
+
+class RuntimeMetrics {
+ public:
+  struct PerShard {
+    std::atomic<uint64_t> edges{0};     // edges processed by this shard
+    std::atomic<uint64_t> batches{0};   // batches popped
+    std::atomic<uint64_t> busy_ns{0};   // time spent inside State::Process
+    std::atomic<uint64_t> state_bytes{0};  // MemoryBytes() at end of stream
+  };
+
+  RuntimeMetrics() = default;
+
+  // (Re)sizes the per-shard table and zeroes every counter. Called by the
+  // pipeline at the start of Run(); not thread-safe against concurrent use.
+  void Reset(uint32_t num_shards);
+
+  PerShard& shard(uint32_t s);
+  const PerShard& shard(uint32_t s) const;
+  uint32_t num_shards() const { return num_shards_; }
+
+  // Whole-run aggregates derived from the per-shard rows.
+  uint64_t TotalShardEdges() const;
+  uint64_t TotalStateBytes() const;
+  double EdgesPerSecond() const;  // edges_ingested / wall time; 0 if unknown
+
+  std::string ToJson() const;
+
+  // Producer-side counters.
+  std::atomic<uint64_t> edges_ingested{0};
+  std::atomic<uint64_t> batches_enqueued{0};
+  std::atomic<uint64_t> queue_full_stalls{0};
+  // Coordinator-side counters (written single-threaded after the join).
+  std::atomic<uint64_t> merges{0};
+  std::atomic<uint64_t> merged_state_bytes{0};
+  std::atomic<uint64_t> wall_ns{0};
+
+ private:
+  uint32_t num_shards_ = 0;
+  std::unique_ptr<PerShard[]> shards_;
+};
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_RUNTIME_RUNTIME_METRICS_H_

@@ -1,0 +1,196 @@
+// ShardedPipeline: multi-threaded ingestion over any EdgeStream + any
+// mergeable estimator state.
+//
+// Topology (one run):
+//
+//   producer (calling thread)
+//     │  EdgeStream::NextBatch → ShardRouter → per-shard EdgeBatch
+//     ├──SpscRing[0]──▶ worker 0: State replica 0   ┐
+//     ├──SpscRing[1]──▶ worker 1: State replica 1   ├─ join ─▶ merge
+//     └──SpscRing[N]──▶ worker N: State replica N   ┘   coordinator
+//                                                        (fold in shard
+//                                                         order 0←1←2…)
+//
+// `State` is any type with
+//     void Process(const Edge&);
+//     void Merge(const State&);     // same-seed replica
+// — which every streamkc estimator (EstimateMaxCover, ReportMaxCover,
+// SketchGreedy) and every sketch adapter satisfies. Replicas are produced
+// by a factory called once per shard; handing every shard THE SAME seeds is
+// what makes the shard states Merge()-compatible (seed-coordinated
+// replicas, the same contract as the distributed_coverage example).
+//
+// Determinism: the router is a pure function of the edge, so shard
+// substreams are fixed subsequences of the input independent of thread
+// timing; each replica's final state is a pure function of its substream;
+// and the coordinator folds in fixed shard order. The merged state is
+// therefore a deterministic function of (stream, factory, options) — with
+// NO dependence on scheduling — and for union/linear sketch states it is
+// bit-identical to the single-threaded state on the same seeds
+// (tests/runtime_pipeline_test.cc asserts this at 8 shards).
+//
+// Backpressure: rings are bounded; a slow shard blocks the producer
+// (metrics.queue_full_stalls counts the events) instead of buffering the
+// stream, preserving the streaming space discipline.
+
+#ifndef STREAMKC_RUNTIME_SHARDED_PIPELINE_H_
+#define STREAMKC_RUNTIME_SHARDED_PIPELINE_H_
+
+#include <chrono>
+#include <concepts>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "runtime/edge_batch.h"
+#include "runtime/runtime_metrics.h"
+#include "runtime/shard_router.h"
+#include "runtime/spsc_ring.h"
+#include "stream/edge_stream.h"
+#include "util/check.h"
+
+namespace streamkc {
+
+struct ShardedPipelineOptions {
+  uint32_t num_shards = 1;
+  // Edges per hand-off batch (amortizes ring synchronization).
+  size_t batch_size = 4096;
+  // In-flight batches per shard ring; small on purpose — bounded queues are
+  // the backpressure mechanism.
+  size_t queue_capacity = 16;
+  PartitionPolicy policy = PartitionPolicy::kByElement;
+  // Extra salt for the routing hash (vary to re-shuffle shard assignment).
+  uint64_t route_salt = 0;
+};
+
+template <typename State>
+class ShardedPipeline {
+ public:
+  using Factory = std::function<State(uint32_t shard)>;
+
+  // `factory(s)` must build shard s's replica with the SAME seeds for every
+  // shard, so that the replicas are Merge()-compatible.
+  ShardedPipeline(ShardedPipelineOptions options, Factory factory)
+      : options_(options), factory_(std::move(factory)) {
+    CHECK_GE(options_.num_shards, 1u);
+    CHECK_GE(options_.batch_size, 1u);
+    CHECK_GE(options_.queue_capacity, 1u);
+  }
+
+  // Drains `stream` and returns the merged state. The calling thread acts
+  // as the producer; num_shards worker threads are spawned and joined
+  // before returning.
+  State Run(EdgeStream& stream) {
+    const uint32_t n = options_.num_shards;
+    metrics_.Reset(n);
+    auto run_start = std::chrono::steady_clock::now();
+
+    // Replicas are constructed in shard order on the producer thread, then
+    // each is handed to its worker (the thread start is the happens-before
+    // edge; the join hands it back for merging).
+    std::vector<State> states;
+    states.reserve(n);
+    for (uint32_t s = 0; s < n; ++s) states.push_back(factory_(s));
+
+    std::vector<std::unique_ptr<SpscRing<EdgeBatch>>> rings;
+    rings.reserve(n);
+    for (uint32_t s = 0; s < n; ++s) {
+      rings.push_back(
+          std::make_unique<SpscRing<EdgeBatch>>(options_.queue_capacity));
+    }
+
+    std::vector<std::thread> workers;
+    workers.reserve(n);
+    for (uint32_t s = 0; s < n; ++s) {
+      workers.emplace_back([this, s, &rings, &states] {
+        RuntimeMetrics::PerShard& ps = metrics_.shard(s);
+        State& state = states[s];
+        EdgeBatch batch;
+        while (rings[s]->Pop(&batch)) {
+          auto t0 = std::chrono::steady_clock::now();
+          for (const Edge& e : batch.edges) state.Process(e);
+          auto t1 = std::chrono::steady_clock::now();
+          ps.busy_ns.fetch_add(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                  .count(),
+              std::memory_order_relaxed);
+          ps.edges.fetch_add(batch.edges.size(), std::memory_order_relaxed);
+          ps.batches.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+
+    // Producer: batched reads, routed into per-shard accumulators that are
+    // flushed into the rings when full.
+    ShardRouter router(n, options_.policy, options_.route_salt);
+    std::vector<EdgeBatch> accum(n);
+    for (EdgeBatch& b : accum) b.edges.reserve(options_.batch_size);
+    auto flush = [&](uint32_t s) {
+      metrics_.batches_enqueued.fetch_add(1, std::memory_order_relaxed);
+      uint64_t stalls_before = rings[s]->push_stalls();
+      rings[s]->Push(std::move(accum[s]));
+      metrics_.queue_full_stalls.fetch_add(
+          rings[s]->push_stalls() - stalls_before, std::memory_order_relaxed);
+      accum[s] = EdgeBatch(options_.batch_size);
+    };
+    std::vector<Edge> read_buf;
+    size_t got;
+    while ((got = stream.NextBatch(&read_buf, options_.batch_size)) > 0) {
+      metrics_.edges_ingested.fetch_add(got, std::memory_order_relaxed);
+      for (const Edge& e : read_buf) {
+        uint32_t s = router.ShardOf(e);
+        accum[s].edges.push_back(e);
+        if (accum[s].edges.size() >= options_.batch_size) flush(s);
+      }
+    }
+    for (uint32_t s = 0; s < n; ++s) {
+      if (!accum[s].empty()) flush(s);
+    }
+    for (uint32_t s = 0; s < n; ++s) rings[s]->Close();
+    for (std::thread& w : workers) w.join();
+
+    // End-of-stream space accounting: per-shard sketch footprints BEFORE the
+    // fold — their sum is the pipeline's peak sketch space (SpaceAccounted
+    // interface, when State implements it).
+    for (uint32_t s = 0; s < n; ++s) {
+      if constexpr (requires(const State& st) {
+                      { st.MemoryBytes() } -> std::convertible_to<size_t>;
+                    }) {
+        metrics_.shard(s).state_bytes.store(states[s].MemoryBytes(),
+                                            std::memory_order_relaxed);
+      }
+    }
+
+    // Merge coordinator: fold in fixed shard order for determinism.
+    for (uint32_t s = 1; s < n; ++s) {
+      states[0].Merge(states[s]);
+      metrics_.merges.fetch_add(1, std::memory_order_relaxed);
+    }
+    if constexpr (requires(const State& st) {
+                    { st.MemoryBytes() } -> std::convertible_to<size_t>;
+                  }) {
+      metrics_.merged_state_bytes.store(states[0].MemoryBytes(),
+                                        std::memory_order_relaxed);
+    }
+    metrics_.wall_ns.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - run_start)
+            .count(),
+        std::memory_order_relaxed);
+    return std::move(states[0]);
+  }
+
+  const RuntimeMetrics& metrics() const { return metrics_; }
+
+ private:
+  ShardedPipelineOptions options_;
+  Factory factory_;
+  RuntimeMetrics metrics_;
+};
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_RUNTIME_SHARDED_PIPELINE_H_

@@ -1,0 +1,65 @@
+// Ready-made pipeline states over the raw sketches.
+//
+// The core estimators (EstimateMaxCover, ReportMaxCover, SketchGreedy)
+// already satisfy the ShardedPipeline State concept directly. The raw
+// sketches expose Add(id) rather than Process(Edge); this header wraps the
+// common bundles so benches, tests and ad-hoc callers can shard them
+// without writing adapters.
+
+#ifndef STREAMKC_RUNTIME_SKETCH_STATES_H_
+#define STREAMKC_RUNTIME_SKETCH_STATES_H_
+
+#include <cstdint>
+
+#include "sketch/ams_f2.h"
+#include "sketch/hyperloglog.h"
+#include "sketch/l0_estimator.h"
+#include "stream/edge.h"
+
+namespace streamkc {
+
+// The trivial-branch statistics bundle: distinct covered elements (KMV and
+// HLL realizations of Theorem 2.12) plus the F2 of element frequencies —
+// the per-edge work profile of the paper's Figure-1 first line, and the
+// workload bench_runtime uses for thread-scaling curves.
+struct CoverageSketchState {
+  struct Config {
+    uint32_t l0_num_mins = 256;
+    uint32_t hll_precision = 12;
+    uint32_t ams_rows = 5;
+    uint32_t ams_cols = 16;
+    uint64_t seed = 1;
+  };
+
+  explicit CoverageSketchState(const Config& config)
+      : covered_l0({.num_mins = config.l0_num_mins, .seed = config.seed}),
+        covered_hll({.precision = config.hll_precision, .seed = config.seed}),
+        element_f2({.rows = config.ams_rows,
+                    .cols = config.ams_cols,
+                    .seed = config.seed}) {}
+
+  void Process(const Edge& edge) {
+    covered_l0.Add(edge.element);
+    covered_hll.Add(edge.element);
+    element_f2.Add(edge.element);
+  }
+
+  void Merge(const CoverageSketchState& other) {
+    covered_l0.Merge(other.covered_l0);
+    covered_hll.Merge(other.covered_hll);
+    element_f2.Merge(other.element_f2);
+  }
+
+  size_t MemoryBytes() const {
+    return covered_l0.MemoryBytes() + covered_hll.MemoryBytes() +
+           element_f2.MemoryBytes();
+  }
+
+  L0Estimator covered_l0;
+  HyperLogLog covered_hll;
+  AmsF2Sketch element_f2;
+};
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_RUNTIME_SKETCH_STATES_H_

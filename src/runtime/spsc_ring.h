@@ -1,0 +1,98 @@
+// Bounded single-producer / single-consumer ring with blocking backpressure.
+//
+// One ring connects the ingestion producer to one worker shard. The ring is
+// a fixed-capacity circular buffer: when the consumer falls behind, Push()
+// BLOCKS the producer (and counts the stall) instead of growing a queue —
+// an unbounded queue would let a slow shard silently absorb the whole
+// stream into memory, defeating the streaming model's space discipline.
+//
+// The implementation is mutex + two condition variables rather than a
+// lock-free ring: hand-offs are whole EdgeBatches (thousands of edges), so
+// synchronization cost is already amortized to <1ns/edge and the portable
+// blocking semantics (plus clean TSan behavior) are worth more than the
+// last nanoseconds. Close() wakes the consumer for end-of-stream; Pop()
+// drains remaining items before reporting closure.
+
+#ifndef STREAMKC_RUNTIME_SPSC_RING_H_
+#define STREAMKC_RUNTIME_SPSC_RING_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/check.h"
+
+namespace streamkc {
+
+template <typename T>
+class SpscRing {
+ public:
+  // `capacity` is the maximum number of in-flight items (≥ 1).
+  explicit SpscRing(size_t capacity)
+      : buffer_(capacity < 1 ? 1 : capacity) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  // Blocks while the ring is full (backpressure). CHECK-fails if called
+  // after Close(): the producer owns the lifecycle and must not race it.
+  void Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    CHECK(!closed_);
+    if (size_ == buffer_.size()) {
+      ++push_stalls_;
+      not_full_.wait(lock, [&] { return size_ < buffer_.size(); });
+    }
+    buffer_[(head_ + size_) % buffer_.size()] = std::move(item);
+    ++size_;
+    lock.unlock();
+    not_empty_.notify_one();
+  }
+
+  // Blocks until an item is available or the ring is closed and drained.
+  // Returns false only at end of stream (closed and empty).
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return size_ > 0 || closed_; });
+    if (size_ == 0) return false;
+    *out = std::move(buffer_[head_]);
+    head_ = (head_ + 1) % buffer_.size();
+    --size_;
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  // Signals end of stream; already-queued items remain poppable.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  // Number of Push() calls that had to wait for space (producer-side
+  // backpressure events).
+  uint64_t push_stalls() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return push_stalls_;
+  }
+
+  size_t capacity() const { return buffer_.size(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<T> buffer_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+  bool closed_ = false;
+  uint64_t push_stalls_ = 0;
+};
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_RUNTIME_SPSC_RING_H_

@@ -13,6 +13,8 @@
 #ifndef STREAMKC_STREAM_EDGE_STREAM_H_
 #define STREAMKC_STREAM_EDGE_STREAM_H_
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -28,6 +30,18 @@ class EdgeStream {
 
   // Fetches the next edge; returns false at end of stream.
   virtual bool Next(Edge* edge) = 0;
+
+  // Fetches up to `max_edges` edges into `*out` (replacing its contents) and
+  // returns how many were read; 0 means end of stream. The default loops
+  // over Next(); sources with cheap bulk access (VectorEdgeStream) override
+  // it. Batched reads are what the runtime producer uses to amortize
+  // per-edge virtual-call and queue costs.
+  virtual size_t NextBatch(std::vector<Edge>* out, size_t max_edges) {
+    out->clear();
+    Edge e;
+    while (out->size() < max_edges && Next(&e)) out->push_back(e);
+    return out->size();
+  }
 
   // Rewinds to the beginning (harness convenience; algorithms are one-pass).
   virtual void Reset() = 0;
@@ -46,6 +60,15 @@ class VectorEdgeStream : public EdgeStream {
     if (pos_ >= edges_.size()) return false;
     *edge = edges_[pos_++];
     return true;
+  }
+
+  // Fast path: one bulk copy instead of max_edges virtual calls.
+  size_t NextBatch(std::vector<Edge>* out, size_t max_edges) override {
+    size_t take = std::min(max_edges, edges_.size() - pos_);
+    out->assign(edges_.begin() + static_cast<ptrdiff_t>(pos_),
+                edges_.begin() + static_cast<ptrdiff_t>(pos_ + take));
+    pos_ += take;
+    return take;
   }
 
   void Reset() override { pos_ = 0; }

@@ -2,18 +2,58 @@
 //   sketch(stream A) ⊕ sketch(stream B) == sketch(A ++ B)
 // exactly (counter-level equality), which is what makes the pipeline usable
 // over distributed or sharded streams.
+//
+// The *MergeOrder* tests go further: the runtime's merge coordinator folds
+// shard replicas in a fixed order, but nothing in the reduction should
+// depend on it — folding the same ≥4 shard sketches in random orders must
+// produce identical results (associativity + commutativity as an observable
+// property, not just an algebra claim).
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "sketch/ams_f2.h"
 #include "sketch/count_sketch.h"
 #include "sketch/f2_contributing.h"
 #include "sketch/f2_heavy_hitters.h"
+#include "sketch/hyperloglog.h"
+#include "sketch/l0_estimator.h"
+#include "util/random.h"
 
 namespace streamkc {
 namespace {
+
+template <typename Sketch>
+std::string SaveBytes(const Sketch& s) {
+  std::ostringstream os;
+  s.Save(os);
+  return os.str();
+}
+
+// Left-fold of `shards` in the given visiting order.
+template <typename Sketch>
+Sketch FoldInOrder(const std::vector<Sketch>& shards,
+                   const std::vector<size_t>& order) {
+  Sketch acc = shards[order[0]];
+  for (size_t i = 1; i < order.size(); ++i) acc.Merge(shards[order[i]]);
+  return acc;
+}
+
+// Deterministic Fisher-Yates over [0, n) driven by the repo Rng.
+std::vector<size_t> RandomOrder(size_t n, Rng& rng) {
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (size_t i = n - 1; i > 0; --i) {
+    size_t j = rng.UniformU64(i + 1);
+    std::swap(order[i], order[j]);
+  }
+  return order;
+}
 
 TEST(CountSketchMerge, EqualsConcatenation) {
   CountSketch::Config cfg{.depth = 5, .width = 128, .seed = 3};
@@ -119,6 +159,92 @@ TEST(F2ContributingMerge, FindsClassSplitAcrossShards) {
       EXPECT_GE(cc.estimate, 16.0);
       EXPECT_LE(cc.estimate, 80.0);
     }
+  }
+}
+
+TEST(L0MergeOrder, AnyFoldOrderGivesIdenticalState) {
+  // 6 shards, ~3000 distinct ids >> num_mins, so every shard saturates and
+  // the merged heap is the 64 globally smallest hashes no matter the fold.
+  L0Estimator::Config cfg{.num_mins = 64, .seed = 21};
+  std::vector<L0Estimator> shards(6, L0Estimator(cfg));
+  for (uint64_t i = 0; i < 3000; ++i) shards[i % 6].Add(SplitMix64(i));
+  L0Estimator canonical = FoldInOrder(shards, {0, 1, 2, 3, 4, 5});
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    L0Estimator folded = FoldInOrder(shards, RandomOrder(shards.size(), rng));
+    EXPECT_EQ(SaveBytes(folded), SaveBytes(canonical));
+    EXPECT_DOUBLE_EQ(folded.Estimate(), canonical.Estimate());
+  }
+}
+
+TEST(HllMergeOrder, AnyFoldOrderMatchesWholeStreamBytes) {
+  // Register-wise max is idempotent/commutative/associative, so the merged
+  // registers must be byte-identical to the single-pass sketch as well.
+  HyperLogLog::Config cfg{.precision = 10, .seed = 23};
+  std::vector<HyperLogLog> shards(5, HyperLogLog(cfg));
+  HyperLogLog whole(cfg);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    shards[i % 5].Add(SplitMix64(i * 3));
+    whole.Add(SplitMix64(i * 3));
+  }
+  std::string whole_bytes = SaveBytes(whole);
+  Rng rng(101);
+  for (int trial = 0; trial < 10; ++trial) {
+    HyperLogLog folded = FoldInOrder(shards, RandomOrder(shards.size(), rng));
+    EXPECT_EQ(SaveBytes(folded), whole_bytes);
+  }
+}
+
+TEST(AmsMergeOrder, AnyFoldOrderMatchesWholeStreamBytes) {
+  AmsF2Sketch::Config cfg{.rows = 5, .cols = 16, .seed = 25};
+  std::vector<AmsF2Sketch> shards(4, AmsF2Sketch(cfg));
+  AmsF2Sketch whole(cfg);
+  for (uint64_t i = 0; i < 4000; ++i) {
+    uint64_t id = i % 131;
+    shards[i % 4].Add(id);
+    whole.Add(id);
+  }
+  std::string whole_bytes = SaveBytes(whole);
+  Rng rng(103);
+  for (int trial = 0; trial < 10; ++trial) {
+    AmsF2Sketch folded = FoldInOrder(shards, RandomOrder(shards.size(), rng));
+    EXPECT_EQ(SaveBytes(folded), whole_bytes);
+    EXPECT_DOUBLE_EQ(folded.Estimate(), whole.Estimate());
+  }
+}
+
+TEST(F2HeavyHittersMergeOrder, ExtractIsFoldOrderInvariant) {
+  // Distinct-id count stays below the candidate capacity (cand_factor/phi),
+  // so no order-dependent prune fires; the candidate set is then a plain
+  // union and Extract re-queries the merged (linear) counters.
+  F2HeavyHitters::Config cfg{.phi = 0.05, .seed = 27};
+  std::vector<F2HeavyHitters> shards(5, F2HeavyHitters(cfg));
+  for (uint64_t i = 0; i < 2000; ++i) {
+    uint64_t id = i % 50;
+    shards[i % 5].Add(id, id == 7 ? 40 : 1);
+  }
+  auto sorted_extract = [](const F2HeavyHitters& hh) {
+    auto out = hh.Extract();
+    std::sort(out.begin(), out.end(),
+              [](const HeavyHitter& a, const HeavyHitter& b) {
+                return a.id < b.id;
+              });
+    return out;
+  };
+  F2HeavyHitters canonical = FoldInOrder(shards, {0, 1, 2, 3, 4});
+  auto canonical_out = sorted_extract(canonical);
+  ASSERT_FALSE(canonical_out.empty());
+  Rng rng(105);
+  for (int trial = 0; trial < 10; ++trial) {
+    F2HeavyHitters folded =
+        FoldInOrder(shards, RandomOrder(shards.size(), rng));
+    auto out = sorted_extract(folded);
+    ASSERT_EQ(out.size(), canonical_out.size());
+    for (size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i].id, canonical_out[i].id);
+      EXPECT_DOUBLE_EQ(out[i].estimate, canonical_out[i].estimate);
+    }
+    EXPECT_DOUBLE_EQ(folded.EstimateF2(), canonical.EstimateF2());
   }
 }
 

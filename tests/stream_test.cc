@@ -133,6 +133,55 @@ TEST(StreamStats, DuplicatesIgnored) {
   EXPECT_EQ(stats.set_size.at(0), 2u);
 }
 
+TEST(VectorEdgeStream, NextBatchFastPathDrainsInChunks) {
+  VectorEdgeStream s(SampleEdges());
+  std::vector<Edge> batch;
+  EXPECT_EQ(s.NextBatch(&batch, 3), 3u);
+  EXPECT_EQ(batch[0], (Edge{0, 10}));
+  EXPECT_EQ(batch[2], (Edge{1, 10}));
+  EXPECT_EQ(s.NextBatch(&batch, 3), 3u);
+  EXPECT_EQ(s.NextBatch(&batch, 3), 1u);  // short final chunk
+  EXPECT_EQ(batch[0], (Edge{2, 11}));
+  EXPECT_EQ(s.NextBatch(&batch, 3), 0u);  // end of stream
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST(VectorEdgeStream, NextBatchInterleavesWithNext) {
+  VectorEdgeStream s(SampleEdges());
+  Edge e;
+  ASSERT_TRUE(s.Next(&e));
+  std::vector<Edge> batch;
+  EXPECT_EQ(s.NextBatch(&batch, 100), 6u);  // the remaining edges
+  EXPECT_EQ(batch.front(), (Edge{0, 11}));
+  EXPECT_FALSE(s.Next(&e));
+}
+
+// A Next()-only stream exercising EdgeStream's default NextBatch loop.
+class CountdownStream : public EdgeStream {
+ public:
+  explicit CountdownStream(uint64_t n) : left_(n) {}
+  bool Next(Edge* edge) override {
+    if (left_ == 0) return false;
+    --left_;
+    *edge = Edge{left_, left_ * 2};
+    return true;
+  }
+  void Reset() override {}
+
+ private:
+  uint64_t left_;
+};
+
+TEST(EdgeStream, DefaultNextBatchLoopsOverNext) {
+  CountdownStream s(5);
+  std::vector<Edge> batch{{9, 9}};  // stale contents must be replaced
+  EXPECT_EQ(s.NextBatch(&batch, 4), 4u);
+  EXPECT_EQ(batch.size(), 4u);
+  EXPECT_EQ(batch[0], (Edge{4, 8}));
+  EXPECT_EQ(s.NextBatch(&batch, 4), 1u);
+  EXPECT_EQ(s.NextBatch(&batch, 4), 0u);
+}
+
 TEST(EdgeHash, DistinctForDistinctEdges) {
   EdgeHash h;
   EXPECT_NE(h(Edge{1, 2}), h(Edge{2, 1}));

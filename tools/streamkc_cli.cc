@@ -5,13 +5,22 @@
 //   streamkc_cli stats    edges.txt
 //   streamkc_cli estimate edges.txt --m 2048 --n 4096 --k 32 --alpha 8
 //   streamkc_cli estimate edges.txt --m 2048 --n 4096 --k 32 --budget-kb 512
+//   streamkc_cli estimate edges.txt --m 2048 --n 4096 --k 32 --alpha 8
+//                --threads 8 --metrics-out metrics.json
 //   streamkc_cli report   edges.txt --m 2048 --n 4096 --k 32 --alpha 8
 //   streamkc_cli twopass  edges.txt --m 2048 --n 4096 --k 32 --alpha 8
 //
 // Input format: one "set element" pair per line ('#' comments allowed), any
 // order — the general edge-arrival model. `estimate`/`report` are single
 // pass; `twopass` reads the file twice for a narrower sketch.
+//
+// --threads N runs estimate/report through the sharded runtime pipeline
+// (src/runtime): N seed-coordinated replicas ingest disjoint substreams and
+// are folded with Merge() at end of stream. The result is deterministic and
+// matches the single-threaded answer on the same seed. --metrics-out dumps
+// the RuntimeMetrics JSON snapshot ("-" for stdout).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,6 +29,7 @@
 #include "core/estimate_max_cover.h"
 #include "core/report_max_cover.h"
 #include "core/two_pass.h"
+#include "runtime/sharded_pipeline.h"
 #include "setsys/generators.h"
 #include "stream/stream_stats.h"
 #include "stream/text_stream.h"
@@ -36,6 +46,10 @@ struct Args {
   size_t budget_kb = 0;
   std::string family = "planted";
   std::string out;
+  uint64_t threads = 0;  // 0 = classic in-line pass, N ≥ 1 = sharded runtime
+  size_t batch_size = 4096;
+  std::string partition = "element";  // routing key: element | set
+  std::string metrics_out;            // RuntimeMetrics JSON ("-" = stdout)
 };
 
 [[noreturn]] void Usage(const char* msg) {
@@ -47,8 +61,10 @@ struct Args {
                "  streamkc_cli stats FILE\n"
                "  streamkc_cli estimate FILE --m M --n N --k K"
                " (--alpha A | --budget-kb B) [--seed S]\n"
+               "           [--threads T] [--batch-size B]"
+               " [--partition element|set] [--metrics-out FILE|-]\n"
                "  streamkc_cli report  FILE --m M --n N --k K --alpha A"
-               " [--seed S]\n"
+               " [--seed S] [--threads T ...]\n"
                "  streamkc_cli twopass FILE --m M --n N --k K --alpha A"
                " [--seed S]\n");
   std::exit(2);
@@ -91,6 +107,18 @@ Args Parse(int argc, char** argv) {
       a.family = next();
     } else if (flag == "--out") {
       a.out = next();
+    } else if (flag == "--threads") {
+      a.threads = ParseU64(next());
+    } else if (flag == "--batch-size") {
+      a.batch_size = ParseU64(next());
+      if (a.batch_size == 0) Usage("--batch-size must be >= 1");
+    } else if (flag == "--partition") {
+      a.partition = next();
+      if (a.partition != "element" && a.partition != "set") {
+        Usage("--partition must be element or set");
+      }
+    } else if (flag == "--metrics-out") {
+      a.metrics_out = next();
     } else {
       Usage(("unknown flag " + flag).c_str());
     }
@@ -156,19 +184,81 @@ Params MakeParams(const Args& a) {
   return Params::Practical(a.m, a.n, a.k, alpha);
 }
 
+ShardedPipelineOptions PipelineOptions(const Args& a) {
+  ShardedPipelineOptions po;
+  po.num_shards = static_cast<uint32_t>(a.threads);
+  po.batch_size = a.batch_size;
+  po.policy = a.partition == "set" ? PartitionPolicy::kBySet
+                                   : PartitionPolicy::kByElement;
+  return po;
+}
+
+void DumpMetrics(const RuntimeMetrics& m, const std::string& path) {
+  std::string json = m.ToJson();
+  if (path == "-") {
+    std::printf("%s\n", json.c_str());
+    return;
+  }
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "%s\n", json.c_str());
+  std::fclose(f);
+}
+
+// One pass over `a.file` with a fresh `make()` estimator: in-line when
+// --threads is absent, through the sharded runtime otherwise. `*peak_bytes`
+// receives the pass's peak sketch footprint via SpaceAccounted: sampled
+// every 64Ki edges in-line (rescaling subroutines can shrink, so the final
+// footprint is not the peak), and the pre-merge sum of shard replicas when
+// sharded.
+template <typename State, typename MakeFn>
+State RunPass(const Args& a, MakeFn make, size_t* peak_bytes) {
+  TextEdgeStream stream(a.file);
+  if (a.threads == 0) {
+    State st = make();
+    Edge e;
+    uint64_t count = 0;
+    size_t peak = 0;
+    while (stream.Next(&e)) {
+      st.Process(e);
+      if ((++count & 0xFFFFu) == 0) peak = std::max(peak, st.MemoryBytes());
+    }
+    *peak_bytes = std::max(peak, st.MemoryBytes());
+    return st;
+  }
+  ShardedPipeline<State> pipe(PipelineOptions(a),
+                              [&](uint32_t) { return make(); });
+  State st = pipe.Run(stream);
+  const RuntimeMetrics& m = pipe.metrics();
+  *peak_bytes = std::max<size_t>(
+      m.TotalStateBytes(),
+      m.merged_state_bytes.load(std::memory_order_relaxed));
+  std::printf("runtime            : %u shards (%s-partitioned), "
+              "%.2fM edges/s, %llu queue stalls\n",
+              m.num_shards(), a.partition.c_str(), m.EdgesPerSecond() / 1e6,
+              (unsigned long long)m.queue_full_stalls.load(
+                  std::memory_order_relaxed));
+  if (!a.metrics_out.empty()) DumpMetrics(m, a.metrics_out);
+  return st;
+}
+
 int CmdEstimate(const Args& a) {
   if (a.file.empty()) Usage("estimate needs a FILE");
   EstimateMaxCover::Config c;
   c.params = MakeParams(a);
   c.seed = a.seed;
-  EstimateMaxCover est(c);
-  TextEdgeStream stream(a.file);
   Stopwatch sw;
-  FeedStream(stream, est);
+  size_t peak_bytes = 0;
+  EstimateMaxCover est = RunPass<EstimateMaxCover>(
+      a, [&] { return EstimateMaxCover(c); }, &peak_bytes);
   EstimateOutcome out = est.Finalize();
   std::printf("coverage estimate  : %.0f\n", out.estimate);
   std::printf("winning subroutine : %s\n", out.source.c_str());
-  std::printf("sketch memory      : %zu KiB\n", est.MemoryBytes() >> 10);
+  std::printf("sketch memory      : %zu KiB (peak %zu KiB)\n",
+              est.MemoryBytes() >> 10, peak_bytes >> 10);
   std::printf("pass time          : %.2fs\n", sw.ElapsedSeconds());
   return 0;
 }
@@ -178,17 +268,18 @@ int CmdReport(const Args& a) {
   ReportMaxCover::Config c;
   c.params = MakeParams(a);
   c.seed = a.seed;
-  ReportMaxCover rep(c);
-  TextEdgeStream stream(a.file);
   Stopwatch sw;
-  FeedStream(stream, rep);
+  size_t peak_bytes = 0;
+  ReportMaxCover rep = RunPass<ReportMaxCover>(
+      a, [&] { return ReportMaxCover(c); }, &peak_bytes);
   MaxCoverSolution sol = rep.Finalize();
   std::printf("coverage estimate  : %.0f (%s)\n", sol.estimate,
               sol.source.c_str());
   std::printf("selected sets (%zu): ", sol.sets.size());
   for (SetId s : sol.sets) std::printf("%llu ", (unsigned long long)s);
-  std::printf("\nsketch memory      : %zu KiB, pass time %.2fs\n",
-              rep.MemoryBytes() >> 10, sw.ElapsedSeconds());
+  std::printf("\nsketch memory      : %zu KiB (peak %zu KiB), "
+              "pass time %.2fs\n",
+              rep.MemoryBytes() >> 10, peak_bytes >> 10, sw.ElapsedSeconds());
   return 0;
 }
 
