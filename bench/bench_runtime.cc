@@ -45,7 +45,7 @@ std::vector<Edge> SynthesizeEdges(size_t count, uint64_t seed) {
   return edges;
 }
 
-int Main() {
+int Main(int argc, char** argv) {
   const size_t num_edges = bench::SmallScale() ? 1'000'000 : 10'000'000;
   bench::Banner(
       "Runtime thread scaling: sharded ingestion + mergeable-sketch reduction",
@@ -79,6 +79,7 @@ int Main() {
     VectorEdgeStream stream(edges);
     CoverageSketchState merged = pipe.Run(stream);
     const RuntimeMetrics& m = pipe.metrics();
+    m.PublishTo(&MetricsRegistry::Global());  // last shard count wins
     double eps = m.EdgesPerSecond();
     // The contract every row must keep: merged estimates equal the in-line
     // single-threaded ones exactly (same seeds, union/linear reductions).
@@ -101,10 +102,11 @@ int Main() {
       "\nSpeedup is bounded by physical cores; per-shard space is constant "
       "(seed-coordinated replicas), so total space grows linearly with "
       "shards until the fold collapses it back to one sketch.\n");
+  bench::DumpMetricsJson(bench::MetricsOutPath(argc, argv));
   return 0;
 }
 
 }  // namespace
 }  // namespace streamkc
 
-int main() { return streamkc::Main(); }
+int main(int argc, char** argv) { return streamkc::Main(argc, argv); }

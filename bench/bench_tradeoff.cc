@@ -15,6 +15,7 @@
 
 #include "bench_util.h"
 #include "core/estimate_max_cover.h"
+#include "obs/space_accountant.h"
 #include "offline/greedy.h"
 #include "setsys/generators.h"
 #include "util/stopwatch.h"
@@ -39,6 +40,10 @@ RunResult RunEstimator(const SetSystem& sys, uint64_t k, double alpha,
   VectorEdgeStream stream = sys.MakeStream(ArrivalOrder::kRandom, seed);
   Stopwatch sw;
   FeedStream(stream, est);
+  // Publish the run's per-component space breakdown into the global
+  // registry so --metrics-out captures the last configuration's footprint.
+  SpaceAccountant acct(&MetricsRegistry::Global());
+  acct.Sample(est);
   EstimateOutcome out = est.Finalize();
   return {out.estimate, est.MemoryBytes(),
           est.trivial_mode() ? 0 : est.HeavyHitterComponentBytes(),
@@ -109,8 +114,9 @@ void PartB_MSweep() {
 }  // namespace
 }  // namespace streamkc
 
-int main() {
+int main(int argc, char** argv) {
   streamkc::PartA_AlphaSweep();
   streamkc::PartB_MSweep();
+  streamkc::bench::DumpMetricsJson(streamkc::bench::MetricsOutPath(argc, argv));
   return 0;
 }

@@ -1,9 +1,12 @@
 // Shared helpers for the experiment harnesses in bench/.
 //
 // Each bench binary reproduces one experiment from DESIGN.md §4 and prints a
-// fixed-width table plus a short interpretation. The binaries take no
-// arguments (so `for b in build/bench/*; do $b; done` regenerates every
-// experiment) but honor STREAMKC_BENCH_SCALE=small for quicker smoke runs.
+// fixed-width table plus a short interpretation. The binaries run with no
+// required arguments (so `for b in build/bench/*; do $b; done` regenerates
+// every experiment) but honor STREAMKC_BENCH_SCALE=small for quicker smoke
+// runs, and `--metrics-out FILE|-` (or STREAMKC_BENCH_METRICS_OUT) to dump
+// the metrics-registry snapshot — space gauges included — as JSON after the
+// experiment.
 
 #ifndef STREAMKC_BENCH_BENCH_UTIL_H_
 #define STREAMKC_BENCH_BENCH_UTIL_H_
@@ -14,6 +17,9 @@
 #include <cstring>
 #include <string>
 #include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace streamkc::bench {
 
@@ -63,6 +69,34 @@ inline std::string Fmt(const char* fmt, ...) {
   std::vsnprintf(buf, sizeof(buf), fmt, args);
   va_end(args);
   return buf;
+}
+
+// Resolves the bench's metrics sink: `--metrics-out FILE` on the command
+// line, else STREAMKC_BENCH_METRICS_OUT, else "" (disabled).
+inline std::string MetricsOutPath(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0) return argv[i + 1];
+  }
+  const char* env = std::getenv("STREAMKC_BENCH_METRICS_OUT");
+  return env != nullptr ? env : "";
+}
+
+// Writes the process-wide registry snapshot as JSON to `path` ("-" =
+// stdout); no-op when `path` is empty.
+inline void DumpMetricsJson(const std::string& path) {
+  if (path.empty()) return;
+  std::string json = ExportJson(MetricsRegistry::Global().Snapshot());
+  if (path == "-") {
+    std::printf("%s\n", json.c_str());
+    return;
+  }
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "%s\n", json.c_str());
+  std::fclose(f);
 }
 
 inline void Banner(const char* experiment, const char* claim) {

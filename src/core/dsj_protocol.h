@@ -47,6 +47,7 @@ class DsjDistinguisher : public StreamingEstimator {
   Verdict Finalize() const;
 
   size_t MemoryBytes() const override;
+  const char* ComponentName() const override { return "dsj_distinguisher"; }
 
  private:
   Config config_;

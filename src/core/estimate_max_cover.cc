@@ -140,4 +140,13 @@ size_t EstimateMaxCover::MemoryBytes() const {
   return bytes;
 }
 
+void EstimateMaxCover::ReportSpace(SpaceAccountant* acct) const {
+  SpaceMetered::ReportSpace(acct);
+  if (trivial_mode_) {
+    covered_elements_->ReportSpace(acct);
+    return;
+  }
+  for (const Level& level : oracles_) level.oracle->ReportSpace(acct);
+}
+
 }  // namespace streamkc

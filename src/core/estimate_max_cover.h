@@ -62,6 +62,11 @@ class EstimateMaxCover : public StreamingEstimator {
   std::vector<SetId> ExtractSolution(uint64_t max_sets) const;
 
   size_t MemoryBytes() const override;
+  const char* ComponentName() const override { return "estimate_max_cover"; }
+  uint64_t ItemCount() const override { return oracles_.size(); }
+  // Composite: recurses into every (guess, repetition) oracle, or the
+  // trivial branch's L0.
+  void ReportSpace(SpaceAccountant* acct) const override;
 
   // Bytes held by the heavy-hitter machinery (the LargeSet subroutines)
   // across all oracles — the component that carries the Θ̃(m/α²) term of the

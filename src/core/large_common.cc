@@ -131,4 +131,12 @@ size_t LargeCommon::MemoryBytes() const {
   return bytes;
 }
 
+void LargeCommon::ReportSpace(SpaceAccountant* acct) const {
+  SpaceMetered::ReportSpace(acct);
+  for (const Level& level : levels_) {
+    level.coverage.ReportSpace(acct);
+    for (const auto& g : level.group_coverage) g.ReportSpace(acct);
+  }
+}
+
 }  // namespace streamkc

@@ -58,6 +58,11 @@ class LargeCommon : public StreamingEstimator {
   std::vector<SetId> ExtractSolution(uint64_t max_sets) const;
 
   size_t MemoryBytes() const override;
+  const char* ComponentName() const override { return "large_common"; }
+  uint64_t ItemCount() const override { return levels_.size(); }
+  // Composite: also reports every level's coverage L0 (and the per-group
+  // counters in reporting mode).
+  void ReportSpace(SpaceAccountant* acct) const override;
 
   uint32_t num_levels() const { return static_cast<uint32_t>(levels_.size()); }
 

@@ -224,6 +224,16 @@ size_t LargeSetComplete::MemoryBytes() const {
   return bytes;
 }
 
+void LargeSetComplete::ReportSpace(SpaceAccountant* acct) const {
+  SpaceMetered::ReportSpace(acct);
+  cntr_small_.ReportSpace(acct);
+  cntr_large_.ReportSpace(acct);
+  for (const auto& [id, de] : pool_) {
+    (void)id;
+    de.ReportSpace(acct);
+  }
+}
+
 LargeSet::LargeSet(const Config& config) : config_(config) {
   const Params& p = config.params;
   CHECK_GT(config.universe_size, 0u);
@@ -289,6 +299,11 @@ size_t LargeSet::MemoryBytes() const {
   size_t bytes = 0;
   for (const auto& rep : reps_) bytes += rep.MemoryBytes();
   return bytes;
+}
+
+void LargeSet::ReportSpace(SpaceAccountant* acct) const {
+  SpaceMetered::ReportSpace(acct);
+  for (const auto& rep : reps_) rep.ReportSpace(acct);
 }
 
 }  // namespace streamkc

@@ -72,6 +72,11 @@ class LargeSetComplete : public StreamingEstimator {
   std::vector<SetId> ExtractSolution(uint64_t max_sets) const;
 
   size_t MemoryBytes() const override;
+  const char* ComponentName() const override { return "large_set_rep"; }
+  uint64_t ItemCount() const override { return pool_.size(); }
+  // Composite: also reports the two contributing sketches and the pooled
+  // per-superset L0 counters.
+  void ReportSpace(SpaceAccountant* acct) const override;
 
   uint64_t num_supersets() const { return num_supersets_; }
 
@@ -125,6 +130,9 @@ class LargeSet : public StreamingEstimator {
   std::vector<SetId> ExtractSolution(uint64_t max_sets) const;
 
   size_t MemoryBytes() const override;
+  const char* ComponentName() const override { return "large_set"; }
+  uint64_t ItemCount() const override { return reps_.size(); }
+  void ReportSpace(SpaceAccountant* acct) const override;
 
   uint32_t num_repetitions() const {
     return static_cast<uint32_t>(reps_.size());

@@ -85,4 +85,11 @@ size_t Oracle::MemoryBytes() const {
   return bytes;
 }
 
+void Oracle::ReportSpace(SpaceAccountant* acct) const {
+  SpaceMetered::ReportSpace(acct);
+  large_common_->ReportSpace(acct);
+  large_set_->ReportSpace(acct);
+  if (small_set_ != nullptr) small_set_->ReportSpace(acct);
+}
+
 }  // namespace streamkc

@@ -53,6 +53,9 @@ class Oracle : public StreamingEstimator {
   std::vector<SetId> ExtractSolution(uint64_t max_sets) const;
 
   size_t MemoryBytes() const override;
+  const char* ComponentName() const override { return "oracle"; }
+  // Composite: also reports the three subroutines.
+  void ReportSpace(SpaceAccountant* acct) const override;
 
   const LargeCommon& large_common() const { return *large_common_; }
   const LargeSet& large_set() const { return *large_set_; }

@@ -93,4 +93,9 @@ size_t ReportMaxCover::MemoryBytes() const {
          set_sample_.hash.MemoryBytes();
 }
 
+void ReportMaxCover::ReportSpace(SpaceAccountant* acct) const {
+  SpaceMetered::ReportSpace(acct);
+  estimator_.ReportSpace(acct);
+}
+
 }  // namespace streamkc

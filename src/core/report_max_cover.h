@@ -56,6 +56,10 @@ class ReportMaxCover : public StreamingEstimator {
   void Merge(const ReportMaxCover& other);
 
   size_t MemoryBytes() const override;
+  const char* ComponentName() const override { return "report_max_cover"; }
+  uint64_t ItemCount() const override { return set_sample_.heap.size(); }
+  // Composite: also reports the wrapped estimator stack.
+  void ReportSpace(SpaceAccountant* acct) const override;
 
  private:
   // Bottom-k distinct sample of set ids (trivial branch's k-cover).

@@ -232,6 +232,17 @@ size_t SmallSet::MemoryBytes() const {
   return bytes;
 }
 
+uint64_t SmallSet::ItemCount() const {
+  uint64_t items = 0;
+  for (const Instance& inst : instances_) {
+    for (const auto& [set, elems] : inst.edges) {
+      (void)set;
+      items += elems.size();
+    }
+  }
+  return items;
+}
+
 uint32_t SmallSet::num_rescaled() const {
   uint32_t n = 0;
   for (const Instance& inst : instances_) n += inst.rescales;

@@ -65,6 +65,10 @@ class SmallSet : public StreamingEstimator {
   std::vector<SetId> ExtractSolution(uint64_t max_sets) const;
 
   size_t MemoryBytes() const override;
+  const char* ComponentName() const override { return "small_set"; }
+  // Stored sample size: surviving (set, element) incidences across every
+  // (guess, repetition) instance.
+  uint64_t ItemCount() const override;
 
   uint32_t num_instances() const {
     return static_cast<uint32_t>(instances_.size());

@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "obs/space_accountant.h"
 #include "stream/edge.h"
 #include "stream/edge_stream.h"
 #include "util/space.h"
@@ -23,7 +24,10 @@ struct EstimateOutcome {
 };
 
 // A single-pass streaming coverage estimator over (set, element) edges.
-class StreamingEstimator : public SpaceAccounted {
+// SpaceMetered (obs/space_accountant.h): every estimator names itself and
+// reports into a SpaceAccountant, so one Sample() call on the root of an
+// estimator stack produces the whole space breakdown.
+class StreamingEstimator : public SpaceMetered {
  public:
   ~StreamingEstimator() override = default;
   // Observes one stream token. Must be O(polylog) time and touch only

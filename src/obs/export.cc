@@ -1,0 +1,112 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace streamkc {
+namespace {
+
+// Splits "base{labels}" into (base, "labels"); labels is empty when absent.
+std::pair<std::string, std::string> SplitLabels(const std::string& name) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) return {name, ""};
+  std::string labels = name.substr(brace + 1);
+  if (!labels.empty() && labels.back() == '}') labels.pop_back();
+  return {name.substr(0, brace), labels};
+}
+
+// Labeled metric names embed '"' characters (name{label="value"}), which
+// must be escaped when the name becomes a JSON object key.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string ExportJson(const std::vector<MetricSample>& samples) {
+  char buf[160];
+  std::string out = "{";
+  bool first = true;
+  for (const MetricSample& s : samples) {
+    out += first ? "\n  \"" : ",\n  \"";
+    first = false;
+    out += JsonEscape(s.name);
+    out += "\": ";
+    if (s.kind == MetricKind::kHistogram) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"count\": %" PRIu64 ", \"sum\": %" PRIu64
+                    ", \"buckets\": [",
+                    s.count, s.sum);
+      out += buf;
+      for (size_t b = 0; b < s.buckets.size(); ++b) {
+        std::snprintf(buf, sizeof(buf), "%s[%" PRIu64 ", %" PRIu64 "]",
+                      b == 0 ? "" : ", ", s.buckets[b].first,
+                      s.buckets[b].second);
+        out += buf;
+      }
+      out += "]}";
+    } else {
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, s.value);
+      out += buf;
+    }
+  }
+  out += first ? "}" : "\n}";
+  return out;
+}
+
+std::string ExportPrometheus(const std::vector<MetricSample>& samples) {
+  char buf[160];
+  std::string out;
+  std::string last_family;
+  for (const MetricSample& s : samples) {
+    auto [base, labels] = SplitLabels(s.name);
+    if (base != last_family) {
+      out += "# TYPE " + base + " " + KindName(s.kind) + "\n";
+      last_family = base;
+    }
+    if (s.kind == MetricKind::kHistogram) {
+      std::string label_prefix = labels.empty() ? "" : labels + ",";
+      uint64_t cumulative = 0;
+      for (const auto& [le, count] : s.buckets) {
+        cumulative += count;
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, le);
+        out += base + "_bucket{" + label_prefix + "le=\"" + buf + "\"} ";
+        std::snprintf(buf, sizeof(buf), "%" PRIu64 "\n", cumulative);
+        out += buf;
+      }
+      out += base + "_bucket{" + label_prefix + "le=\"+Inf\"} ";
+      std::snprintf(buf, sizeof(buf), "%" PRIu64 "\n", s.count);
+      out += buf;
+      out += base + (labels.empty() ? "_sum " : "_sum{" + labels + "} ");
+      std::snprintf(buf, sizeof(buf), "%" PRIu64 "\n", s.sum);
+      out += buf;
+      out += base + (labels.empty() ? "_count " : "_count{" + labels + "} ");
+      std::snprintf(buf, sizeof(buf), "%" PRIu64 "\n", s.count);
+      out += buf;
+    } else {
+      std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", s.value);
+      out += s.name + buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace streamkc

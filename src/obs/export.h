@@ -1,0 +1,31 @@
+// Registry exporters: JSON and Prometheus text exposition format.
+//
+// Both render a MetricsRegistry::Snapshot(). JSON is a flat object keyed by
+// the full metric name (label block included), values are integers for
+// counters/gauges and {"count","sum","buckets":[[le,count],..]} objects for
+// histograms — machine-diffable and schema-validated in CI
+// (tools/validate_metrics.py). The Prometheus exporter emits the standard
+// text format (# TYPE lines; histograms as cumulative _bucket{le=...} series
+// plus _sum/_count) so a scrape endpoint or textfile collector can ingest a
+// run's metrics unchanged.
+
+#ifndef STREAMKC_OBS_EXPORT_H_
+#define STREAMKC_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace streamkc {
+
+// {"name": value, ..., "hist_name": {"count": c, "sum": s,
+//  "buckets": [[upper_bound, count], ...]}, ...} with keys in sorted order.
+std::string ExportJson(const std::vector<MetricSample>& samples);
+
+// Prometheus text exposition format, one # TYPE line per metric family.
+std::string ExportPrometheus(const std::vector<MetricSample>& samples);
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_OBS_EXPORT_H_

@@ -1,0 +1,105 @@
+#include "obs/metrics.h"
+
+#include "util/check.h"
+
+namespace streamkc {
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (e.counter == nullptr) {
+    CHECK(e.gauge == nullptr && e.histogram == nullptr);
+    e.kind = MetricKind::kCounter;
+    e.counter = std::make_unique<Counter>();
+  }
+  CHECK(e.kind == MetricKind::kCounter);
+  return e.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (e.gauge == nullptr) {
+    CHECK(e.counter == nullptr && e.histogram == nullptr);
+    e.kind = MetricKind::kGauge;
+    e.gauge = std::make_unique<Gauge>();
+  }
+  CHECK(e.kind == MetricKind::kGauge);
+  return e.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (e.histogram == nullptr) {
+    CHECK(e.counter == nullptr && e.gauge == nullptr);
+    e.kind = MetricKind::kHistogram;
+    e.histogram = std::make_unique<Histogram>();
+  }
+  CHECK(e.kind == MetricKind::kHistogram);
+  return e.histogram.get();
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        s.value = e.counter->Value();
+        break;
+      case MetricKind::kGauge:
+        s.value = e.gauge->Value();
+        break;
+      case MetricKind::kHistogram:
+        s.count = e.histogram->Count();
+        s.sum = e.histogram->Sum();
+        for (uint32_t b = 0; b < Histogram::kNumBuckets; ++b) {
+          uint64_t c = e.histogram->BucketCount(b);
+          if (c != 0) s.buckets.emplace_back(Histogram::BucketUpperBound(b), c);
+        }
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, e] : entries_) {
+    (void)name;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        e.counter->Reset();
+        break;
+      case MetricKind::kGauge:
+        e.gauge->Reset();
+        break;
+      case MetricKind::kHistogram:
+        e.histogram->Reset();
+        break;
+    }
+  }
+}
+
+size_t MetricsRegistry::NumMetrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+std::string LabeledName(const std::string& base, const std::string& label,
+                        const std::string& value) {
+  return base + "{" + label + "=\"" + value + "\"}";
+}
+
+}  // namespace streamkc

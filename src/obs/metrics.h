@@ -1,0 +1,184 @@
+// Process-wide metrics: named counters, gauges, and log-scale histograms.
+//
+// The paper's headline claim is a *space* bound, and the ROADMAP's north
+// star is a production-scale serving system — both need one source of truth
+// for runtime measurements instead of per-call-site printf accounting. This
+// registry is that source: every subsystem (stream parsers, sketches, the
+// sharded runtime, the CLI) publishes into a MetricsRegistry and the
+// exporters (obs/export.h) render one snapshot in JSON or Prometheus text.
+//
+// Concurrency model ("lock-cheap"): metric objects are plain relaxed
+// atomics — an increment is one uncontended atomic add, no lock, safe from
+// any thread. The registry's mutex guards only name→object resolution and
+// snapshotting; hot paths resolve once (usually at construction) and keep
+// the returned pointer, which is stable for the registry's lifetime.
+// Relaxed ordering is deliberate: metrics are statistics, not
+// synchronization — the program's happens-before edges come from the
+// runtime's rings and joins, and Snapshot() taken after a join reads every
+// count written before it.
+//
+// Naming follows Prometheus conventions: snake_case, unit-suffixed
+// (`_total` for counters, `_bytes` / `_ns` for sized gauges), optional
+// labels in the name itself (`shard_edges_total{shard="3"}`). The label
+// block is opaque to the registry — distinct label sets are distinct
+// metrics — and the exporters pass it through.
+
+#ifndef STREAMKC_OBS_METRICS_H_
+#define STREAMKC_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace streamkc {
+
+// Monotonically increasing count (events, items, nanoseconds).
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Point-in-time value (current bytes, shard count). SetMax keeps a running
+// maximum, the building block for peak-space gauges.
+class Gauge {
+ public:
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  // Raises the gauge to `v` if larger (lock-free CAS loop).
+  void SetMax(uint64_t v) {
+    uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed,
+                          std::memory_order_relaxed)) {
+    }
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Fixed log2-scale histogram over uint64 values (latencies in ns, sizes in
+// bytes). Bucket b counts values v with bit_width(v) == b, i.e. bucket 0
+// holds v == 0 and bucket b ≥ 1 holds v ∈ [2^(b-1), 2^b - 1]; 65 buckets
+// cover the whole uint64 range with no configuration and O(1) Observe.
+class Histogram {
+ public:
+  static constexpr uint32_t kNumBuckets = 65;
+
+  void Observe(uint64_t v) {
+    uint32_t b = BucketIndex(v);
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t BucketCount(uint32_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  // Index of the bucket holding `v`.
+  static uint32_t BucketIndex(uint64_t v) {
+    uint32_t w = 0;
+    while (v != 0) {
+      ++w;
+      v >>= 1;
+    }
+    return w;
+  }
+
+  // Largest value bucket `b` holds (inclusive): 0 for bucket 0, 2^b - 1
+  // otherwise; UINT64_MAX for the final bucket.
+  static uint64_t BucketUpperBound(uint32_t b) {
+    if (b == 0) return 0;
+    if (b >= 64) return UINT64_MAX;
+    return (1ULL << b) - 1;
+  }
+
+  void Reset() {
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+// One metric's value at snapshot time; the exporters' input format.
+struct MetricSample {
+  std::string name;  // full name, label block included
+  MetricKind kind = MetricKind::kCounter;
+  uint64_t value = 0;  // counter / gauge
+  // Histogram only: total count, total sum, and per-bucket
+  // (inclusive upper bound, count) pairs for nonempty buckets.
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> buckets;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Finds or creates the named metric. The returned pointer is stable for
+  // the registry's lifetime; callers should resolve once and cache it.
+  // CHECK-fails if `name` already exists with a different kind.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  // Point-in-time copy of every metric, sorted by name. Safe to call
+  // concurrently with writers (values are read with relaxed loads).
+  std::vector<MetricSample> Snapshot() const;
+
+  // Zeroes every registered metric (names and pointers survive). Test and
+  // bench hygiene between runs.
+  void ResetValues();
+
+  size_t NumMetrics() const;
+
+  // The process-wide registry. Library code defaults to publishing here so
+  // one exporter call sees the whole process.
+  static MetricsRegistry& Global();
+
+ private:
+  struct Entry {
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+// Builds `base{label="value"}`, the registry's labeled-name convention.
+std::string LabeledName(const std::string& base, const std::string& label,
+                        const std::string& value);
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_OBS_METRICS_H_

@@ -1,0 +1,98 @@
+#include "obs/space_accountant.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace streamkc {
+
+void SpaceMetered::ReportSpace(SpaceAccountant* acct) const {
+  acct->Report(ComponentName(), MemoryBytes(), ItemCount());
+}
+
+void SpaceAccountant::Sample(const SpaceMetered& root) {
+  CHECK(!in_epoch_);
+  in_epoch_ = true;
+  epoch_.clear();
+  root.ReportSpace(this);
+  in_epoch_ = false;
+
+  current_total_ = root.MemoryBytes();
+  peak_total_ = std::max(peak_total_, current_total_);
+  ++num_samples_;
+
+  for (const auto& [name, bytes_items] : epoch_) {
+    ComponentStats& cs = components_[name];
+    cs.current_bytes = bytes_items.first;
+    cs.peak_bytes = std::max(cs.peak_bytes, bytes_items.first);
+    cs.items = bytes_items.second;
+    cs.peak_items = std::max(cs.peak_items, bytes_items.second);
+  }
+  // Components absent from this epoch (e.g. a pruned pool entry's sketch
+  // class disappearing entirely) keep their last row and their peaks.
+  PublishGauges();
+}
+
+void SpaceAccountant::Report(const char* component, size_t bytes,
+                             uint64_t items) {
+  CHECK(in_epoch_);
+  auto& slot = epoch_[component];
+  slot.first += bytes;
+  slot.second += items;
+}
+
+void SpaceAccountant::Absorb(const SpaceAccountant& other) {
+  current_total_ += other.current_total_;
+  peak_total_ += other.peak_total_;
+  num_samples_ += other.num_samples_;
+  for (const auto& [name, theirs] : other.components_) {
+    ComponentStats& cs = components_[name];
+    cs.current_bytes += theirs.current_bytes;
+    cs.peak_bytes += theirs.peak_bytes;
+    cs.items += theirs.items;
+    cs.peak_items += theirs.peak_items;
+  }
+  PublishGauges();
+}
+
+void SpaceAccountant::PublishGauges() {
+  if (registry_ == nullptr) return;
+  registry_->GetGauge("space_current_total_bytes")->Set(current_total_);
+  registry_->GetGauge("space_peak_total_bytes")->Set(peak_total_);
+  for (const auto& [name, cs] : components_) {
+    registry_->GetGauge(LabeledName("space_current_bytes", "component", name))
+        ->Set(cs.current_bytes);
+    registry_->GetGauge(LabeledName("space_peak_bytes", "component", name))
+        ->Set(cs.peak_bytes);
+    registry_->GetGauge(LabeledName("space_items", "component", name))
+        ->Set(cs.items);
+  }
+}
+
+std::string SpaceAccountant::ToJson() const {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "{\"current_total_bytes\": %" PRIu64
+                ", \"peak_total_bytes\": %" PRIu64 ", \"samples\": %" PRIu64
+                ", \"components\": {",
+                current_total_, peak_total_, num_samples_);
+  out += buf;
+  bool first = true;
+  for (const auto& [name, cs] : components_) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s\": {\"current_bytes\": %" PRIu64
+                  ", \"peak_bytes\": %" PRIu64 ", \"items\": %" PRIu64
+                  ", \"peak_items\": %" PRIu64 "}",
+                  first ? "" : ", ", name.c_str(), cs.current_bytes,
+                  cs.peak_bytes, cs.items, cs.peak_items);
+    out += buf;
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace streamkc

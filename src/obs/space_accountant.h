@@ -1,0 +1,111 @@
+// Unified space accounting for sketches and estimators.
+//
+// util/space.h's SpaceAccounted answers "how many bytes do you hold NOW";
+// reproducing the paper's space/approximation trade-off at runtime also
+// needs *peaks* (rescaling subroutines can shrink, so the end-of-stream
+// footprint understates the pass) and a per-component breakdown (the
+// Θ̃(m/α²) term lives in the heavy-hitter machinery, the Õ(k) term
+// elsewhere). SpaceMetered + SpaceAccountant provide both without any
+// registration or lifetime coupling:
+//
+//   * SpaceMetered (extends SpaceAccounted) names the component and exposes
+//     an item count; composites override ReportSpace() to recurse into
+//     their children.
+//   * SpaceAccountant::Sample(root) walks one root's tree in a single
+//     epoch, aggregates bytes/items per component name, and folds the
+//     epoch into current/peak statistics (optionally mirrored into a
+//     MetricsRegistry as space_current_bytes{component=...} gauges).
+//
+// Ownership rules (see DESIGN.md §obs): the accountant never owns or
+// retains metered objects — sampling is pull-only, driven by whoever owns
+// the estimator (the CLI pass loop, each pipeline worker). Component rows
+// are INCLUSIVE: a composite's bytes contain its children's, so rows
+// overlap and only total_* (measured at the root) is additive-safe.
+
+#ifndef STREAMKC_OBS_SPACE_ACCOUNTANT_H_
+#define STREAMKC_OBS_SPACE_ACCOUNTANT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/space.h"
+
+namespace streamkc {
+
+class SpaceAccountant;
+
+// A named, countable holder of stream state. Leaves inherit the default
+// ReportSpace (one row: name, bytes, items); composites override it to also
+// recurse into children.
+class SpaceMetered : public SpaceAccounted {
+ public:
+  // Stable component name, aggregation key across instances ("l0_estimator"
+  // sums every KMV sketch in the tree). snake_case by convention.
+  virtual const char* ComponentName() const = 0;
+
+  // Logical retained items (stored samples, counters, candidates); 0 when
+  // the notion does not apply.
+  virtual uint64_t ItemCount() const { return 0; }
+
+  // Reports this object (and, for composites, its children) into `acct`.
+  virtual void ReportSpace(SpaceAccountant* acct) const;
+};
+
+class SpaceAccountant {
+ public:
+  struct ComponentStats {
+    uint64_t current_bytes = 0;
+    uint64_t peak_bytes = 0;
+    uint64_t items = 0;       // at the last sample
+    uint64_t peak_items = 0;
+  };
+
+  // When `registry` is non-null, every sample mirrors totals and
+  // per-component gauges into it (names prefixed "space_"). Per-shard
+  // worker accountants pass nullptr and are folded into a publishing
+  // accountant after the join (Absorb).
+  explicit SpaceAccountant(MetricsRegistry* registry = nullptr)
+      : registry_(registry) {}
+
+  // One sampling epoch over `root`'s component tree. Totals are measured at
+  // the root (MemoryBytes of the whole tree); component rows aggregate by
+  // name within the epoch.
+  void Sample(const SpaceMetered& root);
+
+  // In-epoch reporting; called from ReportSpace implementations only.
+  void Report(const char* component, size_t bytes, uint64_t items);
+
+  // Sums `other`'s current/peak totals and component rows into this
+  // accountant — the sharded-runtime fold, where the pipeline's footprint
+  // is the SUM of simultaneous per-shard footprints.
+  void Absorb(const SpaceAccountant& other);
+
+  uint64_t current_total_bytes() const { return current_total_; }
+  uint64_t peak_total_bytes() const { return peak_total_; }
+  uint64_t num_samples() const { return num_samples_; }
+  const std::map<std::string, ComponentStats>& components() const {
+    return components_;
+  }
+
+  // {"current_total_bytes":..,"peak_total_bytes":..,"components":{name:
+  // {"current_bytes":..,"peak_bytes":..,"items":..,"peak_items":..},..}}
+  std::string ToJson() const;
+
+ private:
+  void PublishGauges();
+
+  MetricsRegistry* registry_ = nullptr;
+  std::map<std::string, ComponentStats> components_;
+  std::map<std::string, std::pair<uint64_t, uint64_t>> epoch_;  // bytes,items
+  bool in_epoch_ = false;
+  uint64_t current_total_ = 0;
+  uint64_t peak_total_ = 0;
+  uint64_t num_samples_ = 0;
+};
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_OBS_SPACE_ACCOUNTANT_H_

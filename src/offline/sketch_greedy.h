@@ -56,6 +56,8 @@ class SketchGreedy : public StreamingEstimator {
   void Merge(const SketchGreedy& other);
 
   size_t MemoryBytes() const override;
+  const char* ComponentName() const override { return "sketch_greedy"; }
+  uint64_t ItemCount() const override { return sketches_.size(); }
 
   uint64_t num_tracked_sets() const { return sketches_.size(); }
 

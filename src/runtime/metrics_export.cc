@@ -1,0 +1,40 @@
+#include "runtime/metrics_export.h"
+
+#include "obs/export.h"
+
+namespace streamkc {
+
+std::string ComposeMetricsJson(const RuntimeMetrics* runtime,
+                               const SpaceAccountant* space,
+                               MetricsRegistry& registry) {
+  std::string out;
+  bool have_keys = false;
+  if (runtime != nullptr) {
+    out = runtime->ToJson();
+    // Reopen the object: drop the closing brace (and the newline before it)
+    // so the extra sections extend the original schema in place.
+    while (!out.empty() && (out.back() == '}' || out.back() == '\n')) {
+      out.pop_back();
+    }
+    have_keys = true;
+  } else {
+    out = "{";
+  }
+  if (space != nullptr) {
+    out += have_keys ? ",\n  \"space\": " : "\n  \"space\": ";
+    out += space->ToJson();
+    have_keys = true;
+  }
+  out += have_keys ? ",\n  \"registry\": " : "\n  \"registry\": ";
+  out += ExportJson(registry.Snapshot());
+  out += "\n}";
+  return out;
+}
+
+std::string ComposeMetricsPrometheus(const RuntimeMetrics* runtime,
+                                     MetricsRegistry& registry) {
+  if (runtime != nullptr) runtime->PublishTo(&registry);
+  return ExportPrometheus(registry.Snapshot());
+}
+
+}  // namespace streamkc

@@ -1,0 +1,37 @@
+// Composes a run's full observability dump from its three sources: the
+// ingestion engine's RuntimeMetrics (absent for in-line single-threaded
+// passes), the pass's SpaceAccountant breakdown, and the metrics registry
+// (stream counters, histograms, published gauges).
+//
+// The JSON form is a backward-compatible SUPERSET of the original
+// --metrics-out schema: every top-level RuntimeMetrics::ToJson() key is
+// preserved at the top level, with "space" and "registry" objects appended.
+// The Prometheus form first mirrors RuntimeMetrics into the registry
+// (PublishTo) so a single ExportPrometheus snapshot carries everything.
+
+#ifndef STREAMKC_RUNTIME_METRICS_EXPORT_H_
+#define STREAMKC_RUNTIME_METRICS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/space_accountant.h"
+#include "runtime/runtime_metrics.h"
+
+namespace streamkc {
+
+// `runtime` and `space` may each be nullptr (section omitted).
+std::string ComposeMetricsJson(const RuntimeMetrics* runtime,
+                               const SpaceAccountant* space,
+                               MetricsRegistry& registry);
+
+// Publishes `runtime` into `registry` (when non-null), then renders the
+// whole registry in Prometheus text format. Space gauges are expected to be
+// in the registry already (SpaceAccountant publishes on Sample when built
+// with a registry).
+std::string ComposeMetricsPrometheus(const RuntimeMetrics* runtime,
+                                     MetricsRegistry& registry);
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_RUNTIME_METRICS_EXPORT_H_

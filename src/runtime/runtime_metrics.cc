@@ -14,6 +14,7 @@ void RuntimeMetrics::Reset(uint32_t num_shards) {
   batches_enqueued.store(0, std::memory_order_relaxed);
   queue_full_stalls.store(0, std::memory_order_relaxed);
   merges.store(0, std::memory_order_relaxed);
+  merge_ns.store(0, std::memory_order_relaxed);
   merged_state_bytes.store(0, std::memory_order_relaxed);
   wall_ns.store(0, std::memory_order_relaxed);
 }
@@ -44,6 +45,22 @@ uint64_t RuntimeMetrics::TotalStateBytes() const {
   return total;
 }
 
+uint64_t RuntimeMetrics::TotalRingStallRounds() const {
+  uint64_t total = 0;
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    total += shards_[s].ring_stall_rounds.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t RuntimeMetrics::TotalRingStalledNs() const {
+  uint64_t total = 0;
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    total += shards_[s].ring_stalled_ns.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
 double RuntimeMetrics::EdgesPerSecond() const {
   uint64_t ns = wall_ns.load(std::memory_order_relaxed);
   if (ns == 0) return 0;
@@ -52,16 +69,19 @@ double RuntimeMetrics::EdgesPerSecond() const {
 }
 
 std::string RuntimeMetrics::ToJson() const {
-  char buf[256];
+  char buf[512];
   std::string out;
-  out.reserve(512 + 128 * num_shards_);
+  out.reserve(512 + 192 * num_shards_);
   std::snprintf(
       buf, sizeof(buf),
       "{\n"
       "  \"edges_ingested\": %" PRIu64 ",\n"
       "  \"batches_enqueued\": %" PRIu64 ",\n"
       "  \"queue_full_stalls\": %" PRIu64 ",\n"
+      "  \"ring_stall_rounds\": %" PRIu64 ",\n"
+      "  \"ring_stalled_ns\": %" PRIu64 ",\n"
       "  \"merges\": %" PRIu64 ",\n"
+      "  \"merge_ns\": %" PRIu64 ",\n"
       "  \"merged_state_bytes\": %" PRIu64 ",\n"
       "  \"total_shard_state_bytes\": %" PRIu64 ",\n"
       "  \"wall_ns\": %" PRIu64 ",\n"
@@ -70,7 +90,9 @@ std::string RuntimeMetrics::ToJson() const {
       edges_ingested.load(std::memory_order_relaxed),
       batches_enqueued.load(std::memory_order_relaxed),
       queue_full_stalls.load(std::memory_order_relaxed),
+      TotalRingStallRounds(), TotalRingStalledNs(),
       merges.load(std::memory_order_relaxed),
+      merge_ns.load(std::memory_order_relaxed),
       merged_state_bytes.load(std::memory_order_relaxed), TotalStateBytes(),
       wall_ns.load(std::memory_order_relaxed), EdgesPerSecond());
   out += buf;
@@ -79,16 +101,62 @@ std::string RuntimeMetrics::ToJson() const {
     std::snprintf(buf, sizeof(buf),
                   "%s\n    {\"shard\": %u, \"edges\": %" PRIu64
                   ", \"batches\": %" PRIu64 ", \"busy_ns\": %" PRIu64
-                  ", \"state_bytes\": %" PRIu64 "}",
+                  ", \"state_bytes\": %" PRIu64 ", \"ring_stalls\": %" PRIu64
+                  ", \"ring_stall_rounds\": %" PRIu64
+                  ", \"ring_stalled_ns\": %" PRIu64 "}",
                   s == 0 ? "" : ",", s,
                   ps.edges.load(std::memory_order_relaxed),
                   ps.batches.load(std::memory_order_relaxed),
                   ps.busy_ns.load(std::memory_order_relaxed),
-                  ps.state_bytes.load(std::memory_order_relaxed));
+                  ps.state_bytes.load(std::memory_order_relaxed),
+                  ps.ring_stalls.load(std::memory_order_relaxed),
+                  ps.ring_stall_rounds.load(std::memory_order_relaxed),
+                  ps.ring_stalled_ns.load(std::memory_order_relaxed));
     out += buf;
   }
   out += num_shards_ > 0 ? "\n  ]\n}" : "]\n}";
   return out;
+}
+
+void RuntimeMetrics::PublishTo(MetricsRegistry* registry) const {
+  auto set = [&](const char* name, uint64_t v) {
+    registry->GetGauge(name)->Set(v);
+  };
+  set("runtime_edges_ingested", edges_ingested.load(std::memory_order_relaxed));
+  set("runtime_batches_enqueued",
+      batches_enqueued.load(std::memory_order_relaxed));
+  set("runtime_queue_full_stalls",
+      queue_full_stalls.load(std::memory_order_relaxed));
+  set("runtime_ring_stall_rounds", TotalRingStallRounds());
+  set("runtime_ring_stalled_ns", TotalRingStalledNs());
+  set("runtime_merges", merges.load(std::memory_order_relaxed));
+  set("runtime_merge_ns", merge_ns.load(std::memory_order_relaxed));
+  set("runtime_merged_state_bytes",
+      merged_state_bytes.load(std::memory_order_relaxed));
+  set("runtime_total_shard_state_bytes", TotalStateBytes());
+  set("runtime_wall_ns", wall_ns.load(std::memory_order_relaxed));
+  set("runtime_num_shards", num_shards_);
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    const PerShard& ps = shards_[s];
+    std::string shard = std::to_string(s);
+    auto set_shard = [&](const char* name, uint64_t v) {
+      registry->GetGauge(LabeledName(name, "shard", shard))->Set(v);
+    };
+    set_shard("runtime_shard_edges",
+              ps.edges.load(std::memory_order_relaxed));
+    set_shard("runtime_shard_batches",
+              ps.batches.load(std::memory_order_relaxed));
+    set_shard("runtime_shard_busy_ns",
+              ps.busy_ns.load(std::memory_order_relaxed));
+    set_shard("runtime_shard_state_bytes",
+              ps.state_bytes.load(std::memory_order_relaxed));
+    set_shard("runtime_shard_ring_stalls",
+              ps.ring_stalls.load(std::memory_order_relaxed));
+    set_shard("runtime_shard_ring_stall_rounds",
+              ps.ring_stall_rounds.load(std::memory_order_relaxed));
+    set_shard("runtime_shard_ring_stalled_ns",
+              ps.ring_stalled_ns.load(std::memory_order_relaxed));
+  }
 }
 
 }  // namespace streamkc

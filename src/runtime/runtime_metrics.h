@@ -18,6 +18,8 @@
 #include <memory>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace streamkc {
 
 class RuntimeMetrics {
@@ -27,6 +29,12 @@ class RuntimeMetrics {
     std::atomic<uint64_t> batches{0};   // batches popped
     std::atomic<uint64_t> busy_ns{0};   // time spent inside State::Process
     std::atomic<uint64_t> state_bytes{0};  // MemoryBytes() at end of stream
+    // Producer-side backpressure against this shard's ring: stall events
+    // (Push calls that waited), wait-loop rounds (≥ events; spurious
+    // wakeups counted), and total blocked wall time.
+    std::atomic<uint64_t> ring_stalls{0};
+    std::atomic<uint64_t> ring_stall_rounds{0};
+    std::atomic<uint64_t> ring_stalled_ns{0};
   };
 
   RuntimeMetrics() = default;
@@ -42,9 +50,16 @@ class RuntimeMetrics {
   // Whole-run aggregates derived from the per-shard rows.
   uint64_t TotalShardEdges() const;
   uint64_t TotalStateBytes() const;
+  uint64_t TotalRingStallRounds() const;
+  uint64_t TotalRingStalledNs() const;
   double EdgesPerSecond() const;  // edges_ingested / wall time; 0 if unknown
 
   std::string ToJson() const;
+
+  // Mirrors every counter into `registry` under runtime_* names (per-shard
+  // rows as shard-labeled gauges), so the Prometheus exporter and any other
+  // registry consumer see the ingestion engine without knowing this struct.
+  void PublishTo(MetricsRegistry* registry) const;
 
   // Producer-side counters.
   std::atomic<uint64_t> edges_ingested{0};
@@ -52,6 +67,7 @@ class RuntimeMetrics {
   std::atomic<uint64_t> queue_full_stalls{0};
   // Coordinator-side counters (written single-threaded after the join).
   std::atomic<uint64_t> merges{0};
+  std::atomic<uint64_t> merge_ns{0};
   std::atomic<uint64_t> merged_state_bytes{0};
   std::atomic<uint64_t> wall_ns{0};
 

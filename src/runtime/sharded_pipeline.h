@@ -45,6 +45,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/space_accountant.h"
 #include "runtime/edge_batch.h"
 #include "runtime/runtime_metrics.h"
 #include "runtime/shard_router.h"
@@ -64,6 +66,14 @@ struct ShardedPipelineOptions {
   PartitionPolicy policy = PartitionPolicy::kByElement;
   // Extra salt for the routing hash (vary to re-shuffle shard assignment).
   uint64_t route_salt = 0;
+  // Registry receiving the run's counters and histograms (batch busy-time,
+  // batch sizes); nullptr = the process-wide registry.
+  MetricsRegistry* registry = nullptr;
+  // Worker-side space sampling cadence, in batches (0 disables sampling
+  // between batches; end-of-stream footprints are always recorded).
+  // Sampling walks the whole estimator tree, so per-batch cost is
+  // O(tree size) — 16 amortizes it to noise at the default batch_size.
+  uint32_t space_sample_every_batches = 16;
 };
 
 template <typename State>
@@ -86,6 +96,13 @@ class ShardedPipeline {
   State Run(EdgeStream& stream) {
     const uint32_t n = options_.num_shards;
     metrics_.Reset(n);
+    MetricsRegistry* registry =
+        options_.registry ? options_.registry : &MetricsRegistry::Global();
+    // Histograms are thread-safe (relaxed atomic buckets); both are shared
+    // by all workers.
+    Histogram* batch_busy_hist = registry->GetHistogram("runtime_batch_busy_ns");
+    Histogram* batch_edges_hist = registry->GetHistogram("runtime_batch_edges");
+    accountant_ = SpaceAccountant(registry);
     auto run_start = std::chrono::steady_clock::now();
 
     // Replicas are constructed in shard order on the producer thread, then
@@ -102,23 +119,45 @@ class ShardedPipeline {
           std::make_unique<SpscRing<EdgeBatch>>(options_.queue_capacity));
     }
 
+    // Per-shard space accountants (registry-less; folded into accountant_
+    // after the join). Each is touched only by its own worker thread until
+    // the join hands it back.
+    std::vector<SpaceAccountant> shard_accts(n);
+
     std::vector<std::thread> workers;
     workers.reserve(n);
     for (uint32_t s = 0; s < n; ++s) {
-      workers.emplace_back([this, s, &rings, &states] {
+      workers.emplace_back([this, s, &rings, &states, &shard_accts,
+                            batch_busy_hist, batch_edges_hist] {
         RuntimeMetrics::PerShard& ps = metrics_.shard(s);
         State& state = states[s];
+        SpaceAccountant& acct = shard_accts[s];
+        const uint32_t sample_every = options_.space_sample_every_batches;
+        uint32_t batches_since_sample = 0;
         EdgeBatch batch;
         while (rings[s]->Pop(&batch)) {
           auto t0 = std::chrono::steady_clock::now();
           for (const Edge& e : batch.edges) state.Process(e);
           auto t1 = std::chrono::steady_clock::now();
-          ps.busy_ns.fetch_add(
+          uint64_t busy = static_cast<uint64_t>(
               std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
-                  .count(),
-              std::memory_order_relaxed);
+                  .count());
+          ps.busy_ns.fetch_add(busy, std::memory_order_relaxed);
           ps.edges.fetch_add(batch.edges.size(), std::memory_order_relaxed);
           ps.batches.fetch_add(1, std::memory_order_relaxed);
+          batch_busy_hist->Observe(busy);
+          batch_edges_hist->Observe(batch.edges.size());
+          if constexpr (std::derived_from<State, SpaceMetered>) {
+            if (sample_every > 0 && ++batches_since_sample >= sample_every) {
+              batches_since_sample = 0;
+              acct.Sample(state);
+            }
+          }
+        }
+        // End-of-substream footprint, so peaks are recorded even for runs
+        // shorter than the sampling cadence.
+        if constexpr (std::derived_from<State, SpaceMetered>) {
+          acct.Sample(state);
         }
       });
     }
@@ -130,10 +169,7 @@ class ShardedPipeline {
     for (EdgeBatch& b : accum) b.edges.reserve(options_.batch_size);
     auto flush = [&](uint32_t s) {
       metrics_.batches_enqueued.fetch_add(1, std::memory_order_relaxed);
-      uint64_t stalls_before = rings[s]->push_stalls();
       rings[s]->Push(std::move(accum[s]));
-      metrics_.queue_full_stalls.fetch_add(
-          rings[s]->push_stalls() - stalls_before, std::memory_order_relaxed);
       accum[s] = EdgeBatch(options_.batch_size);
     };
     std::vector<Edge> read_buf;
@@ -152,6 +188,20 @@ class ShardedPipeline {
     for (uint32_t s = 0; s < n; ++s) rings[s]->Close();
     for (std::thread& w : workers) w.join();
 
+    // The join is the happens-before edge: each ring's stall counters and
+    // each shard accountant are now quiescent. Stall statistics live in the
+    // rings (one Push side each), read here into the per-shard rows.
+    for (uint32_t s = 0; s < n; ++s) {
+      RuntimeMetrics::PerShard& ps = metrics_.shard(s);
+      ps.ring_stalls.store(rings[s]->push_stalls(), std::memory_order_relaxed);
+      ps.ring_stall_rounds.store(rings[s]->push_stall_rounds(),
+                                 std::memory_order_relaxed);
+      ps.ring_stalled_ns.store(rings[s]->push_stalled_ns(),
+                               std::memory_order_relaxed);
+      metrics_.queue_full_stalls.fetch_add(rings[s]->push_stalls(),
+                                           std::memory_order_relaxed);
+    }
+
     // End-of-stream space accounting: per-shard sketch footprints BEFORE the
     // fold — their sum is the pipeline's peak sketch space (SpaceAccounted
     // interface, when State implements it).
@@ -162,18 +212,30 @@ class ShardedPipeline {
         metrics_.shard(s).state_bytes.store(states[s].MemoryBytes(),
                                             std::memory_order_relaxed);
       }
+      accountant_.Absorb(shard_accts[s]);
     }
 
     // Merge coordinator: fold in fixed shard order for determinism.
+    auto merge_start = std::chrono::steady_clock::now();
     for (uint32_t s = 1; s < n; ++s) {
       states[0].Merge(states[s]);
       metrics_.merges.fetch_add(1, std::memory_order_relaxed);
     }
+    metrics_.merge_ns.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - merge_start)
+            .count(),
+        std::memory_order_relaxed);
     if constexpr (requires(const State& st) {
                     { st.MemoryBytes() } -> std::convertible_to<size_t>;
                   }) {
       metrics_.merged_state_bytes.store(states[0].MemoryBytes(),
                                         std::memory_order_relaxed);
+    }
+    // Current footprint after the fold = the merged state alone; the peak
+    // (sum of simultaneous shard peaks, absorbed above) is retained.
+    if constexpr (std::derived_from<State, SpaceMetered>) {
+      accountant_.Sample(states[0]);
     }
     metrics_.wall_ns.store(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -185,10 +247,15 @@ class ShardedPipeline {
 
   const RuntimeMetrics& metrics() const { return metrics_; }
 
+  // Space breakdown of the last Run(): peak = sum of simultaneous per-shard
+  // peaks, current = merged state. Empty unless State is SpaceMetered.
+  const SpaceAccountant& space() const { return accountant_; }
+
  private:
   ShardedPipelineOptions options_;
   Factory factory_;
   RuntimeMetrics metrics_;
+  SpaceAccountant accountant_;
 };
 
 }  // namespace streamkc

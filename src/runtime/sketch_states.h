@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "obs/space_accountant.h"
 #include "sketch/ams_f2.h"
 #include "sketch/hyperloglog.h"
 #include "sketch/l0_estimator.h"
@@ -22,7 +23,7 @@ namespace streamkc {
 // HLL realizations of Theorem 2.12) plus the F2 of element frequencies —
 // the per-edge work profile of the paper's Figure-1 first line, and the
 // workload bench_runtime uses for thread-scaling curves.
-struct CoverageSketchState {
+struct CoverageSketchState : SpaceMetered {
   struct Config {
     uint32_t l0_num_mins = 256;
     uint32_t hll_precision = 12;
@@ -50,9 +51,18 @@ struct CoverageSketchState {
     element_f2.Merge(other.element_f2);
   }
 
-  size_t MemoryBytes() const {
+  size_t MemoryBytes() const override {
     return covered_l0.MemoryBytes() + covered_hll.MemoryBytes() +
            element_f2.MemoryBytes();
+  }
+
+  const char* ComponentName() const override { return "coverage_sketch"; }
+
+  void ReportSpace(SpaceAccountant* acct) const override {
+    acct->Report(ComponentName(), MemoryBytes(), 0);
+    covered_l0.ReportSpace(acct);
+    covered_hll.ReportSpace(acct);
+    element_f2.ReportSpace(acct);
   }
 
   L0Estimator covered_l0;

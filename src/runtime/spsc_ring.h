@@ -16,6 +16,7 @@
 #ifndef STREAMKC_RUNTIME_SPSC_RING_H_
 #define STREAMKC_RUNTIME_SPSC_RING_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -37,12 +38,31 @@ class SpscRing {
 
   // Blocks while the ring is full (backpressure). CHECK-fails if called
   // after Close(): the producer owns the lifecycle and must not race it.
+  //
+  // Stall accounting: push_stalls_ counts Push() calls that had to wait at
+  // all (one backpressure EVENT per call), push_stall_rounds_ counts every
+  // trip through the wait loop — spurious and lost-race wakeups included —
+  // and push_stalled_ns_ accumulates the wall time spent waiting. The
+  // original implementation bumped the event counter once and used a
+  // predicated wait, so multi-round stalls under-counted and duration was
+  // never recorded; a saturated shard looked identical to a briefly-full
+  // one.
   void Push(T item) {
     std::unique_lock<std::mutex> lock(mu_);
     CHECK(!closed_);
-    if (size_ == buffer_.size()) {
-      ++push_stalls_;
-      not_full_.wait(lock, [&] { return size_ < buffer_.size(); });
+    bool stalled = false;
+    while (size_ == buffer_.size()) {
+      if (!stalled) {
+        stalled = true;
+        ++push_stalls_;
+      }
+      ++push_stall_rounds_;
+      auto t0 = std::chrono::steady_clock::now();
+      not_full_.wait(lock);
+      push_stalled_ns_ += static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
     }
     buffer_[(head_ + size_) % buffer_.size()] = std::move(item);
     ++size_;
@@ -80,6 +100,19 @@ class SpscRing {
     return push_stalls_;
   }
 
+  // Wait-loop iterations across all stalls (≥ push_stalls(); each spurious
+  // or lost-race wakeup counts its own round).
+  uint64_t push_stall_rounds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return push_stall_rounds_;
+  }
+
+  // Total wall time the producer spent blocked in Push().
+  uint64_t push_stalled_ns() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return push_stalled_ns_;
+  }
+
   size_t capacity() const { return buffer_.size(); }
 
  private:
@@ -91,6 +124,8 @@ class SpscRing {
   size_t size_ = 0;
   bool closed_ = false;
   uint64_t push_stalls_ = 0;
+  uint64_t push_stall_rounds_ = 0;
+  uint64_t push_stalled_ns_ = 0;
 };
 
 }  // namespace streamkc

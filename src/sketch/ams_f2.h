@@ -18,11 +18,12 @@
 #include <vector>
 
 #include "hash/kwise_hash.h"
+#include "obs/space_accountant.h"
 #include "util/space.h"
 
 namespace streamkc {
 
-class AmsF2Sketch : public SpaceAccounted {
+class AmsF2Sketch : public SpaceMetered {
  public:
   struct Config {
     uint32_t rows = 5;    // median over rows
@@ -47,6 +48,8 @@ class AmsF2Sketch : public SpaceAccounted {
   static AmsF2Sketch Load(std::istream& is);
 
   size_t MemoryBytes() const override;
+  const char* ComponentName() const override { return "ams_f2"; }
+  uint64_t ItemCount() const override { return counters_.size(); }
 
  private:
   Config config_;

@@ -22,11 +22,12 @@
 #include <vector>
 
 #include "hash/kwise_hash.h"
+#include "obs/space_accountant.h"
 #include "util/space.h"
 
 namespace streamkc {
 
-class CountSketch : public SpaceAccounted {
+class CountSketch : public SpaceMetered {
  public:
   struct Config {
     uint32_t depth = 5;    // rows (median)
@@ -71,6 +72,8 @@ class CountSketch : public SpaceAccounted {
   static CountSketch Load(std::istream& is);
 
   size_t MemoryBytes() const override;
+  const char* ComponentName() const override { return "count_sketch"; }
+  uint64_t ItemCount() const override { return counters_.size(); }
 
  private:
   // (sign, flat index into counters_) for row r and item id.

@@ -122,4 +122,9 @@ size_t F2Contributing::MemoryBytes() const {
   return bytes;
 }
 
+void F2Contributing::ReportSpace(SpaceAccountant* acct) const {
+  SpaceMetered::ReportSpace(acct);
+  for (const auto& level : levels_) level.hh.ReportSpace(acct);
+}
+
 }  // namespace streamkc

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "hash/kwise_hash.h"
+#include "obs/space_accountant.h"
 #include "sketch/f2_heavy_hitters.h"
 #include "util/space.h"
 
@@ -37,7 +38,7 @@ struct ContributingCoordinate {
   uint32_t level = 0;   // sampling level (class-size guess 2^level)
 };
 
-class F2Contributing : public SpaceAccounted {
+class F2Contributing : public SpaceMetered {
  public:
   struct Config {
     // Contribution threshold γ.
@@ -77,6 +78,10 @@ class F2Contributing : public SpaceAccounted {
   uint32_t num_levels() const { return static_cast<uint32_t>(levels_.size()); }
 
   size_t MemoryBytes() const override;
+  const char* ComponentName() const override { return "f2_contributing"; }
+  uint64_t ItemCount() const override { return levels_.size(); }
+  // Composite: also reports every level's heavy-hitter sketch.
+  void ReportSpace(SpaceAccountant* acct) const override;
 
  private:
   struct Level {

@@ -157,4 +157,9 @@ size_t F2HeavyHitters::MemoryBytes() const {
   return count_sketch_.MemoryBytes() + UnorderedMapBytes(candidates_);
 }
 
+void F2HeavyHitters::ReportSpace(SpaceAccountant* acct) const {
+  SpaceMetered::ReportSpace(acct);
+  count_sketch_.ReportSpace(acct);
+}
+
 }  // namespace streamkc

@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/space_accountant.h"
 #include "sketch/count_sketch.h"
 #include "util/space.h"
 
@@ -36,7 +37,7 @@ struct HeavyHitter {
   double estimate = 0;  // (1 ± 1/2)-approximate frequency
 };
 
-class F2HeavyHitters : public SpaceAccounted {
+class F2HeavyHitters : public SpaceMetered {
  public:
   struct Config {
     // Heaviness threshold φ ∈ (0, 1]: report j iff a[j]² ≥ φ·F2.
@@ -88,6 +89,10 @@ class F2HeavyHitters : public SpaceAccounted {
   double phi() const { return config_.phi; }
 
   size_t MemoryBytes() const override;
+  const char* ComponentName() const override { return "f2_heavy_hitters"; }
+  uint64_t ItemCount() const override { return candidates_.size(); }
+  // Composite: also reports the inner CountSketch.
+  void ReportSpace(SpaceAccountant* acct) const override;
 
  private:
   void PruneCandidates();

@@ -21,11 +21,12 @@
 #include <vector>
 
 #include "hash/tabulation_hash.h"
+#include "obs/space_accountant.h"
 #include "util/space.h"
 
 namespace streamkc {
 
-class HyperLogLog : public SpaceAccounted {
+class HyperLogLog : public SpaceMetered {
  public:
   struct Config {
     // Number of register-index bits: 2^precision registers. Error
@@ -58,6 +59,8 @@ class HyperLogLog : public SpaceAccounted {
   uint32_t num_registers() const {
     return static_cast<uint32_t>(registers_.size());
   }
+  const char* ComponentName() const override { return "hyperloglog"; }
+  uint64_t ItemCount() const override { return registers_.size(); }
 
  private:
   Config config_;

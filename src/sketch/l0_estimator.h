@@ -27,11 +27,12 @@
 #include <vector>
 
 #include "hash/kwise_hash.h"
+#include "obs/space_accountant.h"
 #include "util/space.h"
 
 namespace streamkc {
 
-class L0Estimator : public SpaceAccounted {
+class L0Estimator : public SpaceMetered {
  public:
   struct Config {
     // Number of minima retained. Error ~ 2/sqrt(num_mins); the default gives
@@ -67,6 +68,8 @@ class L0Estimator : public SpaceAccounted {
   size_t MemoryBytes() const override {
     return VectorBytes(heap_) + hash_.MemoryBytes();
   }
+  const char* ComponentName() const override { return "l0_estimator"; }
+  uint64_t ItemCount() const override { return heap_.size(); }
 
  private:
   Config config_;

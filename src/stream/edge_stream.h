@@ -48,6 +48,13 @@ class EdgeStream {
 
   // Total number of edges if known, 0 otherwise.
   virtual uint64_t SizeHint() const { return 0; }
+
+  // Stream health. Next() returning false means either clean end of stream
+  // (ok() == true) or a source error (ok() == false, StatusMessage() says
+  // what and where). Drivers must check ok() after draining a stream —
+  // treating a parse error as end-of-stream silently truncates the pass.
+  virtual bool ok() const { return true; }
+  virtual std::string StatusMessage() const { return std::string(); }
 };
 
 // A fully materialized stream over an in-memory edge vector.

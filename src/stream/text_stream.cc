@@ -1,31 +1,83 @@
 #include "stream/text_stream.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 
 #include "util/check.h"
 
 namespace streamkc {
+namespace {
+
+const char* SkipSpace(const char* p) {
+  while (*p != '\0' && std::isspace(static_cast<unsigned char>(*p))) ++p;
+  return p;
+}
+
+// Parses one non-negative base-10 integer at *pp, advancing past it.
+// Returns "" on success, else the defect description. Rejects a leading
+// '-' explicitly: strtoull would wrap "-1" to 2⁶⁴−1 and corrupt the id
+// instead of failing.
+std::string ParseToken(const char** pp, const char* what,
+                       unsigned long long* out) {
+  const char* p = SkipSpace(*pp);
+  if (*p == '\0') return std::string("missing ") + what;
+  if (*p == '-') return std::string("negative ") + what;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(p, &end, 10);
+  if (end == p) return std::string(what) + " is not a number";
+  if (errno == ERANGE) return std::string(what) + " out of range";
+  *pp = end;
+  *out = v;
+  return std::string();
+}
+
+}  // namespace
 
 TextEdgeStream::TextEdgeStream(const std::string& path)
-    : path_(path), file_(path) {
+    : TextEdgeStream(path, Config()) {}
+
+TextEdgeStream::TextEdgeStream(const std::string& path, Config config)
+    : path_(path), file_(path), config_(config) {
   CHECK(file_.is_open());
+  MetricsRegistry* reg =
+      config_.registry != nullptr ? config_.registry : &MetricsRegistry::Global();
+  malformed_counter_ = reg->GetCounter("stream_malformed_lines_total");
+  parse_error_counter_ = reg->GetCounter("stream_parse_errors_total");
+}
+
+bool TextEdgeStream::HandleMalformed(const std::string& line,
+                                     const std::string& reason) {
+  ++malformed_lines_;
+  malformed_counter_->Increment();
+  if (config_.lenient) return true;
+  parse_error_counter_->Increment();
+  error_ = path_ + ":" + std::to_string(line_number_) +
+           ": malformed edge line (" + reason + "): \"" + line + "\"";
+  return false;
 }
 
 bool TextEdgeStream::Next(Edge* edge) {
+  if (!error_.empty()) return false;  // strict error already raised
   std::string line;
   while (std::getline(file_, line)) {
     ++line_number_;
     // Skip blanks and comments.
     size_t pos = line.find_first_not_of(" \t\r");
     if (pos == std::string::npos || line[pos] == '#') continue;
-    char* end = nullptr;
-    unsigned long long set = std::strtoull(line.c_str() + pos, &end, 10);
-    CHECK(end != line.c_str() + pos);
-    char* end2 = nullptr;
-    unsigned long long element = std::strtoull(end, &end2, 10);
-    CHECK(end2 != end);  // the line must carry a second number
-    CHECK(*end2 == '\0' || std::isspace(static_cast<unsigned char>(*end2)));
+
+    const char* p = line.c_str() + pos;
+    unsigned long long set = 0, element = 0;
+    std::string defect = ParseToken(&p, "set id", &set);
+    if (defect.empty()) defect = ParseToken(&p, "element id", &element);
+    if (defect.empty() && *SkipSpace(p) != '\0') {
+      defect = "trailing garbage";
+    }
+    if (!defect.empty()) {
+      if (HandleMalformed(line, defect)) continue;
+      return false;
+    }
     edge->set = set;
     edge->element = element;
     return true;
@@ -37,6 +89,8 @@ void TextEdgeStream::Reset() {
   file_.clear();
   file_.seekg(0);
   line_number_ = 0;
+  malformed_lines_ = 0;
+  error_.clear();
 }
 
 void WriteEdgesToFile(const std::string& path,

@@ -2,9 +2,17 @@
 //
 // Lets real datasets drive the pipeline without an in-memory SetSystem.
 // Format: whitespace-separated non-negative integers, two per line; blank
-// lines and lines starting with '#' are skipped. Malformed lines abort with
-// a line-numbered message (garbage-in on a one-pass algorithm is
-// unrecoverable, so it is treated as a programming/pipeline error).
+// lines and lines starting with '#' are skipped.
+//
+// Malformed lines are DATA errors, not programming errors, so they never
+// abort the process. Strict mode (default) stops the stream at the first
+// bad line: Next() returns false, ok() flips to false, and StatusMessage()
+// names the file, line number, and defect. Lenient mode (Config::lenient)
+// skips bad lines, counts them (malformed_lines(), plus the
+// stream_malformed_lines_total counter in the metrics registry), and keeps
+// going — the production posture for dirty feeds. Both modes reject
+// negative tokens explicitly: strtoull silently wraps "-1" to 2⁶⁴−1, which
+// would corrupt set ids rather than fail.
 
 #ifndef STREAMKC_STREAM_TEXT_STREAM_H_
 #define STREAMKC_STREAM_TEXT_STREAM_H_
@@ -12,24 +20,50 @@
 #include <fstream>
 #include <string>
 
+#include "obs/metrics.h"
 #include "stream/edge_stream.h"
 
 namespace streamkc {
 
 class TextEdgeStream : public EdgeStream {
  public:
-  // Opens `path`; CHECK-fails if the file cannot be opened.
+  struct Config {
+    // false: first malformed line stops the stream with an error.
+    // true: malformed lines are skipped and counted.
+    bool lenient = false;
+    // Receives stream_malformed_lines_total / stream_parse_errors_total;
+    // defaults to the process-wide registry.
+    MetricsRegistry* registry = nullptr;
+  };
+
+  // Opens `path`; CHECK-fails if the file cannot be opened (a missing input
+  // file is a caller bug, unlike a malformed line inside it).
   explicit TextEdgeStream(const std::string& path);
+  TextEdgeStream(const std::string& path, Config config);
 
   bool Next(Edge* edge) override;
   void Reset() override;
 
+  bool ok() const override { return error_.empty(); }
+  std::string StatusMessage() const override { return error_; }
+
   uint64_t line_number() const { return line_number_; }
+  // Malformed lines skipped so far (lenient mode; at most 1 in strict mode).
+  uint64_t malformed_lines() const { return malformed_lines_; }
 
  private:
+  // Records line `line_number_` as malformed. Returns true if the caller
+  // should keep scanning (lenient), false to stop the stream (strict).
+  bool HandleMalformed(const std::string& line, const std::string& reason);
+
   std::string path_;
   std::ifstream file_;
+  Config config_;
   uint64_t line_number_ = 0;
+  uint64_t malformed_lines_ = 0;
+  std::string error_;
+  Counter* malformed_counter_ = nullptr;
+  Counter* parse_error_counter_ = nullptr;
 };
 
 // Writes `edges` in the text format (convenience for tests and examples).

@@ -1,0 +1,186 @@
+// MetricsRegistry unit tests: pointer stability, concurrent increments
+// (exercised under TSan in CI), log2 histogram bucket boundaries, snapshot
+// ordering, and exporter golden outputs.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+
+namespace streamkc {
+namespace {
+
+TEST(MetricsRegistry, ResolvesStablePointersByName) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("x_total");
+  EXPECT_EQ(c, reg.GetCounter("x_total"));
+  EXPECT_NE(static_cast<void*>(c), static_cast<void*>(reg.GetGauge("y")));
+  EXPECT_EQ(reg.NumMetrics(), 2u);
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      // Resolve inside the thread: name->object resolution must also be
+      // thread-safe, not just Increment.
+      Counter* c = reg.GetCounter("shared_total");
+      Histogram* h = reg.GetHistogram("shared_hist");
+      Gauge* g = reg.GetGauge("shared_max");
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        if (i % 1000 == 0) {
+          h->Observe(i);
+          g->SetMax(i);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.GetCounter("shared_total")->Value(), kThreads * kPerThread);
+  EXPECT_EQ(reg.GetHistogram("shared_hist")->Count(), kThreads * 100u);
+  EXPECT_EQ(reg.GetGauge("shared_max")->Value(), 99000u);
+}
+
+TEST(Histogram, Log2BucketBoundaries) {
+  // Bucket b holds v with bit_width(v) == b: bucket 0 is {0}, bucket b>=1
+  // is [2^(b-1), 2^b - 1].
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), 64u);
+
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1023u);
+  EXPECT_EQ(Histogram::BucketUpperBound(64), UINT64_MAX);
+  // Every boundary value lands within its bucket's upper bound.
+  for (uint32_t b = 1; b < 64; ++b) {
+    uint64_t lo = 1ULL << (b - 1);
+    uint64_t hi = Histogram::BucketUpperBound(b);
+    EXPECT_EQ(Histogram::BucketIndex(lo), b);
+    EXPECT_EQ(Histogram::BucketIndex(hi), b);
+    EXPECT_EQ(Histogram::BucketIndex(hi) + 1,
+              Histogram::BucketIndex(hi + 1));
+  }
+
+  Histogram h;
+  h.Observe(0);
+  h.Observe(5);
+  h.Observe(7);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.Sum(), 12u);
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(3), 2u);  // 5 and 7 both in [4, 7]
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndTyped) {
+  MetricsRegistry reg;
+  reg.GetGauge("b_gauge")->Set(2);
+  reg.GetCounter("a_total")->Increment(1);
+  reg.GetHistogram("c_hist")->Observe(4);
+  std::vector<MetricSample> s = reg.Snapshot();
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].name, "a_total");
+  EXPECT_EQ(s[0].kind, MetricKind::kCounter);
+  EXPECT_EQ(s[0].value, 1u);
+  EXPECT_EQ(s[1].name, "b_gauge");
+  EXPECT_EQ(s[1].kind, MetricKind::kGauge);
+  EXPECT_EQ(s[2].name, "c_hist");
+  EXPECT_EQ(s[2].kind, MetricKind::kHistogram);
+  EXPECT_EQ(s[2].count, 1u);
+  EXPECT_EQ(s[2].sum, 4u);
+}
+
+TEST(MetricsRegistry, ResetValuesKeepsNamesAndPointers) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("r_total");
+  c->Increment(9);
+  reg.ResetValues();
+  EXPECT_EQ(reg.NumMetrics(), 1u);
+  EXPECT_EQ(c, reg.GetCounter("r_total"));
+  EXPECT_EQ(c->Value(), 0u);
+}
+
+TEST(LabeledName, BuildsThePrometheusForm) {
+  EXPECT_EQ(LabeledName("edges_total", "shard", "3"),
+            "edges_total{shard=\"3\"}");
+}
+
+// Golden registry used by both exporter tests: a counter, a plain gauge, a
+// labeled gauge, and a histogram with observations 0, 1, 3.
+void FillGolden(MetricsRegistry* reg) {
+  reg->GetCounter("a_total")->Increment(3);
+  reg->GetGauge("b_bytes")->Set(7);
+  reg->GetGauge(LabeledName("c_bytes", "shard", "0"))->Set(9);
+  Histogram* h = reg->GetHistogram("h_ns");
+  h->Observe(0);
+  h->Observe(1);
+  h->Observe(3);
+}
+
+TEST(ExportJson, GoldenOutput) {
+  MetricsRegistry reg;
+  FillGolden(&reg);
+  const char* expected =
+      "{\n"
+      "  \"a_total\": 3,\n"
+      "  \"b_bytes\": 7,\n"
+      "  \"c_bytes{shard=\\\"0\\\"}\": 9,\n"
+      "  \"h_ns\": {\"count\": 3, \"sum\": 4, "
+      "\"buckets\": [[0, 1], [1, 1], [3, 1]]}\n"
+      "}";
+  EXPECT_EQ(ExportJson(reg.Snapshot()), expected);
+}
+
+TEST(ExportJson, EmptyRegistryIsAnEmptyObject) {
+  MetricsRegistry reg;
+  EXPECT_EQ(ExportJson(reg.Snapshot()), "{}");
+}
+
+TEST(ExportPrometheus, GoldenOutput) {
+  MetricsRegistry reg;
+  FillGolden(&reg);
+  const char* expected =
+      "# TYPE a_total counter\n"
+      "a_total 3\n"
+      "# TYPE b_bytes gauge\n"
+      "b_bytes 7\n"
+      "# TYPE c_bytes gauge\n"
+      "c_bytes{shard=\"0\"} 9\n"
+      "# TYPE h_ns histogram\n"
+      "h_ns_bucket{le=\"0\"} 1\n"
+      "h_ns_bucket{le=\"1\"} 2\n"
+      "h_ns_bucket{le=\"3\"} 3\n"
+      "h_ns_bucket{le=\"+Inf\"} 3\n"
+      "h_ns_sum 4\n"
+      "h_ns_count 3\n";
+  EXPECT_EQ(ExportPrometheus(reg.Snapshot()), expected);
+}
+
+TEST(ExportPrometheus, HistogramBucketsAreCumulative) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("lat_ns");
+  for (uint64_t v : {1u, 2u, 3u, 100u}) h->Observe(v);
+  std::string out = ExportPrometheus(reg.Snapshot());
+  // bucket le=1 holds 1; le=3 holds 1,2,3 cumulatively; +Inf holds all 4.
+  EXPECT_NE(out.find("lat_ns_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(out.find("lat_ns_bucket{le=\"3\"} 3\n"), std::string::npos);
+  EXPECT_NE(out.find("lat_ns_bucket{le=\"+Inf\"} 4\n"), std::string::npos);
+  EXPECT_NE(out.find("lat_ns_count 4\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace streamkc

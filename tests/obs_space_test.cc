@@ -1,0 +1,185 @@
+// SpaceAccountant tests: epoch sampling, peak retention through shrinkage,
+// composite recursion, per-shard Absorb folding, registry publication, and
+// the real-sketch wiring (every sketch reports a named component whose
+// bytes equal its MemoryBytes).
+
+#include "obs/space_accountant.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "runtime/sketch_states.h"
+#include "sketch/hyperloglog.h"
+#include "sketch/l0_estimator.h"
+
+namespace streamkc {
+namespace {
+
+// Adjustable leaf for deterministic accounting tests.
+struct FakeLeaf : SpaceMetered {
+  size_t bytes = 0;
+  uint64_t items = 0;
+  const char* name = "fake_leaf";
+
+  size_t MemoryBytes() const override { return bytes; }
+  const char* ComponentName() const override { return name; }
+  uint64_t ItemCount() const override { return items; }
+};
+
+// Composite holding two leaves; its own bytes INCLUDE the children's
+// (the documented inclusive-row convention).
+struct FakeComposite : SpaceMetered {
+  FakeLeaf a, b;
+
+  size_t MemoryBytes() const override {
+    return 16 + a.MemoryBytes() + b.MemoryBytes();
+  }
+  const char* ComponentName() const override { return "fake_composite"; }
+  void ReportSpace(SpaceAccountant* acct) const override {
+    acct->Report(ComponentName(), MemoryBytes(), 0);
+    a.ReportSpace(acct);
+    b.ReportSpace(acct);
+  }
+};
+
+TEST(SpaceAccountant, SampleRecordsLeafTotalsAndItems) {
+  FakeLeaf leaf;
+  leaf.bytes = 100;
+  leaf.items = 7;
+  SpaceAccountant acct;
+  acct.Sample(leaf);
+  EXPECT_EQ(acct.current_total_bytes(), 100u);
+  EXPECT_EQ(acct.peak_total_bytes(), 100u);
+  EXPECT_EQ(acct.num_samples(), 1u);
+  const auto& row = acct.components().at("fake_leaf");
+  EXPECT_EQ(row.current_bytes, 100u);
+  EXPECT_EQ(row.items, 7u);
+}
+
+TEST(SpaceAccountant, PeakSurvivesShrinkage) {
+  // Rescaling subroutines shrink mid-stream; the end-of-stream footprint
+  // must not overwrite the high-water mark.
+  FakeLeaf leaf;
+  SpaceAccountant acct;
+  leaf.bytes = 50;
+  acct.Sample(leaf);
+  leaf.bytes = 500;
+  acct.Sample(leaf);
+  leaf.bytes = 80;
+  acct.Sample(leaf);
+  EXPECT_EQ(acct.current_total_bytes(), 80u);
+  EXPECT_EQ(acct.peak_total_bytes(), 500u);
+  const auto& row = acct.components().at("fake_leaf");
+  EXPECT_EQ(row.current_bytes, 80u);
+  EXPECT_EQ(row.peak_bytes, 500u);
+}
+
+TEST(SpaceAccountant, CompositeRowsAreInclusive) {
+  FakeComposite c;
+  c.a.bytes = 100;
+  c.b.bytes = 30;
+  c.b.name = "fake_leaf_b";
+  SpaceAccountant acct;
+  acct.Sample(c);
+  // Total is measured at the root; child rows overlap with the parent row.
+  EXPECT_EQ(acct.current_total_bytes(), 146u);
+  EXPECT_EQ(acct.components().at("fake_composite").current_bytes, 146u);
+  EXPECT_EQ(acct.components().at("fake_leaf").current_bytes, 100u);
+  EXPECT_EQ(acct.components().at("fake_leaf_b").current_bytes, 30u);
+}
+
+TEST(SpaceAccountant, SameNameAggregatesWithinAnEpoch) {
+  // Two children sharing a component name sum into one row (the
+  // "every KMV sketch in the tree" aggregation).
+  FakeComposite c;
+  c.a.bytes = 100;
+  c.b.bytes = 30;  // same default name "fake_leaf"
+  SpaceAccountant acct;
+  acct.Sample(c);
+  EXPECT_EQ(acct.components().at("fake_leaf").current_bytes, 130u);
+}
+
+TEST(SpaceAccountant, AbsorbSumsShardAccountants) {
+  // The sharded fold: N replicas coexist, so the pipeline's footprint is
+  // the SUM of per-shard currents and peaks.
+  FakeLeaf leaf;
+  SpaceAccountant s0, s1, total;
+  leaf.bytes = 100;
+  s0.Sample(leaf);
+  leaf.bytes = 60;
+  s0.Sample(leaf);  // s0: current 60, peak 100
+  leaf.bytes = 40;
+  s1.Sample(leaf);  // s1: current 40, peak 40
+  total.Absorb(s0);
+  total.Absorb(s1);
+  EXPECT_EQ(total.current_total_bytes(), 100u);
+  EXPECT_EQ(total.peak_total_bytes(), 140u);
+  EXPECT_EQ(total.components().at("fake_leaf").current_bytes, 100u);
+  EXPECT_EQ(total.components().at("fake_leaf").peak_bytes, 140u);
+}
+
+TEST(SpaceAccountant, PublishesGaugesIntoTheRegistry) {
+  MetricsRegistry reg;
+  SpaceAccountant acct(&reg);
+  FakeLeaf leaf;
+  leaf.bytes = 256;
+  leaf.items = 4;
+  acct.Sample(leaf);
+  EXPECT_EQ(reg.GetGauge("space_current_total_bytes")->Value(), 256u);
+  EXPECT_EQ(reg.GetGauge("space_peak_total_bytes")->Value(), 256u);
+  EXPECT_EQ(
+      reg.GetGauge(LabeledName("space_current_bytes", "component", "fake_leaf"))
+          ->Value(),
+      256u);
+  EXPECT_EQ(
+      reg.GetGauge(LabeledName("space_items", "component", "fake_leaf"))
+          ->Value(),
+      4u);
+}
+
+TEST(SpaceAccountant, ToJsonIsWellFormedAndCarriesComponents) {
+  FakeLeaf leaf;
+  leaf.bytes = 64;
+  SpaceAccountant acct;
+  acct.Sample(leaf);
+  std::string json = acct.ToJson();
+  EXPECT_NE(json.find("\"current_total_bytes\": 64"), std::string::npos);
+  EXPECT_NE(json.find("\"fake_leaf\""), std::string::npos);
+  EXPECT_NE(json.find("\"peak_bytes\": 64"), std::string::npos);
+}
+
+TEST(SpaceAccountant, RealSketchesReportNamedComponents) {
+  L0Estimator l0({.num_mins = 64, .seed = 5});
+  HyperLogLog hll({.precision = 10, .seed = 5});
+  for (uint64_t i = 0; i < 1000; ++i) {
+    l0.Add(i);
+    hll.Add(i);
+  }
+  SpaceAccountant acct;
+  acct.Sample(l0);
+  EXPECT_EQ(acct.components().at("l0_estimator").current_bytes,
+            l0.MemoryBytes());
+  EXPECT_EQ(acct.components().at("l0_estimator").items, 64u);  // full heap
+  SpaceAccountant acct2;
+  acct2.Sample(hll);
+  EXPECT_EQ(acct2.components().at("hyperloglog").current_bytes,
+            hll.MemoryBytes());
+}
+
+TEST(SpaceAccountant, CoverageStateRecursesIntoItsSketches) {
+  CoverageSketchState::Config cfg;
+  CoverageSketchState st(cfg);
+  for (uint64_t i = 0; i < 500; ++i) st.Process(Edge{i % 16, i});
+  SpaceAccountant acct;
+  acct.Sample(st);
+  EXPECT_EQ(acct.current_total_bytes(), st.MemoryBytes());
+  EXPECT_EQ(acct.components().count("coverage_sketch"), 1u);
+  EXPECT_EQ(acct.components().count("l0_estimator"), 1u);
+  EXPECT_EQ(acct.components().count("hyperloglog"), 1u);
+  EXPECT_EQ(acct.components().count("ams_f2"), 1u);
+}
+
+}  // namespace
+}  // namespace streamkc

@@ -258,6 +258,60 @@ TEST(ShardedPipeline, SlowShardBackpressuresProducerWithoutLoss) {
   EXPECT_EQ(merged.edges_seen, edges.size());  // nothing lost under stall
   EXPECT_GT(pipe.metrics().queue_full_stalls.load(), 0u);
   EXPECT_EQ(pipe.metrics().TotalShardEdges(), edges.size());
+  // The repaired ring accounting: stall events fold into the per-shard
+  // rows, rounds dominate events, and blocked wall time is recorded.
+  uint64_t shard_stall_sum = 0;
+  for (uint32_t s = 0; s < 2; ++s) {
+    shard_stall_sum += pipe.metrics().shard(s).ring_stalls.load();
+  }
+  EXPECT_EQ(shard_stall_sum, pipe.metrics().queue_full_stalls.load());
+  EXPECT_GE(pipe.metrics().TotalRingStallRounds(), shard_stall_sum);
+  EXPECT_GT(pipe.metrics().TotalRingStalledNs(), 0u);
+}
+
+TEST(ShardedPipeline, SpaceAccountantTracksShardPeaksAndMergedCurrent) {
+  std::vector<Edge> edges = SyntheticEdges(30000, 71);
+  CoverageSketchState::Config cfg;
+  ShardedPipelineOptions opts;
+  opts.num_shards = 4;
+  opts.batch_size = 256;
+  opts.space_sample_every_batches = 1;  // sample every batch
+  MetricsRegistry registry;
+  opts.registry = &registry;
+  ShardedPipeline<CoverageSketchState> pipe(
+      opts, [&](uint32_t) { return CoverageSketchState(cfg); });
+  VectorEdgeStream stream(edges);
+  CoverageSketchState merged = pipe.Run(stream);
+
+  const SpaceAccountant& space = pipe.space();
+  EXPECT_GT(space.num_samples(), 0u);
+  // Current footprint after the fold is the merged state alone; the peak
+  // covers the 4 simultaneous replicas and must dominate it.
+  EXPECT_EQ(space.current_total_bytes(), merged.MemoryBytes());
+  EXPECT_GE(space.peak_total_bytes(), space.current_total_bytes());
+  EXPECT_GE(space.peak_total_bytes(), pipe.metrics().TotalStateBytes());
+  EXPECT_EQ(space.components().count("coverage_sketch"), 1u);
+  EXPECT_EQ(space.components().count("l0_estimator"), 1u);
+  // The run published its gauges and histograms into the given registry,
+  // not the global one.
+  EXPECT_GT(registry.GetGauge("space_peak_total_bytes")->Value(), 0u);
+  EXPECT_GT(registry.GetHistogram("runtime_batch_busy_ns")->Count(), 0u);
+  EXPECT_EQ(registry.GetHistogram("runtime_batch_edges")->Sum(),
+            edges.size());
+}
+
+TEST(ShardedPipeline, MergeTimeIsRecorded) {
+  std::vector<Edge> edges = SyntheticEdges(10000, 81);
+  CoverageSketchState::Config cfg;
+  ShardedPipelineOptions opts;
+  opts.num_shards = 4;
+  ShardedPipeline<CoverageSketchState> pipe(
+      opts, [&](uint32_t) { return CoverageSketchState(cfg); });
+  VectorEdgeStream stream(edges);
+  pipe.Run(stream);
+  EXPECT_EQ(pipe.metrics().merges.load(), 3u);
+  EXPECT_GT(pipe.metrics().merge_ns.load(), 0u);
+  EXPECT_LE(pipe.metrics().merge_ns.load(), pipe.metrics().wall_ns.load());
 }
 
 TEST(RuntimeMetrics, JsonSnapshotCarriesTheCounters) {

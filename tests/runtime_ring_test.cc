@@ -1,0 +1,98 @@
+// SpscRing stall-accounting tests. The original Push() incremented the
+// stall counter at most once per call and recorded no duration, so a
+// saturated consumer looked identical to a briefly-full ring; these tests
+// pin the repaired semantics: one EVENT per stalling Push, one ROUND per
+// wait-loop trip (rounds >= events), and blocked wall time in nanoseconds.
+
+#include "runtime/spsc_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace streamkc {
+namespace {
+
+TEST(SpscRing, NoStallsWhenConsumerKeepsUp) {
+  SpscRing<int> ring(8);
+  std::thread consumer([&] {
+    int v;
+    while (ring.Pop(&v)) {
+    }
+  });
+  for (int i = 0; i < 4; ++i) ring.Push(i);
+  ring.Close();
+  consumer.join();
+  EXPECT_EQ(ring.push_stalls(), 0u);
+  EXPECT_EQ(ring.push_stall_rounds(), 0u);
+  EXPECT_EQ(ring.push_stalled_ns(), 0u);
+}
+
+TEST(SpscRing, StallIsCountedWithRoundsAndDuration) {
+  SpscRing<int> ring(1);
+  ring.Push(1);  // fills the ring; no stall yet
+  EXPECT_EQ(ring.push_stalls(), 0u);
+
+  // The next Push must block until the consumer pops. The consumer waits
+  // until the producer has actually registered its stall before popping —
+  // a handshake on the counter itself, so the test cannot pass vacuously.
+  std::thread consumer([&] {
+    while (ring.push_stalls() == 0) std::this_thread::yield();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    int v;
+    ASSERT_TRUE(ring.Pop(&v));
+    EXPECT_EQ(v, 1);
+    ASSERT_TRUE(ring.Pop(&v));
+    EXPECT_EQ(v, 2);
+  });
+  ring.Push(2);  // blocks until the consumer frees a slot
+  consumer.join();
+
+  EXPECT_EQ(ring.push_stalls(), 1u);
+  EXPECT_GE(ring.push_stall_rounds(), 1u);
+  // The consumer held the ring full for >= 2ms after observing the stall;
+  // the recorded blocked time must reflect a real wait, not zero.
+  EXPECT_GT(ring.push_stalled_ns(), 0u);
+}
+
+TEST(SpscRing, EveryStallingPushCountsOneEvent) {
+  SpscRing<int> ring(1);
+  constexpr int kItems = 50;
+  std::thread consumer([&] {
+    int v;
+    int popped = 0;
+    while (ring.Pop(&v)) {
+      EXPECT_EQ(v, popped++);
+      // Slow consumer: nearly every Push after the first finds the ring
+      // full and must register its own stall event.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    EXPECT_EQ(popped, kItems);
+  });
+  for (int i = 0; i < kItems; ++i) ring.Push(i);
+  ring.Close();
+  consumer.join();
+  // The old implementation could report a single event for the whole run;
+  // the repaired one reports one per stalling Push. With a 200us-per-item
+  // consumer and a capacity-1 ring, most of the 50 pushes stall.
+  EXPECT_GT(ring.push_stalls(), 1u);
+  EXPECT_GE(ring.push_stall_rounds(), ring.push_stalls());
+  EXPECT_GT(ring.push_stalled_ns(), 0u);
+}
+
+TEST(SpscRing, CloseDrainsRemainingItems) {
+  SpscRing<int> ring(4);
+  ring.Push(10);
+  ring.Push(20);
+  ring.Close();
+  int v;
+  EXPECT_TRUE(ring.Pop(&v));
+  EXPECT_EQ(v, 10);
+  EXPECT_TRUE(ring.Pop(&v));
+  EXPECT_EQ(v, 20);
+  EXPECT_FALSE(ring.Pop(&v));
+}
+
+}  // namespace
+}  // namespace streamkc

@@ -1,0 +1,169 @@
+// Malformed-input corpus for TextEdgeStream: every defect class the parser
+// distinguishes, in both strict (stop with file:line error) and lenient
+// (skip + count) modes, plus the negative-token regression — strtoull
+// accepts "-1" and wraps it to 2⁶⁴−1, so '-' must be rejected explicitly.
+
+#include "stream/text_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace streamkc {
+namespace {
+
+class MalformedInputTest : public ::testing::Test {
+ protected:
+  std::string WriteFile(const char* name, const std::string& content) {
+    std::string path = ::testing::TempDir() + "/streamkc_mal_" + name + ".txt";
+    std::ofstream out(path);
+    out << content;
+    return path;
+  }
+
+  void TearDown() override {
+    for (const std::string& p : paths_) std::remove(p.c_str());
+  }
+
+  std::string Track(std::string path) {
+    paths_.push_back(path);
+    return path;
+  }
+
+  std::vector<std::string> paths_;
+};
+
+// One line per defect class, interleaved with good lines and skippable
+// comment/blank lines.
+constexpr char kCorpus[] =
+    "# header comment\n"
+    "1 10\n"
+    "\n"
+    "-1 7\n"          // negative set id (the strtoull wrap regression)
+    "2 20\n"
+    "3 -4\n"          // negative element id
+    "banana 5\n"      // set id not a number
+    "6 pear\n"        // element id not a number
+    "7\n"             // missing element id
+    "8 9 trailing\n"  // trailing garbage
+    "99999999999999999999999999 1\n"  // set id overflows uint64 (ERANGE)
+    "4 40\n";
+
+constexpr int kGoodLines = 3;  // 1 10, 2 20, 4 40
+constexpr int kBadLines = 7;
+
+TEST_F(MalformedInputTest, StrictStopsAtFirstDefectWithContext) {
+  std::string path = Track(WriteFile("strict", kCorpus));
+  TextEdgeStream stream(path);
+  Edge e;
+  ASSERT_TRUE(stream.Next(&e));
+  EXPECT_EQ(e, (Edge{1, 10}));
+  // Line 4 is the first defect; the stream stops there for good.
+  EXPECT_FALSE(stream.Next(&e));
+  EXPECT_FALSE(stream.ok());
+  EXPECT_NE(stream.StatusMessage().find(path + ":4:"), std::string::npos);
+  EXPECT_NE(stream.StatusMessage().find("negative set id"), std::string::npos);
+  EXPECT_NE(stream.StatusMessage().find("\"-1 7\""), std::string::npos);
+  EXPECT_FALSE(stream.Next(&e));  // stays stopped
+  EXPECT_EQ(stream.malformed_lines(), 1u);
+}
+
+TEST_F(MalformedInputTest, LenientSkipsAndCountsEveryDefect) {
+  std::string path = Track(WriteFile("lenient", kCorpus));
+  MetricsRegistry registry;
+  TextEdgeStream::Config cfg;
+  cfg.lenient = true;
+  cfg.registry = &registry;
+  TextEdgeStream stream(path, cfg);
+  std::vector<Edge> got;
+  Edge e;
+  while (stream.Next(&e)) got.push_back(e);
+  EXPECT_TRUE(stream.ok());
+  ASSERT_EQ(got.size(), static_cast<size_t>(kGoodLines));
+  EXPECT_EQ(got[0], (Edge{1, 10}));
+  EXPECT_EQ(got[1], (Edge{2, 20}));
+  EXPECT_EQ(got[2], (Edge{4, 40}));
+  EXPECT_EQ(stream.malformed_lines(), static_cast<uint64_t>(kBadLines));
+  EXPECT_EQ(registry.GetCounter("stream_malformed_lines_total")->Value(),
+            static_cast<uint64_t>(kBadLines));
+  // No hard parse errors in lenient mode.
+  EXPECT_EQ(registry.GetCounter("stream_parse_errors_total")->Value(), 0u);
+}
+
+TEST_F(MalformedInputTest, StrictCountsOneParseErrorInRegistry) {
+  std::string path = Track(WriteFile("strict_reg", "bad line\n"));
+  MetricsRegistry registry;
+  TextEdgeStream::Config cfg;
+  cfg.registry = &registry;
+  TextEdgeStream stream(path, cfg);
+  Edge e;
+  EXPECT_FALSE(stream.Next(&e));
+  EXPECT_EQ(registry.GetCounter("stream_parse_errors_total")->Value(), 1u);
+  EXPECT_EQ(registry.GetCounter("stream_malformed_lines_total")->Value(), 1u);
+}
+
+TEST_F(MalformedInputTest, NegativeTokenNeverWrapsToHugeId) {
+  // The original parser fed "-1 7" through strtoull, yielding set id
+  // 18446744073709551615. No emitted edge may carry a wrapped id.
+  std::string path = Track(WriteFile("wrap", "-1 7\n3 4\n"));
+  TextEdgeStream::Config cfg;
+  cfg.lenient = true;
+  TextEdgeStream stream(path, cfg);
+  Edge e;
+  while (stream.Next(&e)) {
+    EXPECT_NE(e.set, UINT64_MAX);
+    EXPECT_EQ(e, (Edge{3, 4}));
+  }
+  EXPECT_EQ(stream.malformed_lines(), 1u);
+}
+
+TEST_F(MalformedInputTest, OverflowIsRejectedNotTruncated) {
+  std::string path =
+      Track(WriteFile("erange", "18446744073709551616 1\n"));  // 2^64
+  TextEdgeStream stream(path);
+  Edge e;
+  EXPECT_FALSE(stream.Next(&e));
+  EXPECT_NE(stream.StatusMessage().find("set id out of range"),
+            std::string::npos);
+}
+
+TEST_F(MalformedInputTest, ResetClearsTheErrorState) {
+  std::string path = Track(WriteFile("reset", "oops\n1 2\n"));
+  TextEdgeStream stream(path);
+  Edge e;
+  EXPECT_FALSE(stream.Next(&e));
+  EXPECT_FALSE(stream.ok());
+  stream.Reset();
+  EXPECT_TRUE(stream.ok());
+  EXPECT_EQ(stream.malformed_lines(), 0u);
+  // Same file, same defect: stops again at line 1.
+  EXPECT_FALSE(stream.Next(&e));
+  EXPECT_NE(stream.StatusMessage().find(":1:"), std::string::npos);
+}
+
+TEST_F(MalformedInputTest, LenientStreamFeedsAnAlgorithmToCompletion) {
+  // End-to-end shape of the bugfix: a dirty feed completes a full pass
+  // instead of aborting the process.
+  std::string content;
+  for (int i = 0; i < 100; ++i) {
+    content += std::to_string(i % 10) + " " + std::to_string(i) + "\n";
+    if (i % 7 == 0) content += "corrupt " + std::to_string(i) + "\n";
+  }
+  std::string path = Track(WriteFile("e2e", content));
+  TextEdgeStream::Config cfg;
+  cfg.lenient = true;
+  TextEdgeStream stream(path, cfg);
+  uint64_t edges = 0;
+  Edge e;
+  while (stream.Next(&e)) ++edges;
+  EXPECT_TRUE(stream.ok());
+  EXPECT_EQ(edges, 100u);
+  EXPECT_EQ(stream.malformed_lines(), 15u);  // ceil(100/7)
+}
+
+}  // namespace
+}  // namespace streamkc

@@ -64,7 +64,7 @@ TEST_F(TextStreamTest, ResetRewinds) {
   std::remove(path.c_str());
 }
 
-TEST_F(TextStreamTest, MissingSecondNumberAborts) {
+TEST_F(TextStreamTest, MissingSecondNumberStopsWithError) {
   std::string path = TempPath("malformed");
   {
     std::ofstream out(path);
@@ -72,11 +72,15 @@ TEST_F(TextStreamTest, MissingSecondNumberAborts) {
   }
   TextEdgeStream stream(path);
   Edge e;
-  EXPECT_DEATH(stream.Next(&e), "CHECK failed");
+  EXPECT_FALSE(stream.Next(&e));
+  EXPECT_FALSE(stream.ok());
+  EXPECT_NE(stream.StatusMessage().find("missing element id"),
+            std::string::npos);
+  EXPECT_NE(stream.StatusMessage().find(":1:"), std::string::npos);
   std::remove(path.c_str());
 }
 
-TEST_F(TextStreamTest, GarbageAborts) {
+TEST_F(TextStreamTest, GarbageStopsWithError) {
   std::string path = TempPath("garbage");
   {
     std::ofstream out(path);
@@ -84,7 +88,10 @@ TEST_F(TextStreamTest, GarbageAborts) {
   }
   TextEdgeStream stream(path);
   Edge e;
-  EXPECT_DEATH(stream.Next(&e), "CHECK failed");
+  EXPECT_FALSE(stream.Next(&e));
+  EXPECT_FALSE(stream.ok());
+  EXPECT_NE(stream.StatusMessage().find("element id is not a number"),
+            std::string::npos);
   std::remove(path.c_str());
 }
 

@@ -17,8 +17,15 @@
 // --threads N runs estimate/report through the sharded runtime pipeline
 // (src/runtime): N seed-coordinated replicas ingest disjoint substreams and
 // are folded with Merge() at end of stream. The result is deterministic and
-// matches the single-threaded answer on the same seed. --metrics-out dumps
-// the RuntimeMetrics JSON snapshot ("-" for stdout).
+// matches the single-threaded answer on the same seed.
+//
+// --metrics-out FILE|- dumps the run's observability snapshot (runtime
+// counters, space breakdown, metrics registry); --metrics-format json
+// (default, a superset of the original RuntimeMetrics schema) or
+// prometheus (text exposition format). Works with and without --threads.
+//
+// Malformed input lines stop the run with a file:line error by default;
+// --lenient skips and counts them instead.
 
 #include <algorithm>
 #include <cstdio>
@@ -29,6 +36,9 @@
 #include "core/estimate_max_cover.h"
 #include "core/report_max_cover.h"
 #include "core/two_pass.h"
+#include "obs/metrics.h"
+#include "obs/space_accountant.h"
+#include "runtime/metrics_export.h"
 #include "runtime/sharded_pipeline.h"
 #include "setsys/generators.h"
 #include "stream/stream_stats.h"
@@ -49,7 +59,9 @@ struct Args {
   uint64_t threads = 0;  // 0 = classic in-line pass, N ≥ 1 = sharded runtime
   size_t batch_size = 4096;
   std::string partition = "element";  // routing key: element | set
-  std::string metrics_out;            // RuntimeMetrics JSON ("-" = stdout)
+  std::string metrics_out;            // metrics dump sink ("-" = stdout)
+  std::string metrics_format = "json";  // json | prometheus
+  bool lenient = false;  // skip+count malformed input lines instead of failing
 };
 
 [[noreturn]] void Usage(const char* msg) {
@@ -58,11 +70,13 @@ struct Args {
                "usage:\n"
                "  streamkc_cli generate --family planted|random|zipf|graph"
                " --m M --n N --k K [--seed S] --out FILE\n"
-               "  streamkc_cli stats FILE\n"
+               "  streamkc_cli stats FILE [--lenient]\n"
                "  streamkc_cli estimate FILE --m M --n N --k K"
                " (--alpha A | --budget-kb B) [--seed S]\n"
                "           [--threads T] [--batch-size B]"
-               " [--partition element|set] [--metrics-out FILE|-]\n"
+               " [--partition element|set] [--lenient]\n"
+               "           [--metrics-out FILE|-]"
+               " [--metrics-format json|prometheus]\n"
                "  streamkc_cli report  FILE --m M --n N --k K --alpha A"
                " [--seed S] [--threads T ...]\n"
                "  streamkc_cli twopass FILE --m M --n N --k K --alpha A"
@@ -119,12 +133,22 @@ Args Parse(int argc, char** argv) {
       }
     } else if (flag == "--metrics-out") {
       a.metrics_out = next();
+    } else if (flag == "--metrics-format") {
+      a.metrics_format = next();
+      if (a.metrics_format != "json" && a.metrics_format != "prometheus") {
+        Usage("--metrics-format must be json or prometheus");
+      }
+    } else if (flag == "--lenient") {
+      a.lenient = true;
     } else {
       Usage(("unknown flag " + flag).c_str());
     }
   }
   return a;
 }
+
+TextEdgeStream::Config StreamConfig(const Args& a);
+void CheckStream(const TextEdgeStream& stream);
 
 int CmdGenerate(const Args& a) {
   if (a.out.empty() || a.m == 0 || a.n == 0) Usage("generate needs --m --n --out");
@@ -158,8 +182,9 @@ int CmdGenerate(const Args& a) {
 
 int CmdStats(const Args& a) {
   if (a.file.empty()) Usage("stats needs a FILE");
-  TextEdgeStream stream(a.file);
+  TextEdgeStream stream(a.file, StreamConfig(a));
   StreamStats stats = ComputeStreamStats(stream);
+  CheckStream(stream);
   std::printf("edges              : %llu (%llu distinct)\n",
               (unsigned long long)stats.num_edges,
               (unsigned long long)stats.num_distinct_edges);
@@ -193,10 +218,28 @@ ShardedPipelineOptions PipelineOptions(const Args& a) {
   return po;
 }
 
-void DumpMetrics(const RuntimeMetrics& m, const std::string& path) {
-  std::string json = m.ToJson();
+TextEdgeStream::Config StreamConfig(const Args& a) {
+  TextEdgeStream::Config c;
+  c.lenient = a.lenient;
+  return c;
+}
+
+// Exits with the stream's file:line parse error (strict mode); reports the
+// skipped-line count in lenient mode.
+void CheckStream(const TextEdgeStream& stream) {
+  if (!stream.ok()) {
+    std::fprintf(stderr, "error: %s\n", stream.StatusMessage().c_str());
+    std::exit(1);
+  }
+  if (stream.malformed_lines() > 0) {
+    std::printf("malformed lines    : %llu skipped (--lenient)\n",
+                (unsigned long long)stream.malformed_lines());
+  }
+}
+
+void WriteDump(const std::string& content, const std::string& path) {
   if (path == "-") {
-    std::printf("%s\n", json.c_str());
+    std::printf("%s\n", content.c_str());
     return;
   }
   FILE* f = std::fopen(path.c_str(), "w");
@@ -204,44 +247,61 @@ void DumpMetrics(const RuntimeMetrics& m, const std::string& path) {
     std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
     std::exit(1);
   }
-  std::fprintf(f, "%s\n", json.c_str());
+  std::fprintf(f, "%s\n", content.c_str());
   std::fclose(f);
+}
+
+// Renders the selected --metrics-format and writes it to --metrics-out.
+// `runtime` is nullptr for in-line (threads == 0) passes.
+void DumpMetrics(const Args& a, const RuntimeMetrics* runtime,
+                 const SpaceAccountant* space) {
+  if (a.metrics_out.empty()) return;
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  std::string content = a.metrics_format == "prometheus"
+                            ? ComposeMetricsPrometheus(runtime, reg)
+                            : ComposeMetricsJson(runtime, space, reg);
+  WriteDump(content, a.metrics_out);
 }
 
 // One pass over `a.file` with a fresh `make()` estimator: in-line when
 // --threads is absent, through the sharded runtime otherwise. `*peak_bytes`
-// receives the pass's peak sketch footprint via SpaceAccounted: sampled
-// every 64Ki edges in-line (rescaling subroutines can shrink, so the final
-// footprint is not the peak), and the pre-merge sum of shard replicas when
-// sharded.
+// receives the pass's peak sketch footprint via the SpaceAccountant:
+// sampled every 64Ki edges in-line (rescaling subroutines can shrink, so
+// the final footprint is not the peak), and the sum of simultaneous shard
+// replica peaks when sharded.
 template <typename State, typename MakeFn>
 State RunPass(const Args& a, MakeFn make, size_t* peak_bytes) {
-  TextEdgeStream stream(a.file);
+  TextEdgeStream stream(a.file, StreamConfig(a));
   if (a.threads == 0) {
     State st = make();
+    SpaceAccountant acct(&MetricsRegistry::Global());
     Edge e;
     uint64_t count = 0;
-    size_t peak = 0;
     while (stream.Next(&e)) {
       st.Process(e);
-      if ((++count & 0xFFFFu) == 0) peak = std::max(peak, st.MemoryBytes());
+      if ((++count & 0xFFFFu) == 0) acct.Sample(st);
     }
-    *peak_bytes = std::max(peak, st.MemoryBytes());
+    CheckStream(stream);
+    acct.Sample(st);
+    *peak_bytes = acct.peak_total_bytes();
+    DumpMetrics(a, nullptr, &acct);
     return st;
   }
   ShardedPipeline<State> pipe(PipelineOptions(a),
                               [&](uint32_t) { return make(); });
   State st = pipe.Run(stream);
+  CheckStream(stream);
   const RuntimeMetrics& m = pipe.metrics();
   *peak_bytes = std::max<size_t>(
-      m.TotalStateBytes(),
-      m.merged_state_bytes.load(std::memory_order_relaxed));
+      std::max<size_t>(m.TotalStateBytes(),
+                       m.merged_state_bytes.load(std::memory_order_relaxed)),
+      pipe.space().peak_total_bytes());
   std::printf("runtime            : %u shards (%s-partitioned), "
               "%.2fM edges/s, %llu queue stalls\n",
               m.num_shards(), a.partition.c_str(), m.EdgesPerSecond() / 1e6,
               (unsigned long long)m.queue_full_stalls.load(
                   std::memory_order_relaxed));
-  if (!a.metrics_out.empty()) DumpMetrics(m, a.metrics_out);
+  DumpMetrics(a, &m, &pipe.space());
   return st;
 }
 
@@ -288,10 +348,11 @@ int CmdTwoPass(const Args& a) {
   TwoPassMaxCover::Config c;
   c.params = MakeParams(a);
   c.seed = a.seed;
-  TextEdgeStream stream(a.file);
+  TextEdgeStream stream(a.file, StreamConfig(a));
   TwoPassMaxCover tp(c);
   Stopwatch sw;
   EstimateOutcome out = RunTwoPass(stream, c, &tp);
+  CheckStream(stream);
   std::printf("coverage estimate  : %.0f (%s)\n", out.estimate,
               out.source.c_str());
   std::printf("OPT bracket        : [%llu, %llu] -> %u oracles\n",

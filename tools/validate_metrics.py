@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Validates a streamkc_cli --metrics-out JSON dump against the checked-in
+schema (tools/metrics_schema.json) plus semantic invariants the schema
+cannot express. Stdlib only — no jsonschema dependency.
+
+Usage: validate_metrics.py DUMP.json [--schema SCHEMA.json]
+Exit status: 0 valid, 1 invalid, 2 usage/IO error.
+"""
+
+import json
+import os
+import sys
+
+SUPPORTED_KEYS = {
+    "$comment", "type", "required", "properties", "items",
+    "additionalProperties", "anyOf",
+}
+
+
+def type_ok(value, expected):
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected == "object":
+        return isinstance(value, dict)
+    if expected == "array":
+        return isinstance(value, list)
+    if expected == "string":
+        return isinstance(value, str)
+    raise ValueError(f"unsupported schema type: {expected}")
+
+
+def validate(value, schema, path, errors):
+    """Interprets the JSON-Schema subset documented in metrics_schema.json."""
+    unknown = set(schema) - SUPPORTED_KEYS
+    if unknown:
+        raise ValueError(f"schema uses unsupported keywords at {path}: {unknown}")
+
+    if "anyOf" in schema:
+        for alternative in schema["anyOf"]:
+            trial = []
+            validate(value, alternative, path, trial)
+            if not trial:
+                return
+        errors.append(f"{path}: matches no anyOf alternative")
+        return
+
+    expected = schema.get("type")
+    if expected is not None and not type_ok(value, expected):
+        errors.append(f"{path}: expected {expected}, got {type(value).__name__}")
+        return
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key '{key}'")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, sub in value.items():
+            if key in props:
+                validate(sub, props[key], f"{path}.{key}", errors)
+            elif isinstance(extra, dict):
+                validate(sub, extra, f"{path}.{key}", errors)
+    elif isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def check_invariants(dump, errors):
+    """Cross-field rules: counter consistency the schema cannot state."""
+    shards = dump.get("shards")
+    if shards is not None:
+        # A dump with shard rows must carry the whole runtime section.
+        for key in ("edges_ingested", "batches_enqueued", "queue_full_stalls",
+                    "ring_stall_rounds", "ring_stalled_ns", "merges",
+                    "merge_ns", "wall_ns"):
+            if key not in dump:
+                errors.append(f"$: runtime dump missing '{key}'")
+        for i, row in enumerate(shards):
+            if row.get("shard") != i:
+                errors.append(f"$.shards[{i}]: shard id {row.get('shard')}")
+            if row.get("ring_stall_rounds", 0) < row.get("ring_stalls", 0):
+                errors.append(f"$.shards[{i}]: stall rounds < stall events")
+        if "edges_ingested" in dump:
+            total = sum(row.get("edges", 0) for row in shards)
+            if total != dump["edges_ingested"]:
+                errors.append(
+                    f"$: shard edges sum {total} != "
+                    f"edges_ingested {dump['edges_ingested']}")
+
+    space = dump.get("space")
+    if space is not None:
+        if space["peak_total_bytes"] < space["current_total_bytes"]:
+            errors.append("$.space: peak_total_bytes < current_total_bytes")
+        for name, comp in space.get("components", {}).items():
+            if comp["peak_bytes"] < comp["current_bytes"]:
+                errors.append(f"$.space.components.{name}: peak < current")
+
+    for name, metric in dump.get("registry", {}).items():
+        if isinstance(metric, dict):  # histogram
+            bucket_sum = sum(count for _, count in metric["buckets"])
+            if bucket_sum != metric["count"]:
+                errors.append(
+                    f"$.registry.{name}: bucket counts sum {bucket_sum} "
+                    f"!= count {metric['count']}")
+            bounds = [le for le, _ in metric["buckets"]]
+            if bounds != sorted(bounds):
+                errors.append(f"$.registry.{name}: bucket bounds not sorted")
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    schema_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               "metrics_schema.json")
+    for i, a in enumerate(argv[1:]):
+        if a == "--schema":
+            schema_path = argv[1:][i + 1]
+            args.remove(schema_path)
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    try:
+        with open(schema_path) as f:
+            schema = json.load(f)
+        with open(args[0]) as f:
+            dump = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"validate_metrics: {e}", file=sys.stderr)
+        return 2
+
+    errors = []
+    validate(dump, schema, "$", errors)
+    if not errors:
+        check_invariants(dump, errors)
+    if errors:
+        for e in errors:
+            print(f"INVALID {e}", file=sys.stderr)
+        return 1
+    print(f"OK {args[0]}: {len(dump.get('registry', {}))} registry metrics, "
+          f"{len(dump.get('shards', []))} shard rows")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
