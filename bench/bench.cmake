@@ -22,6 +22,15 @@ streamkc_bench(bench_ablation)
 streamkc_bench(bench_set_cover)
 streamkc_bench(bench_runtime)
 
+# --metrics-out contract: an unwritable sink must fail fast (the probe
+# runs before the experiment), never silently drop the dump at the end.
+add_test(NAME bench_metrics_out_unwritable_fails
+  COMMAND bench_runtime --metrics-out
+          ${CMAKE_BINARY_DIR}/no-such-dir/metrics.json)
+set_tests_properties(bench_metrics_out_unwritable_fails PROPERTIES
+  ENVIRONMENT "STREAMKC_BENCH_SCALE=small"
+  WILL_FAIL TRUE LABELS "tier1" TIMEOUT 60)
+
 # Throughput micro-benchmarks use google-benchmark.
 add_executable(bench_micro ${CMAKE_SOURCE_DIR}/bench/bench_micro.cc)
 target_link_libraries(bench_micro PRIVATE

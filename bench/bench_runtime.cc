@@ -46,6 +46,9 @@ std::vector<Edge> SynthesizeEdges(size_t count, uint64_t seed) {
 }
 
 int Main(int argc, char** argv) {
+  // Resolve (and writability-probe) the metrics sink up front: an
+  // unwritable path must fail before the experiment runs, not after.
+  const std::string metrics_out = bench::MetricsOutPath(argc, argv);
   const size_t num_edges = bench::SmallScale() ? 1'000'000 : 10'000'000;
   bench::Banner(
       "Runtime thread scaling: sharded ingestion + mergeable-sketch reduction",
@@ -102,7 +105,7 @@ int Main(int argc, char** argv) {
       "\nSpeedup is bounded by physical cores; per-shard space is constant "
       "(seed-coordinated replicas), so total space grows linearly with "
       "shards until the fold collapses it back to one sketch.\n");
-  bench::DumpMetricsJson(bench::MetricsOutPath(argc, argv));
+  bench::DumpMetricsJson(metrics_out);
   return 0;
 }
 

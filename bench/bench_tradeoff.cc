@@ -115,8 +115,11 @@ void PartB_MSweep() {
 }  // namespace streamkc
 
 int main(int argc, char** argv) {
+  // Resolve (and writability-probe) the metrics sink before the sweeps: an
+  // unwritable path must fail before the experiment runs, not after.
+  const std::string metrics_out = streamkc::bench::MetricsOutPath(argc, argv);
   streamkc::PartA_AlphaSweep();
   streamkc::PartB_MSweep();
-  streamkc::bench::DumpMetricsJson(streamkc::bench::MetricsOutPath(argc, argv));
+  streamkc::bench::DumpMetricsJson(metrics_out);
   return 0;
 }

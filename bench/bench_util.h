@@ -72,17 +72,36 @@ inline std::string Fmt(const char* fmt, ...) {
 }
 
 // Resolves the bench's metrics sink: `--metrics-out FILE` on the command
-// line, else STREAMKC_BENCH_METRICS_OUT, else "" (disabled).
+// line, else STREAMKC_BENCH_METRICS_OUT, else "" (disabled). An unwritable
+// sink fails the run HERE, before the experiment burns minutes — silently
+// dropping the dump at the end (the old behavior) lost the data the run
+// existed to produce.
 inline std::string MetricsOutPath(int argc, char** argv) {
+  std::string path;
   for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--metrics-out") == 0) return argv[i + 1];
+    if (std::strcmp(argv[i], "--metrics-out") == 0) path = argv[i + 1];
   }
-  const char* env = std::getenv("STREAMKC_BENCH_METRICS_OUT");
-  return env != nullptr ? env : "";
+  if (path.empty()) {
+    const char* env = std::getenv("STREAMKC_BENCH_METRICS_OUT");
+    path = env != nullptr ? env : "";
+  }
+  if (!path.empty() && path != "-") {
+    // Append-mode probe: verifies writability without truncating whatever
+    // is there now (the real dump overwrites it later).
+    FILE* f = std::fopen(path.c_str(), "a");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write --metrics-out %s\n",
+                   path.c_str());
+      std::exit(2);
+    }
+    std::fclose(f);
+  }
+  return path;
 }
 
 // Writes the process-wide registry snapshot as JSON to `path` ("-" =
-// stdout); no-op when `path` is empty.
+// stdout); no-op when `path` is empty. Exits nonzero if the sink became
+// unwritable since the MetricsOutPath probe.
 inline void DumpMetricsJson(const std::string& path) {
   if (path.empty()) return;
   std::string json = ExportJson(MetricsRegistry::Global().Snapshot());
@@ -93,10 +112,13 @@ inline void DumpMetricsJson(const std::string& path) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
-    return;
+    std::exit(1);
   }
   std::fprintf(f, "%s\n", json.c_str());
-  std::fclose(f);
+  if (std::fclose(f) != 0) {
+    std::fprintf(stderr, "bench: error flushing %s\n", path.c_str());
+    std::exit(1);
+  }
 }
 
 inline void Banner(const char* experiment, const char* claim) {

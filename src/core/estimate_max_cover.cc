@@ -1,6 +1,7 @@
 #include "core/estimate_max_cover.h"
 
 #include <algorithm>
+#include <cstring>
 #include <optional>
 
 #include "util/check.h"
@@ -63,6 +64,25 @@ void EstimateMaxCover::Process(const Edge& edge) {
   for (Level& level : oracles_) {
     level.oracle->Process(level.reduction.MapEdge(edge));
   }
+}
+
+uint64_t EstimateMaxCover::MergeFingerprint() const {
+  // Chain every Merge() precondition through SplitMix64. alpha is hashed by
+  // bit pattern: merge compatibility is exact-config equality, not numeric
+  // closeness.
+  uint64_t alpha_bits;
+  static_assert(sizeof(alpha_bits) == sizeof(config_.params.alpha));
+  std::memcpy(&alpha_bits, &config_.params.alpha, sizeof(alpha_bits));
+  uint64_t fp = SplitMix64(config_.seed);
+  fp = SplitMix64(fp ^ config_.params.m);
+  fp = SplitMix64(fp ^ config_.params.n);
+  fp = SplitMix64(fp ^ config_.params.k);
+  fp = SplitMix64(fp ^ alpha_bits);
+  fp = SplitMix64(fp ^ (trivial_mode_ ? 1 : 0));
+  fp = SplitMix64(fp ^ (config_.reporting ? 2 : 0));
+  fp = SplitMix64(fp ^ oracles_.size());
+  for (const Level& level : oracles_) fp = SplitMix64(fp ^ level.z);
+  return fp;
 }
 
 void EstimateMaxCover::Merge(const EstimateMaxCover& other) {

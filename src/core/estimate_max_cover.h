@@ -57,6 +57,17 @@ class EstimateMaxCover : public StreamingEstimator {
   // exactly the single-pass state on the concatenated stream.
   void Merge(const EstimateMaxCover& other);
 
+  // Fingerprint of everything Merge() requires to agree (seed, instance
+  // parameters, mode, oracle-grid shape). Two states with different
+  // fingerprints are NOT merge-compatible: folding them would silently
+  // produce garbage, so coordinators (runtime/sharded_pipeline.h) compare
+  // fingerprints first and quarantine mismatching shards — the sketch-merge
+  // corruption detection hook.
+  uint64_t MergeFingerprint() const;
+  bool MergeCompatible(const EstimateMaxCover& other) const {
+    return MergeFingerprint() == other.MergeFingerprint();
+  }
+
   // Reporting mode only: the winning oracle's witness sets (empty in trivial
   // mode — the trivial branch's solution lives in ReportMaxCover).
   std::vector<SetId> ExtractSolution(uint64_t max_sets) const;

@@ -57,6 +57,11 @@ void ReportMaxCover::Process(const Edge& edge) {
   if (estimator_.trivial_mode()) set_sample_.Add(edge.set);
 }
 
+uint64_t ReportMaxCover::MergeFingerprint() const {
+  return SplitMix64(estimator_.MergeFingerprint() ^
+                    SplitMix64(set_sample_.capacity));
+}
+
 void ReportMaxCover::Merge(const ReportMaxCover& other) {
   CHECK_EQ(config_.seed, other.config_.seed);
   estimator_.Merge(other.estimator_);

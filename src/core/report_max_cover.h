@@ -55,6 +55,13 @@ class ReportMaxCover : public StreamingEstimator {
   // set a single pass over the concatenated stream retains.
   void Merge(const ReportMaxCover& other);
 
+  // Merge-compatibility fingerprint (see EstimateMaxCover::MergeFingerprint):
+  // wraps the estimator's fingerprint plus the bottom-k sample shape.
+  uint64_t MergeFingerprint() const;
+  bool MergeCompatible(const ReportMaxCover& other) const {
+    return MergeFingerprint() == other.MergeFingerprint();
+  }
+
   size_t MemoryBytes() const override;
   const char* ComponentName() const override { return "report_max_cover"; }
   uint64_t ItemCount() const override { return set_sample_.heap.size(); }

@@ -1,0 +1,85 @@
+#include "fault/faulty_stream.h"
+
+#include "util/random.h"
+
+namespace streamkc {
+namespace {
+
+// Decision-stream tags (see FaultInjector::Decide); disjoint from the
+// injector's runtime-side tags.
+constexpr uint64_t kTagReadError = 0x72656164;  // "read"
+constexpr uint64_t kTagDuplicate = 0x64757065;  // "dupe"
+constexpr uint64_t kTagGarbage = 0x67617262;    // "garb"
+constexpr uint64_t kTagReorder = 0x6f726472;    // "ordr"
+
+}  // namespace
+
+FaultInjectingStream::FaultInjectingStream(EdgeStream* inner,
+                                           const FaultInjector* injector)
+    : inner_(inner), injector_(injector), plan_(injector->plan()) {}
+
+bool FaultInjectingStream::Next(Edge* edge) {
+  // A call after a transient failure IS the retry: clear and resume.
+  if (!error_.empty()) error_.clear();
+  const uint64_t call = call_seq_++;
+  if (injector_->Decide(kTagReadError, call, plan_.read_error_rate)) {
+    ++transient_errors_;
+    injector_->Count(FaultInjector::kFaultStreamError);
+    error_ = "injected transient read error (read " + std::to_string(call) +
+             " of fault plan " + plan_.ToSpec() + ")";
+    return false;
+  }
+  if (queue_.empty()) Refill();
+  if (queue_.empty()) return false;  // inner end-of-stream (or inner error)
+  *edge = queue_.front();
+  queue_.pop_front();
+  return true;
+}
+
+void FaultInjectingStream::Refill() {
+  // With no reordering requested, the window is only a pull-batch size and
+  // order is preserved exactly.
+  const size_t window = plan_.reorder_window > 0 ? plan_.reorder_window : 256;
+  std::vector<Edge> buf;
+  buf.reserve(window + window / 8);
+  Edge e;
+  while (buf.size() < window && inner_->Next(&e)) {
+    const uint64_t tok = token_seq_++;
+    buf.push_back(e);
+    if (injector_->Decide(kTagDuplicate, tok, plan_.duplicate_rate)) {
+      ++duplicates_injected_;
+      injector_->Count(FaultInjector::kFaultDuplicate);
+      buf.push_back(e);  // a repeated incidence, as the model allows
+    }
+    if (injector_->Decide(kTagGarbage, tok, plan_.garbage_rate)) {
+      ++garbage_injected_;
+      injector_->Count(FaultInjector::kFaultGarbage);
+      const uint64_t g = SplitMix64(plan_.seed ^ (tok * 2 + 1));
+      buf.push_back(Edge{FaultPlan::kGarbageIdBase | (g >> 16),
+                         FaultPlan::kGarbageIdBase | (SplitMix64(g) >> 16)});
+    }
+  }
+  const uint64_t win = window_seq_++;
+  if (plan_.reorder_window > 0 && buf.size() > 1) {
+    ++windows_reordered_;
+    injector_->Count(FaultInjector::kFaultReorder);
+    Rng rng(SplitMix64(plan_.seed ^ kTagReorder) ^ SplitMix64(win));
+    rng.Shuffle(buf);
+  }
+  queue_.insert(queue_.end(), buf.begin(), buf.end());
+}
+
+void FaultInjectingStream::Reset() {
+  inner_->Reset();
+  queue_.clear();
+  token_seq_ = 0;
+  call_seq_ = 0;
+  window_seq_ = 0;
+  error_.clear();
+  transient_errors_ = 0;
+  duplicates_injected_ = 0;
+  garbage_injected_ = 0;
+  windows_reordered_ = 0;
+}
+
+}  // namespace streamkc

@@ -1,0 +1,86 @@
+// FaultInjectingStream: wraps any EdgeStream and perturbs it according to a
+// FaultPlan — the stream-side half of the fault-injection harness.
+//
+// Injected faults (all seed-deterministic; see fault_plan.h for the spec):
+//
+//   * transient read errors — Next()/NextBatch() fails with ok() == false
+//     and transient() == true; the NEXT call resumes where the stream left
+//     off. This models a flaky upstream (socket hiccup, throttled reader)
+//     and exercises the pipeline's bounded retry-with-backoff.
+//   * duplicate edges — an already-emitted edge is re-emitted. The model
+//     explicitly allows repeated incidences, so estimators must tolerate
+//     them; the differential suite measures how well they do.
+//   * local reordering — edges are permuted within sliding windows of W
+//     tokens (sketches are order-oblivious; this verifies it end-to-end).
+//   * garbage edges — out-of-domain ids (>= FaultPlan::kGarbageIdBase)
+//     appear in the stream, as from a corrupted upstream feed.
+//
+// Determinism: decisions are drawn from the shared FaultInjector::Decide
+// scheme keyed by token sequence number, so the perturbed token sequence is
+// a pure function of (inner stream, plan). Reset() rewinds both the inner
+// stream and the fault sequence, giving byte-identical replays.
+
+#ifndef STREAMKC_FAULT_FAULTY_STREAM_H_
+#define STREAMKC_FAULT_FAULTY_STREAM_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "stream/edge_stream.h"
+
+namespace streamkc {
+
+class FaultInjectingStream : public EdgeStream {
+ public:
+  // `inner` must outlive this stream; `injector` supplies the decision
+  // scheme and the faults_injected_total counters and must also outlive it.
+  FaultInjectingStream(EdgeStream* inner, const FaultInjector* injector);
+
+  bool Next(Edge* edge) override;
+  void Reset() override;
+  uint64_t SizeHint() const override { return inner_->SizeHint(); }
+
+  // ok() is false while a transient fault (or an inner-stream error) is
+  // outstanding; transient() distinguishes the retryable case. A retry is
+  // simply the next Next()/NextBatch() call.
+  bool ok() const override { return error_.empty() && inner_->ok(); }
+  bool transient() const override { return !error_.empty(); }
+  std::string StatusMessage() const override {
+    return !error_.empty() ? error_ : inner_->StatusMessage();
+  }
+
+  // Fault totals for this stream instance (the registry counters aggregate
+  // across instances; these are per-run).
+  uint64_t transient_errors() const { return transient_errors_; }
+  uint64_t duplicates_injected() const { return duplicates_injected_; }
+  uint64_t garbage_injected() const { return garbage_injected_; }
+  uint64_t windows_reordered() const { return windows_reordered_; }
+
+ private:
+  // Pulls the next window from the inner stream into queue_, applying
+  // duplication, garbage injection and window reordering.
+  void Refill();
+
+  EdgeStream* inner_;
+  const FaultInjector* injector_;
+  const FaultPlan& plan_;
+
+  std::deque<Edge> queue_;   // perturbed tokens awaiting emission
+  uint64_t token_seq_ = 0;   // inner tokens consumed (decision index)
+  uint64_t call_seq_ = 0;    // Next() calls (read-error decision index)
+  uint64_t window_seq_ = 0;  // windows refilled (reorder decision index)
+  std::string error_;        // nonempty while a transient fault is raised
+
+  uint64_t transient_errors_ = 0;
+  uint64_t duplicates_injected_ = 0;
+  uint64_t garbage_injected_ = 0;
+  uint64_t windows_reordered_ = 0;
+};
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_FAULT_FAULTY_STREAM_H_

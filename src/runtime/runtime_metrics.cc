@@ -13,6 +13,10 @@ void RuntimeMetrics::Reset(uint32_t num_shards) {
   edges_ingested.store(0, std::memory_order_relaxed);
   batches_enqueued.store(0, std::memory_order_relaxed);
   queue_full_stalls.store(0, std::memory_order_relaxed);
+  stream_retries.store(0, std::memory_order_relaxed);
+  worker_deaths.store(0, std::memory_order_relaxed);
+  merge_corruptions_detected.store(0, std::memory_order_relaxed);
+  shards_quarantined.store(0, std::memory_order_relaxed);
   merges.store(0, std::memory_order_relaxed);
   merge_ns.store(0, std::memory_order_relaxed);
   merged_state_bytes.store(0, std::memory_order_relaxed);
@@ -61,6 +65,21 @@ uint64_t RuntimeMetrics::TotalRingStalledNs() const {
   return total;
 }
 
+uint64_t RuntimeMetrics::TotalEdgesDiscarded() const {
+  uint64_t total = 0;
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    total += shards_[s].edges_discarded.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double RuntimeMetrics::QuarantinedFraction() const {
+  if (num_shards_ == 0) return 0;
+  return static_cast<double>(
+             shards_quarantined.load(std::memory_order_relaxed)) /
+         static_cast<double>(num_shards_);
+}
+
 double RuntimeMetrics::EdgesPerSecond() const {
   uint64_t ns = wall_ns.load(std::memory_order_relaxed);
   if (ns == 0) return 0;
@@ -69,9 +88,9 @@ double RuntimeMetrics::EdgesPerSecond() const {
 }
 
 std::string RuntimeMetrics::ToJson() const {
-  char buf[512];
+  char buf[1024];
   std::string out;
-  out.reserve(512 + 192 * num_shards_);
+  out.reserve(1024 + 256 * num_shards_);
   std::snprintf(
       buf, sizeof(buf),
       "{\n"
@@ -80,6 +99,12 @@ std::string RuntimeMetrics::ToJson() const {
       "  \"queue_full_stalls\": %" PRIu64 ",\n"
       "  \"ring_stall_rounds\": %" PRIu64 ",\n"
       "  \"ring_stalled_ns\": %" PRIu64 ",\n"
+      "  \"stream_retries\": %" PRIu64 ",\n"
+      "  \"worker_deaths\": %" PRIu64 ",\n"
+      "  \"merge_corruptions_detected\": %" PRIu64 ",\n"
+      "  \"shards_quarantined\": %" PRIu64 ",\n"
+      "  \"quarantined_fraction\": %.4f,\n"
+      "  \"edges_discarded\": %" PRIu64 ",\n"
       "  \"merges\": %" PRIu64 ",\n"
       "  \"merge_ns\": %" PRIu64 ",\n"
       "  \"merged_state_bytes\": %" PRIu64 ",\n"
@@ -91,6 +116,11 @@ std::string RuntimeMetrics::ToJson() const {
       batches_enqueued.load(std::memory_order_relaxed),
       queue_full_stalls.load(std::memory_order_relaxed),
       TotalRingStallRounds(), TotalRingStalledNs(),
+      stream_retries.load(std::memory_order_relaxed),
+      worker_deaths.load(std::memory_order_relaxed),
+      merge_corruptions_detected.load(std::memory_order_relaxed),
+      shards_quarantined.load(std::memory_order_relaxed),
+      QuarantinedFraction(), TotalEdgesDiscarded(),
       merges.load(std::memory_order_relaxed),
       merge_ns.load(std::memory_order_relaxed),
       merged_state_bytes.load(std::memory_order_relaxed), TotalStateBytes(),
@@ -103,7 +133,9 @@ std::string RuntimeMetrics::ToJson() const {
                   ", \"batches\": %" PRIu64 ", \"busy_ns\": %" PRIu64
                   ", \"state_bytes\": %" PRIu64 ", \"ring_stalls\": %" PRIu64
                   ", \"ring_stall_rounds\": %" PRIu64
-                  ", \"ring_stalled_ns\": %" PRIu64 "}",
+                  ", \"ring_stalled_ns\": %" PRIu64
+                  ", \"edges_discarded\": %" PRIu64
+                  ", \"quarantined\": %" PRIu64 "}",
                   s == 0 ? "" : ",", s,
                   ps.edges.load(std::memory_order_relaxed),
                   ps.batches.load(std::memory_order_relaxed),
@@ -111,7 +143,9 @@ std::string RuntimeMetrics::ToJson() const {
                   ps.state_bytes.load(std::memory_order_relaxed),
                   ps.ring_stalls.load(std::memory_order_relaxed),
                   ps.ring_stall_rounds.load(std::memory_order_relaxed),
-                  ps.ring_stalled_ns.load(std::memory_order_relaxed));
+                  ps.ring_stalled_ns.load(std::memory_order_relaxed),
+                  ps.edges_discarded.load(std::memory_order_relaxed),
+                  ps.quarantined.load(std::memory_order_relaxed));
     out += buf;
   }
   out += num_shards_ > 0 ? "\n  ]\n}" : "]\n}";
@@ -129,6 +163,16 @@ void RuntimeMetrics::PublishTo(MetricsRegistry* registry) const {
       queue_full_stalls.load(std::memory_order_relaxed));
   set("runtime_ring_stall_rounds", TotalRingStallRounds());
   set("runtime_ring_stalled_ns", TotalRingStalledNs());
+  // Degradation-policy mirror; "retries_total"/"shards_quarantined" are the
+  // names the obs layer's consumers alert on. Mirrored as gauges like every
+  // other runtime_* metric so PublishTo stays idempotent.
+  set("retries_total", stream_retries.load(std::memory_order_relaxed));
+  set("shards_quarantined",
+      shards_quarantined.load(std::memory_order_relaxed));
+  set("runtime_worker_deaths", worker_deaths.load(std::memory_order_relaxed));
+  set("runtime_merge_corruptions_detected",
+      merge_corruptions_detected.load(std::memory_order_relaxed));
+  set("runtime_edges_discarded", TotalEdgesDiscarded());
   set("runtime_merges", merges.load(std::memory_order_relaxed));
   set("runtime_merge_ns", merge_ns.load(std::memory_order_relaxed));
   set("runtime_merged_state_bytes",
@@ -156,6 +200,10 @@ void RuntimeMetrics::PublishTo(MetricsRegistry* registry) const {
               ps.ring_stall_rounds.load(std::memory_order_relaxed));
     set_shard("runtime_shard_ring_stalled_ns",
               ps.ring_stalled_ns.load(std::memory_order_relaxed));
+    set_shard("runtime_shard_edges_discarded",
+              ps.edges_discarded.load(std::memory_order_relaxed));
+    set_shard("runtime_shard_quarantined",
+              ps.quarantined.load(std::memory_order_relaxed));
   }
 }
 

@@ -26,7 +26,7 @@ class RuntimeMetrics {
  public:
   struct PerShard {
     std::atomic<uint64_t> edges{0};     // edges processed by this shard
-    std::atomic<uint64_t> batches{0};   // batches popped
+    std::atomic<uint64_t> batches{0};   // batches processed
     std::atomic<uint64_t> busy_ns{0};   // time spent inside State::Process
     std::atomic<uint64_t> state_bytes{0};  // MemoryBytes() at end of stream
     // Producer-side backpressure against this shard's ring: stall events
@@ -35,6 +35,12 @@ class RuntimeMetrics {
     std::atomic<uint64_t> ring_stalls{0};
     std::atomic<uint64_t> ring_stall_rounds{0};
     std::atomic<uint64_t> ring_stalled_ns{0};
+    // Degradation: edges popped but dropped by a dead worker (the ring is
+    // drained to keep backpressure alive), and whether the shard was
+    // quarantined out of the merge (0/1). edges + edges_discarded summed
+    // over shards equals edges_ingested.
+    std::atomic<uint64_t> edges_discarded{0};
+    std::atomic<uint64_t> quarantined{0};
   };
 
   RuntimeMetrics() = default;
@@ -52,7 +58,11 @@ class RuntimeMetrics {
   uint64_t TotalStateBytes() const;
   uint64_t TotalRingStallRounds() const;
   uint64_t TotalRingStalledNs() const;
+  uint64_t TotalEdgesDiscarded() const;
   double EdgesPerSecond() const;  // edges_ingested / wall time; 0 if unknown
+  // Quarantined shards / num_shards — the confidence discount a degraded
+  // run reports alongside its estimate. 0 when the run was clean.
+  double QuarantinedFraction() const;
 
   std::string ToJson() const;
 
@@ -65,6 +75,12 @@ class RuntimeMetrics {
   std::atomic<uint64_t> edges_ingested{0};
   std::atomic<uint64_t> batches_enqueued{0};
   std::atomic<uint64_t> queue_full_stalls{0};
+  // Degradation-policy counters: transient-read retries taken by the
+  // producer (retries_total), and the coordinator's post-join verdicts.
+  std::atomic<uint64_t> stream_retries{0};
+  std::atomic<uint64_t> worker_deaths{0};
+  std::atomic<uint64_t> merge_corruptions_detected{0};
+  std::atomic<uint64_t> shards_quarantined{0};
   // Coordinator-side counters (written single-threaded after the join).
   std::atomic<uint64_t> merges{0};
   std::atomic<uint64_t> merge_ns{0};

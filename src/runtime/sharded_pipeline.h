@@ -32,6 +32,21 @@
 // Backpressure: rings are bounded; a slow shard blocks the producer
 // (metrics.queue_full_stalls counts the events) instead of buffering the
 // stream, preserving the streaming space discipline.
+//
+// Degradation policy: a production pipeline must degrade predictably, not
+// assume a clean world. Three failure classes are handled (and injectable
+// via src/fault for testing):
+//   * transient stream errors — retried with bounded exponential backoff
+//     (DegradationPolicy::max_stream_retries, retries_total metric);
+//   * worker death mid-stream — the dead shard's ring keeps draining (so
+//     backpressure cannot deadlock) but its edges are discarded and the
+//     shard is QUARANTINED out of the merge;
+//   * merge corruption — before folding, shard fingerprints
+//     (State::MergeFingerprint(), when provided) are compared and the
+//     minority view is quarantined rather than folded into garbage.
+// Quarantine counts are reported in RuntimeMetrics (shards_quarantined,
+// QuarantinedFraction()) so drivers can attach a confidence discount to the
+// final estimate. strict mode turns every degradation into a hard failure.
 
 #ifndef STREAMKC_RUNTIME_SHARDED_PIPELINE_H_
 #define STREAMKC_RUNTIME_SHARDED_PIPELINE_H_
@@ -39,12 +54,15 @@
 #include <chrono>
 #include <concepts>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "fault/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/space_accountant.h"
 #include "runtime/edge_batch.h"
@@ -55,6 +73,20 @@
 #include "util/check.h"
 
 namespace streamkc {
+
+// How the pipeline responds to faults (injected or real).
+struct DegradationPolicy {
+  // Consecutive transient-read retries before the producer gives up and
+  // truncates the pass (the stream's error then surfaces through ok()).
+  // The budget resets after every successful read.
+  uint32_t max_stream_retries = 5;
+  // First retry backoff; doubles per consecutive retry.
+  uint64_t initial_backoff_ns = 100'000;  // 100 µs
+  // Hard-fail mode: abort the process on any degradation (exhausted
+  // retries, worker death, merge corruption) instead of quarantining —
+  // for runs where a partial answer is worse than no answer.
+  bool strict = false;
+};
 
 struct ShardedPipelineOptions {
   uint32_t num_shards = 1;
@@ -74,6 +106,11 @@ struct ShardedPipelineOptions {
   // Sampling walks the whole estimator tree, so per-batch cost is
   // O(tree size) — 16 amortizes it to noise at the default batch_size.
   uint32_t space_sample_every_batches = 16;
+  // Fault-injection hooks (nullptr = no injected faults). The injector must
+  // outlive Run(); it is shared by the producer, every worker, and the
+  // coordinator, which is safe because its decisions are stateless.
+  const FaultInjector* fault_injector = nullptr;
+  DegradationPolicy degradation;
 };
 
 template <typename State>
@@ -124,18 +161,40 @@ class ShardedPipeline {
     // the join hands it back.
     std::vector<SpaceAccountant> shard_accts(n);
 
+    const FaultInjector* injector = options_.fault_injector;
+    // Worker-death flags; each worker writes only its own slot before the
+    // join, the coordinator reads after it.
+    std::vector<uint8_t> worker_died(n, 0);
+
     std::vector<std::thread> workers;
     workers.reserve(n);
     for (uint32_t s = 0; s < n; ++s) {
-      workers.emplace_back([this, s, &rings, &states, &shard_accts,
-                            batch_busy_hist, batch_edges_hist] {
+      workers.emplace_back([this, s, &rings, &states, &shard_accts, injector,
+                            &worker_died, batch_busy_hist, batch_edges_hist] {
         RuntimeMetrics::PerShard& ps = metrics_.shard(s);
         State& state = states[s];
         SpaceAccountant& acct = shard_accts[s];
         const uint32_t sample_every = options_.space_sample_every_batches;
         uint32_t batches_since_sample = 0;
+        uint64_t batches_popped = 0;
+        bool dead = false;
         EdgeBatch batch;
         while (rings[s]->Pop(&batch)) {
+          if (!dead && injector != nullptr &&
+              injector->WorkerDiesAt(s, batches_popped)) {
+            // Simulated worker death: the state stops advancing, but the
+            // ring MUST keep draining — a dead shard that stopped popping
+            // would wedge the producer behind a full ring forever.
+            dead = true;
+            worker_died[s] = 1;
+            injector->Count(FaultInjector::kFaultWorkerDeath);
+          }
+          ++batches_popped;
+          if (dead) {
+            ps.edges_discarded.fetch_add(batch.edges.size(),
+                                         std::memory_order_relaxed);
+            continue;
+          }
           auto t0 = std::chrono::steady_clock::now();
           for (const Edge& e : batch.edges) state.Process(e);
           auto t1 = std::chrono::steady_clock::now();
@@ -147,6 +206,12 @@ class ShardedPipeline {
           ps.batches.fetch_add(1, std::memory_order_relaxed);
           batch_busy_hist->Observe(busy);
           batch_edges_hist->Observe(batch.edges.size());
+          if (injector != nullptr) {
+            uint64_t slow_ns = injector->ShardSlowdownNs(s);
+            if (slow_ns > 0) {
+              std::this_thread::sleep_for(std::chrono::nanoseconds(slow_ns));
+            }
+          }
           if constexpr (std::derived_from<State, SpaceMetered>) {
             if (sample_every > 0 && ++batches_since_sample >= sample_every) {
               batches_since_sample = 0;
@@ -167,20 +232,64 @@ class ShardedPipeline {
     ShardRouter router(n, options_.policy, options_.route_salt);
     std::vector<EdgeBatch> accum(n);
     for (EdgeBatch& b : accum) b.edges.reserve(options_.batch_size);
+    // Per-shard flush sequence numbers: deterministic (routing is a pure
+    // function of the edge), so injected push delays are replayable.
+    std::vector<uint64_t> flush_seq(n, 0);
     auto flush = [&](uint32_t s) {
       metrics_.batches_enqueued.fetch_add(1, std::memory_order_relaxed);
+      if (injector != nullptr) {
+        uint64_t delay_ns = injector->PushDelayNs(s, flush_seq[s]);
+        if (delay_ns > 0) {
+          std::this_thread::sleep_for(std::chrono::nanoseconds(delay_ns));
+        }
+      }
+      ++flush_seq[s];
       rings[s]->Push(std::move(accum[s]));
       accum[s] = EdgeBatch(options_.batch_size);
     };
+    const DegradationPolicy& deg = options_.degradation;
+    // Bounded retry with exponential backoff for TRANSIENT stream errors.
+    // The budget is per-consecutive-failure: any successful read resets it.
+    uint32_t retries_used = 0;
+    uint64_t backoff_ns = deg.initial_backoff_ns;
     std::vector<Edge> read_buf;
-    size_t got;
-    while ((got = stream.NextBatch(&read_buf, options_.batch_size)) > 0) {
-      metrics_.edges_ingested.fetch_add(got, std::memory_order_relaxed);
-      for (const Edge& e : read_buf) {
-        uint32_t s = router.ShardOf(e);
-        accum[s].edges.push_back(e);
-        if (accum[s].edges.size() >= options_.batch_size) flush(s);
+    for (;;) {
+      size_t got = stream.NextBatch(&read_buf, options_.batch_size);
+      if (got > 0) {
+        retries_used = 0;
+        backoff_ns = deg.initial_backoff_ns;
+        metrics_.edges_ingested.fetch_add(got, std::memory_order_relaxed);
+        for (const Edge& e : read_buf) {
+          uint32_t s = router.ShardOf(e);
+          accum[s].edges.push_back(e);
+          if (accum[s].edges.size() >= options_.batch_size) flush(s);
+        }
       }
+      if (stream.ok()) {
+        if (got == 0) break;  // end of stream
+        continue;
+      }
+      if (stream.transient() && retries_used < deg.max_stream_retries) {
+        // Retry: the next NextBatch() call clears the error and resumes.
+        ++retries_used;
+        metrics_.stream_retries.fetch_add(1, std::memory_order_relaxed);
+        registry->GetHistogram("runtime_retry_backoff_ns")
+            ->Observe(backoff_ns);
+        std::this_thread::sleep_for(std::chrono::nanoseconds(backoff_ns));
+        backoff_ns *= 2;
+        continue;
+      }
+      // Unrecoverable (parse error, or transient budget exhausted): the pass
+      // is truncated and the error surfaces to the driver through
+      // stream.ok(). In strict mode an exhausted retry budget is fatal.
+      if (deg.strict && stream.transient()) {
+        std::fprintf(stderr,
+                     "[streamkc] strict: stream error persisted after %u "
+                     "retries: %s\n",
+                     retries_used, stream.StatusMessage().c_str());
+        std::exit(1);
+      }
+      break;
     }
     for (uint32_t s = 0; s < n; ++s) {
       if (!accum[s].empty()) flush(s);
@@ -215,10 +324,78 @@ class ShardedPipeline {
       accountant_.Absorb(shard_accts[s]);
     }
 
-    // Merge coordinator: fold in fixed shard order for determinism.
+    // Quarantine verdicts, decided single-threaded after the join.
+    // (1) Dead workers: their replicas stopped mid-substream and must not
+    // be folded — the merged state would silently under-count.
+    std::vector<uint8_t> quarantined(n, 0);
+    for (uint32_t s = 0; s < n; ++s) {
+      if (worker_died[s]) {
+        quarantined[s] = 1;
+        metrics_.worker_deaths.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    // (2) Merge corruption, when State exposes a fingerprint: compare the
+    // replicas' merge preconditions and quarantine the minority view.
+    // Majority vote (instead of trusting shard 0) handles a corrupt root.
+    if constexpr (requires(const State& st) {
+                    { st.MergeFingerprint() } -> std::convertible_to<uint64_t>;
+                  }) {
+      std::vector<uint64_t> fps(n);
+      for (uint32_t s = 0; s < n; ++s) {
+        fps[s] = states[s].MergeFingerprint();
+        if (injector != nullptr && injector->CorruptsMergeFingerprint(s)) {
+          fps[s] ^= 0xD1E7C0DEDEADBEEFull;  // injected corruption
+          injector->Count(FaultInjector::kFaultMergeCorruption);
+        }
+      }
+      uint64_t canonical = 0;
+      uint32_t best_votes = 0;
+      for (uint32_t s = 0; s < n; ++s) {
+        if (quarantined[s]) continue;
+        uint32_t votes = 0;
+        for (uint32_t t = 0; t < n; ++t) {
+          if (!quarantined[t] && fps[t] == fps[s]) ++votes;
+        }
+        if (votes > best_votes) {
+          best_votes = votes;
+          canonical = fps[s];
+        }
+      }
+      for (uint32_t s = 0; s < n; ++s) {
+        if (quarantined[s] || best_votes == 0 || fps[s] == canonical) continue;
+        quarantined[s] = 1;
+        metrics_.merge_corruptions_detected.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    }
+    uint32_t num_quarantined = 0;
+    for (uint32_t s = 0; s < n; ++s) {
+      if (!quarantined[s]) continue;
+      ++num_quarantined;
+      metrics_.shard(s).quarantined.store(1, std::memory_order_relaxed);
+    }
+    metrics_.shards_quarantined.store(num_quarantined,
+                                      std::memory_order_relaxed);
+    if (num_quarantined > 0 && deg.strict) {
+      std::fprintf(stderr, "[streamkc] strict: %u/%u shards quarantined\n",
+                   num_quarantined, n);
+      std::exit(1);
+    }
+    if (num_quarantined == n) {
+      // No healthy replica survives; a fabricated answer would be worse
+      // than none, strict mode or not.
+      std::fprintf(stderr, "[streamkc] all %u shards quarantined\n", n);
+      std::exit(1);
+    }
+
+    // Merge coordinator: fold the healthy shards in fixed shard order (root
+    // = lowest healthy shard) for determinism.
+    uint32_t root = 0;
+    while (quarantined[root]) ++root;
     auto merge_start = std::chrono::steady_clock::now();
-    for (uint32_t s = 1; s < n; ++s) {
-      states[0].Merge(states[s]);
+    for (uint32_t s = root + 1; s < n; ++s) {
+      if (quarantined[s]) continue;
+      states[root].Merge(states[s]);
       metrics_.merges.fetch_add(1, std::memory_order_relaxed);
     }
     metrics_.merge_ns.store(
@@ -229,20 +406,20 @@ class ShardedPipeline {
     if constexpr (requires(const State& st) {
                     { st.MemoryBytes() } -> std::convertible_to<size_t>;
                   }) {
-      metrics_.merged_state_bytes.store(states[0].MemoryBytes(),
+      metrics_.merged_state_bytes.store(states[root].MemoryBytes(),
                                         std::memory_order_relaxed);
     }
     // Current footprint after the fold = the merged state alone; the peak
     // (sum of simultaneous shard peaks, absorbed above) is retained.
     if constexpr (std::derived_from<State, SpaceMetered>) {
-      accountant_.Sample(states[0]);
+      accountant_.Sample(states[root]);
     }
     metrics_.wall_ns.store(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - run_start)
             .count(),
         std::memory_order_relaxed);
-    return std::move(states[0]);
+    return std::move(states[root]);
   }
 
   const RuntimeMetrics& metrics() const { return metrics_; }

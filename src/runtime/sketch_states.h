@@ -16,6 +16,7 @@
 #include "sketch/hyperloglog.h"
 #include "sketch/l0_estimator.h"
 #include "stream/edge.h"
+#include "util/random.h"
 
 namespace streamkc {
 
@@ -33,7 +34,8 @@ struct CoverageSketchState : SpaceMetered {
   };
 
   explicit CoverageSketchState(const Config& config)
-      : covered_l0({.num_mins = config.l0_num_mins, .seed = config.seed}),
+      : config_(config),
+        covered_l0({.num_mins = config.l0_num_mins, .seed = config.seed}),
         covered_hll({.precision = config.hll_precision, .seed = config.seed}),
         element_f2({.rows = config.ams_rows,
                     .cols = config.ams_cols,
@@ -51,6 +53,16 @@ struct CoverageSketchState : SpaceMetered {
     element_f2.Merge(other.element_f2);
   }
 
+  // Merge-compatibility fingerprint (the sharded pipeline's corruption
+  // detection hook): everything the three sketch Merges require to agree.
+  uint64_t MergeFingerprint() const {
+    uint64_t fp = SplitMix64(config_.seed);
+    fp = SplitMix64(fp ^ config_.l0_num_mins);
+    fp = SplitMix64(fp ^ config_.hll_precision);
+    fp = SplitMix64(fp ^ (uint64_t{config_.ams_rows} << 32 | config_.ams_cols));
+    return fp;
+  }
+
   size_t MemoryBytes() const override {
     return covered_l0.MemoryBytes() + covered_hll.MemoryBytes() +
            element_f2.MemoryBytes();
@@ -65,6 +77,7 @@ struct CoverageSketchState : SpaceMetered {
     element_f2.ReportSpace(acct);
   }
 
+  Config config_;
   L0Estimator covered_l0;
   HyperLogLog covered_hll;
   AmsF2Sketch element_f2;

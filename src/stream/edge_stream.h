@@ -55,6 +55,15 @@ class EdgeStream {
   // treating a parse error as end-of-stream silently truncates the pass.
   virtual bool ok() const { return true; }
   virtual std::string StatusMessage() const { return std::string(); }
+
+  // True when the current error (ok() == false) is TRANSIENT: the source
+  // expects to recover, and the caller may retry by simply calling Next()/
+  // NextBatch() again, which resumes where the stream left off. Parse errors
+  // and end-of-stream are not transient; flaky-source conditions (e.g.
+  // fault-injected read errors, a throttled reader) are. The sharded
+  // runtime's degradation policy retries transient errors with bounded
+  // backoff instead of truncating the pass.
+  virtual bool transient() const { return false; }
 };
 
 // A fully materialized stream over an in-memory edge vector.

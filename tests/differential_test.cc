@@ -1,0 +1,165 @@
+// Randomized differential test driver (the harness half of the fault
+// subsystem): generated instances are run through (1) the in-line
+// estimator, (2) the N-shard pipeline, and (3) the N-shard pipeline under
+// fault plans. Where the merge order is canonical and faults are
+// timing-only, agreement must be EXACT; under token-mutating faults the
+// checks relax to the paper's α-bound with an expected failure rate.
+//
+// Every trial derives from a printed seed: replay a failure with
+//   STREAMKC_DIFF_SEED=<seed> STREAMKC_DIFF_TRIALS=1 ./differential_test
+// Trial counts scale with STREAMKC_DIFF_TRIALS (ctest -C stress raises it).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/estimate_max_cover.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "fault/faulty_stream.h"
+#include "obs/metrics.h"
+#include "runtime/sharded_pipeline.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace streamkc {
+namespace {
+
+struct Trial {
+  uint64_t seed = 0;
+  std::string family;
+  uint64_t m = 0, n = 0, k = 0;
+  double alpha = 0;
+  uint32_t shards = 0;
+
+  std::string Describe() const {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "trial{seed=%llu family=%s m=%llu n=%llu k=%llu "
+                  "alpha=%.0f shards=%u}",
+                  (unsigned long long)seed, family.c_str(),
+                  (unsigned long long)m, (unsigned long long)n,
+                  (unsigned long long)k, alpha, shards);
+    return buf;
+  }
+};
+
+// Draws one trial configuration from its seed — the whole trial (instance,
+// estimator seed, fault plan) is a pure function of Trial::seed.
+Trial DrawTrial(uint64_t seed) {
+  Rng rng(seed);
+  Trial t;
+  t.seed = seed;
+  const char* families[] = {"uniform", "zipf", "planted"};
+  t.family = families[rng.UniformU64(3)];
+  t.m = 128ull << rng.UniformU64(3);  // 128 | 256 | 512
+  t.n = t.m * 4;
+  t.k = 8ull << rng.UniformU64(2);  // 8 | 16
+  t.alpha = rng.UniformU64(2) == 0 ? 4.0 : 8.0;
+  t.shards = 2 + static_cast<uint32_t>(rng.UniformU64(7));  // 2..8
+  return t;
+}
+
+EstimateMaxCover::Config EstimatorConfig(const Trial& t) {
+  EstimateMaxCover::Config c;
+  c.params = Params::Practical(t.m, t.n, t.k, t.alpha);
+  c.seed = SplitMix64(t.seed ^ 0xE57);
+  return c;
+}
+
+EstimateOutcome RunInline(const Trial& t, const std::vector<Edge>& edges) {
+  EstimateMaxCover est(EstimatorConfig(t));
+  for (const Edge& e : edges) est.Process(e);
+  return est.Finalize();
+}
+
+// Runs the trial through the sharded pipeline, optionally under a fault
+// plan (empty = clean).
+EstimateOutcome RunSharded(const Trial& t, const std::vector<Edge>& edges,
+                           const std::string& plan_spec) {
+  MetricsRegistry registry;
+  ShardedPipelineOptions opts;
+  opts.num_shards = t.shards;
+  opts.batch_size = 256;
+  opts.registry = &registry;
+  EstimateMaxCover::Config c = EstimatorConfig(t);
+  VectorEdgeStream inner(edges);
+  std::unique_ptr<FaultInjector> injector;
+  std::unique_ptr<FaultInjectingStream> faulted;
+  EdgeStream* stream = &inner;
+  if (!plan_spec.empty()) {
+    injector = std::make_unique<FaultInjector>(
+        FaultPlan::ParseOrDie(plan_spec), &registry);
+    opts.fault_injector = injector.get();
+    if (injector->plan().HasStreamFaults()) {
+      faulted = std::make_unique<FaultInjectingStream>(&inner, injector.get());
+      stream = faulted.get();
+    }
+  }
+  ShardedPipeline<EstimateMaxCover> pipe(
+      opts, [&](uint32_t) { return EstimateMaxCover(c); });
+  return pipe.Run(*stream).Finalize();
+}
+
+std::string TimingOnlyPlan(uint64_t seed) {
+  return "seed=" + std::to_string(SplitMix64(seed ^ 0x71)) +
+         ",read-error=0.005,push-delay=0.02:10000,slow-shard=1:20000";
+}
+
+std::string MutatingPlan(uint64_t seed) {
+  return "seed=" + std::to_string(SplitMix64(seed ^ 0x13)) +
+         ",dup=0.02,garbage=0.005,reorder=32,kill-shard=1@1";
+}
+
+TEST(Differential, InlineVsShardedVsFaultedSharded) {
+  const uint64_t master = EnvScaledU64("STREAMKC_DIFF_SEED", 0xD1FF5EED);
+  const uint64_t trials = EnvScaledU64("STREAMKC_DIFF_TRIALS", 4);
+  uint64_t alpha_violations = 0;
+  std::string violating;
+  for (uint64_t i = 0; i < trials; ++i) {
+    const uint64_t seed = trials == 1 ? master : SplitMix64(master + i);
+    Trial t = DrawTrial(seed);
+    std::printf("[ differential ] %s  (replay: STREAMKC_DIFF_SEED=%llu "
+                "STREAMKC_DIFF_TRIALS=1)\n",
+                t.Describe().c_str(), (unsigned long long)seed);
+    GeneratedInstance inst = MakeFamilyInstance(t.family, t.m, t.n, t.k, seed);
+    std::vector<Edge> edges = InstanceEdges(inst, seed);
+
+    // (1) vs (2): the sharded merge is canonical — EXACT agreement.
+    EstimateOutcome inline_out = RunInline(t, edges);
+    EstimateOutcome sharded_out = RunSharded(t, edges, "");
+    EXPECT_DOUBLE_EQ(sharded_out.estimate, inline_out.estimate)
+        << t.Describe();
+    EXPECT_EQ(sharded_out.source, inline_out.source) << t.Describe();
+
+    // (2) vs (3a): timing-only faults (delays, a straggler, retried
+    // transient reads) leave the token sequence unchanged — still EXACT.
+    EstimateOutcome timing_out = RunSharded(t, edges, TimingOnlyPlan(seed));
+    EXPECT_DOUBLE_EQ(timing_out.estimate, inline_out.estimate)
+        << t.Describe() << " plan=" << TimingOnlyPlan(seed);
+
+    // (3b): token-mutating faults (dups, garbage, reordering, a killed
+    // shard) CAN move the estimate; the claim that survives is the paper's
+    // α-guarantee, checked statistically across the trial sweep.
+    EstimateOutcome mutated = RunSharded(t, edges, MutatingPlan(seed));
+    double greedy = static_cast<double>(GreedyCoverage(inst.system, t.k));
+    bool ok = mutated.feasible &&
+              mutated.estimate >= greedy / (2.0 * t.alpha) &&
+              mutated.estimate <= OptUpperBound(inst.system, t.k) * 1.5;
+    if (!ok) {
+      ++alpha_violations;
+      violating += t.Describe() + " plan=" + MutatingPlan(seed) + "; ";
+    }
+  }
+  // Quarantined substreams shrink what the estimator saw, so a small
+  // failure rate is expected — but most trials must stay inside the band.
+  uint64_t allowed = trials / 5 + 1;
+  EXPECT_LE(alpha_violations, allowed)
+      << "alpha-bound violations under mutating faults: " << violating;
+}
+
+}  // namespace
+}  // namespace streamkc

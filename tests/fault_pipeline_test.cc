@@ -1,0 +1,272 @@
+// ShardedPipeline under injected faults: the degradation policy's contract
+// is (a) timing faults and retried transient errors change NOTHING in the
+// merged state, (b) worker death and merge corruption quarantine exactly
+// the affected shard and the survivors' fold stays deterministic, (c)
+// strict mode turns every degradation into a clean hard failure.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/estimate_max_cover.h"
+#include "core/report_max_cover.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "fault/faulty_stream.h"
+#include "obs/metrics.h"
+#include "runtime/shard_router.h"
+#include "runtime/sharded_pipeline.h"
+#include "runtime/sketch_states.h"
+#include "test_util.h"
+
+namespace streamkc {
+namespace {
+
+template <typename Sketch>
+std::string SaveBytes(const Sketch& s) {
+  std::ostringstream os;
+  s.Save(os);
+  return os.str();
+}
+
+std::string StateBytes(const CoverageSketchState& st) {
+  return SaveBytes(st.covered_hll) + SaveBytes(st.element_f2);
+}
+
+// Runs `edges` through a 4-shard pipeline under `spec` (empty = clean) and
+// hands back the merged state; `metrics_out` receives the run's counters.
+CoverageSketchState RunFaulted(const std::vector<Edge>& edges,
+                               const std::string& spec,
+                               RuntimeMetrics* metrics_out,
+                               MetricsRegistry* registry,
+                               bool strict = false) {
+  CoverageSketchState::Config cfg;
+  cfg.seed = 19;
+  ShardedPipelineOptions opts;
+  opts.num_shards = 4;
+  opts.batch_size = 128;
+  opts.registry = registry;
+  FaultInjector injector(
+      FaultPlan::ParseOrDie(spec.empty() ? "seed=1" : spec), registry);
+  opts.fault_injector = &injector;
+  opts.degradation.strict = strict;
+  ShardedPipeline<CoverageSketchState> pipe(
+      opts, [&](uint32_t) { return CoverageSketchState(cfg); });
+  VectorEdgeStream inner(edges);
+  FaultInjectingStream stream(&inner, &injector);
+  CoverageSketchState merged = pipe.Run(stream);
+  if (metrics_out != nullptr) {
+    // Snapshot the counters the assertions need (RuntimeMetrics itself is
+    // not copyable; re-run its totals here).
+    metrics_out->Reset(4);
+    for (uint32_t s = 0; s < 4; ++s) {
+      metrics_out->shard(s).edges.store(pipe.metrics().shard(s).edges.load());
+      metrics_out->shard(s).edges_discarded.store(
+          pipe.metrics().shard(s).edges_discarded.load());
+      metrics_out->shard(s).quarantined.store(
+          pipe.metrics().shard(s).quarantined.load());
+    }
+    metrics_out->edges_ingested.store(pipe.metrics().edges_ingested.load());
+    metrics_out->stream_retries.store(pipe.metrics().stream_retries.load());
+    metrics_out->worker_deaths.store(pipe.metrics().worker_deaths.load());
+    metrics_out->merge_corruptions_detected.store(
+        pipe.metrics().merge_corruptions_detected.load());
+    metrics_out->shards_quarantined.store(
+        pipe.metrics().shards_quarantined.load());
+  }
+  return merged;
+}
+
+TEST(FaultPipeline, TimingFaultsChangeNothing) {
+  std::vector<Edge> edges = SyntheticEdges(20000, 3);
+  MetricsRegistry clean_reg, faulted_reg;
+  CoverageSketchState clean = RunFaulted(edges, "", nullptr, &clean_reg);
+  // Push delays and a straggling shard perturb scheduling only; the merged
+  // state is a pure function of the token sequence and must not move.
+  RuntimeMetrics metrics;
+  CoverageSketchState faulted =
+      RunFaulted(edges, "seed=5,push-delay=0.05:100000,slow-shard=2:50000",
+                 &metrics, &faulted_reg);
+  EXPECT_EQ(StateBytes(faulted), StateBytes(clean));
+  EXPECT_DOUBLE_EQ(faulted.covered_l0.Estimate(), clean.covered_l0.Estimate());
+  EXPECT_EQ(metrics.shards_quarantined.load(), 0u);
+  EXPECT_GT(faulted_reg
+                .GetCounter(LabeledName("faults_injected_total", "kind",
+                                        FaultInjector::kFaultPushDelay))
+                ->Value(),
+            0u);
+}
+
+TEST(FaultPipeline, TransientReadErrorsAreRetriedWithoutLoss) {
+  std::vector<Edge> edges = SyntheticEdges(20000, 7);
+  MetricsRegistry clean_reg, faulted_reg;
+  CoverageSketchState clean = RunFaulted(edges, "", nullptr, &clean_reg);
+  RuntimeMetrics metrics;
+  CoverageSketchState faulted =
+      RunFaulted(edges, "seed=9,read-error=0.05", &metrics, &faulted_reg);
+  // Retried reads resume exactly where the stream left off: same tokens,
+  // same state, nothing quarantined.
+  EXPECT_EQ(StateBytes(faulted), StateBytes(clean));
+  EXPECT_EQ(metrics.edges_ingested.load(), edges.size());
+  EXPECT_GT(metrics.stream_retries.load(), 0u);
+  EXPECT_EQ(metrics.shards_quarantined.load(), 0u);
+  // The backoff histogram saw every retry.
+  EXPECT_EQ(faulted_reg.GetHistogram("runtime_retry_backoff_ns")->Count(),
+            metrics.stream_retries.load());
+}
+
+TEST(FaultPipeline, KilledShardIsQuarantinedAndSurvivorsStayExact) {
+  std::vector<Edge> edges = SyntheticEdges(20000, 11);
+  MetricsRegistry registry;
+  RuntimeMetrics metrics;
+  // Shard 1 dies before its first batch: its whole substream is discarded.
+  CoverageSketchState degraded =
+      RunFaulted(edges, "seed=1,kill-shard=1@0", &metrics, &registry);
+
+  EXPECT_EQ(metrics.worker_deaths.load(), 1u);
+  EXPECT_EQ(metrics.shards_quarantined.load(), 1u);
+  EXPECT_EQ(metrics.shard(1).quarantined.load(), 1u);
+  EXPECT_EQ(metrics.shard(1).edges.load(), 0u);
+  EXPECT_GT(metrics.shard(1).edges_discarded.load(), 0u);
+  EXPECT_DOUBLE_EQ(metrics.QuarantinedFraction(), 0.25);
+  // Conservation: every ingested edge was either processed or discarded.
+  EXPECT_EQ(metrics.TotalShardEdges() + metrics.TotalEdgesDiscarded(),
+            metrics.edges_ingested.load());
+
+  // The degraded answer equals an in-line pass over exactly the healthy
+  // shards' substreams — the router is a pure function of the edge, so the
+  // quarantined substream is identifiable after the fact.
+  ShardRouter router(4, PartitionPolicy::kByElement, 0);
+  CoverageSketchState::Config cfg;
+  cfg.seed = 19;
+  CoverageSketchState expect(cfg);
+  for (const Edge& e : edges) {
+    if (router.ShardOf(e) != 1) expect.Process(e);
+  }
+  EXPECT_EQ(StateBytes(degraded), StateBytes(expect));
+  EXPECT_DOUBLE_EQ(degraded.covered_l0.Estimate(),
+                   expect.covered_l0.Estimate());
+}
+
+TEST(FaultPipeline, CorruptedMergeFingerprintIsDetectedAndQuarantined) {
+  std::vector<Edge> edges = SyntheticEdges(20000, 13);
+  MetricsRegistry registry;
+  RuntimeMetrics metrics;
+  CoverageSketchState degraded =
+      RunFaulted(edges, "seed=1,corrupt-merge=2", &metrics, &registry);
+  EXPECT_EQ(metrics.merge_corruptions_detected.load(), 1u);
+  EXPECT_EQ(metrics.shards_quarantined.load(), 1u);
+  EXPECT_EQ(metrics.shard(2).quarantined.load(), 1u);
+
+  ShardRouter router(4, PartitionPolicy::kByElement, 0);
+  CoverageSketchState::Config cfg;
+  cfg.seed = 19;
+  CoverageSketchState expect(cfg);
+  for (const Edge& e : edges) {
+    if (router.ShardOf(e) != 2) expect.Process(e);
+  }
+  EXPECT_EQ(StateBytes(degraded), StateBytes(expect));
+}
+
+TEST(FaultPipeline, CorruptRootShardIsOutvotedByTheMajority) {
+  // Majority vote must handle shard 0 being the corrupt one — a naive
+  // "trust shard 0" comparison would quarantine everyone else instead.
+  std::vector<Edge> edges = SyntheticEdges(10000, 17);
+  MetricsRegistry registry;
+  RuntimeMetrics metrics;
+  RunFaulted(edges, "seed=1,corrupt-merge=0", &metrics, &registry);
+  EXPECT_EQ(metrics.shards_quarantined.load(), 1u);
+  EXPECT_EQ(metrics.shard(0).quarantined.load(), 1u);
+  EXPECT_EQ(metrics.shard(1).quarantined.load(), 0u);
+}
+
+TEST(FaultPipeline, DeathAndCorruptionCompose) {
+  std::vector<Edge> edges = SyntheticEdges(20000, 19);
+  MetricsRegistry registry;
+  RuntimeMetrics metrics;
+  RunFaulted(edges, "seed=1,kill-shard=1@0,corrupt-merge=3", &metrics,
+             &registry);
+  EXPECT_EQ(metrics.shards_quarantined.load(), 2u);
+  EXPECT_EQ(metrics.shard(1).quarantined.load(), 1u);
+  EXPECT_EQ(metrics.shard(3).quarantined.load(), 1u);
+  EXPECT_DOUBLE_EQ(metrics.QuarantinedFraction(), 0.5);
+}
+
+TEST(FaultPipeline, FaultedRunsReplayBitIdentically) {
+  // The whole point of the harness: same plan, same answer — regardless of
+  // scheduling. Run the same degraded configuration three times.
+  std::vector<Edge> edges = SyntheticEdges(15000, 23);
+  const std::string spec =
+      "seed=29,read-error=0.01,dup=0.02,garbage=0.005,kill-shard=2@1";
+  MetricsRegistry reg0;
+  CoverageSketchState first = RunFaulted(edges, spec, nullptr, &reg0);
+  for (int i = 0; i < 2; ++i) {
+    MetricsRegistry reg;
+    CoverageSketchState again = RunFaulted(edges, spec, nullptr, &reg);
+    EXPECT_EQ(StateBytes(again), StateBytes(first));
+    EXPECT_DOUBLE_EQ(again.covered_l0.Estimate(),
+                     first.covered_l0.Estimate());
+  }
+}
+
+TEST(FaultPipeline, EstimatorStatesCarryMergeFingerprints) {
+  EstimateMaxCover::Config c;
+  c.params = Params::Practical(512, 1024, 16, 8.0);
+  c.seed = 7;
+  EstimateMaxCover a(c), b(c);
+  EXPECT_EQ(a.MergeFingerprint(), b.MergeFingerprint());
+  EXPECT_TRUE(a.MergeCompatible(b));
+  EstimateMaxCover::Config c2 = c;
+  c2.seed = 8;
+  EstimateMaxCover other(c2);
+  EXPECT_NE(a.MergeFingerprint(), other.MergeFingerprint());
+  EXPECT_FALSE(a.MergeCompatible(other));
+
+  ReportMaxCover::Config rc;
+  rc.params = c.params;
+  rc.seed = 7;
+  ReportMaxCover ra(rc), rb(rc);
+  EXPECT_EQ(ra.MergeFingerprint(), rb.MergeFingerprint());
+
+  CoverageSketchState::Config sc;
+  CoverageSketchState sa(sc), sb(sc);
+  EXPECT_EQ(sa.MergeFingerprint(), sb.MergeFingerprint());
+  sc.seed = 99;
+  EXPECT_NE(CoverageSketchState(sc).MergeFingerprint(), sa.MergeFingerprint());
+}
+
+using FaultPipelineDeathTest = ::testing::Test;
+
+TEST(FaultPipelineDeathTest, StrictModeHardFailsOnQuarantine) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::vector<Edge> edges = SyntheticEdges(5000, 31);
+  MetricsRegistry registry;
+  EXPECT_EXIT(
+      RunFaulted(edges, "seed=1,kill-shard=1@0", nullptr, &registry, true),
+      ::testing::ExitedWithCode(1), "strict: 1/4 shards quarantined");
+}
+
+TEST(FaultPipelineDeathTest, AllShardsQuarantinedIsFatalEvenWhenLenient) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::vector<Edge> edges = SyntheticEdges(2000, 37);
+  CoverageSketchState::Config cfg;
+  ShardedPipelineOptions opts;  // num_shards = 1
+  MetricsRegistry registry;
+  opts.registry = &registry;
+  FaultInjector injector(FaultPlan::ParseOrDie("seed=1,kill-shard=0@0"),
+                         &registry);
+  opts.fault_injector = &injector;
+  EXPECT_EXIT(
+      {
+        ShardedPipeline<CoverageSketchState> pipe(
+            opts, [&](uint32_t) { return CoverageSketchState(cfg); });
+        VectorEdgeStream stream(edges);
+        pipe.Run(stream);
+      },
+      ::testing::ExitedWithCode(1), "all 1 shards quarantined");
+}
+
+}  // namespace
+}  // namespace streamkc

@@ -1,0 +1,257 @@
+// Fault-plan grammar, injector determinism, and FaultInjectingStream
+// behavior: every fault decision must be a pure function of (plan, sequence
+// number) so that a failing run replays byte-identically from its spec.
+
+#include "fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fault/fault_injector.h"
+#include "fault/faulty_stream.h"
+#include "obs/metrics.h"
+#include "setsys/set_system.h"
+#include "test_util.h"
+
+namespace streamkc {
+namespace {
+
+TEST(FaultPlan, ParsesEveryClauseAndRoundTrips) {
+  const std::string spec =
+      "seed=7,read-error=0.001,dup=0.02,reorder=64,garbage=0.005,"
+      "push-delay=0.01:20000,slow-shard=2:5000,kill-shard=1@8,"
+      "corrupt-merge=3";
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::Parse(spec, &plan, &error)) << error;
+  EXPECT_EQ(plan.seed, 7u);
+  EXPECT_DOUBLE_EQ(plan.read_error_rate, 0.001);
+  EXPECT_DOUBLE_EQ(plan.duplicate_rate, 0.02);
+  EXPECT_EQ(plan.reorder_window, 64u);
+  EXPECT_DOUBLE_EQ(plan.garbage_rate, 0.005);
+  EXPECT_DOUBLE_EQ(plan.push_delay_rate, 0.01);
+  EXPECT_EQ(plan.push_delay_ns, 20000u);
+  EXPECT_EQ(plan.slow_shard, 2u);
+  EXPECT_EQ(plan.slow_shard_ns, 5000u);
+  EXPECT_EQ(plan.kill_shard, 1u);
+  EXPECT_EQ(plan.kill_after_batches, 8u);
+  EXPECT_EQ(plan.corrupt_merge_shard, 3u);
+  EXPECT_TRUE(plan.HasStreamFaults());
+  EXPECT_TRUE(plan.HasRuntimeFaults());
+  // The canonical spec re-parses to the same plan (the replay handle).
+  FaultPlan again;
+  ASSERT_TRUE(FaultPlan::Parse(plan.ToSpec(), &again, &error)) << error;
+  EXPECT_EQ(again.ToSpec(), plan.ToSpec());
+}
+
+TEST(FaultPlan, DefaultsAreFaultFree) {
+  FaultPlan plan = FaultPlan::ParseOrDie("seed=3");
+  EXPECT_FALSE(plan.Any());
+  EXPECT_FALSE(plan.HasStreamFaults());
+  EXPECT_FALSE(plan.HasRuntimeFaults());
+  EXPECT_EQ(plan.ToSpec(), "seed=3");
+}
+
+TEST(FaultPlan, StrictParserNamesTheOffendingClause) {
+  FaultPlan plan;
+  std::string error;
+  // A typo'd key must fail loudly — a plan silently injecting nothing
+  // would defeat the harness.
+  EXPECT_FALSE(FaultPlan::Parse("read-eror=0.5", &plan, &error));
+  EXPECT_NE(error.find("read-eror=0.5"), std::string::npos);
+  EXPECT_FALSE(FaultPlan::Parse("", &plan, &error));
+  EXPECT_FALSE(FaultPlan::Parse("dup=1.5", &plan, &error));  // p > 1
+  EXPECT_NE(error.find("dup=1.5"), std::string::npos);
+  EXPECT_FALSE(FaultPlan::Parse("dup=-0.1", &plan, &error));
+  EXPECT_FALSE(FaultPlan::Parse("push-delay=0.5", &plan, &error));  // no :NS
+  EXPECT_FALSE(FaultPlan::Parse("kill-shard=1:8", &plan, &error));  // wants @
+  EXPECT_FALSE(FaultPlan::Parse("seed", &plan, &error));  // no '='
+}
+
+TEST(FaultInjector, DecideIsDeterministicAndRespectsEdgeRates) {
+  MetricsRegistry registry;
+  FaultPlan plan = FaultPlan::ParseOrDie("seed=11");
+  FaultInjector a(plan, &registry), b(plan, &registry);
+  int hits = 0;
+  for (uint64_t n = 0; n < 10000; ++n) {
+    bool da = a.Decide(0x1234, n, 0.1);
+    EXPECT_EQ(da, b.Decide(0x1234, n, 0.1));  // pure function of (tag, n)
+    hits += da ? 1 : 0;
+    EXPECT_FALSE(a.Decide(0x1234, n, 0.0));  // p=0 never fires
+    EXPECT_TRUE(a.Decide(0x1234, n, 1.0));   // p=1 always fires
+  }
+  // ~1000 expected; a wildly-off count means the hash → [0,1) map is broken.
+  EXPECT_GT(hits, 700);
+  EXPECT_LT(hits, 1300);
+}
+
+TEST(FaultInjector, DifferentSeedsGiveDifferentDecisionStreams) {
+  MetricsRegistry registry;
+  FaultInjector a(FaultPlan::ParseOrDie("seed=1"), &registry);
+  FaultInjector b(FaultPlan::ParseOrDie("seed=2"), &registry);
+  int diff = 0;
+  for (uint64_t n = 0; n < 2000; ++n) {
+    diff += a.Decide(0x9, n, 0.5) != b.Decide(0x9, n, 0.5) ? 1 : 0;
+  }
+  EXPECT_GT(diff, 500);  // ~1000 expected disagreements at p=0.5
+}
+
+TEST(FaultInjector, WorkerDeathIsAThresholdNotACoinFlip) {
+  MetricsRegistry registry;
+  FaultInjector inj(FaultPlan::ParseOrDie("seed=1,kill-shard=2@5"), &registry);
+  for (uint64_t b = 0; b < 5; ++b) EXPECT_FALSE(inj.WorkerDiesAt(2, b));
+  for (uint64_t b = 5; b < 20; ++b) EXPECT_TRUE(inj.WorkerDiesAt(2, b));
+  for (uint64_t b = 0; b < 20; ++b) EXPECT_FALSE(inj.WorkerDiesAt(1, b));
+  EXPECT_TRUE(inj.CorruptsMergeFingerprint(2) == false);
+}
+
+TEST(FaultInjector, CountsPublishToTheRegistry) {
+  MetricsRegistry registry;
+  FaultInjector inj(FaultPlan::ParseOrDie("seed=1"), &registry);
+  inj.Count(FaultInjector::kFaultDuplicate);
+  inj.Count(FaultInjector::kFaultDuplicate);
+  inj.Count(FaultInjector::kFaultWorkerDeath);
+  EXPECT_EQ(registry
+                .GetCounter(LabeledName("faults_injected_total", "kind",
+                                        FaultInjector::kFaultDuplicate))
+                ->Value(),
+            2u);
+  EXPECT_EQ(registry
+                .GetCounter(LabeledName("faults_injected_total", "kind",
+                                        FaultInjector::kFaultWorkerDeath))
+                ->Value(),
+            1u);
+}
+
+std::vector<Edge> Drain(EdgeStream& stream, int max_retries = 1 << 20) {
+  std::vector<Edge> out;
+  Edge e;
+  int retries = 0;
+  for (;;) {
+    if (stream.Next(&e)) {
+      out.push_back(e);
+      continue;
+    }
+    if (!stream.ok() && stream.transient() && retries++ < max_retries) {
+      continue;  // a retry is simply the next call
+    }
+    return out;
+  }
+}
+
+TEST(FaultInjectingStream, CleanPlanIsAPassthrough) {
+  std::vector<Edge> edges = SyntheticEdges(5000, 3);
+  MetricsRegistry registry;
+  FaultInjector inj(FaultPlan::ParseOrDie("seed=5"), &registry);
+  VectorEdgeStream inner(edges);
+  FaultInjectingStream stream(&inner, &inj);
+  EXPECT_EQ(Drain(stream), edges);
+  EXPECT_TRUE(stream.ok());
+  EXPECT_EQ(stream.transient_errors(), 0u);
+  EXPECT_EQ(stream.duplicates_injected(), 0u);
+}
+
+TEST(FaultInjectingStream, PerturbedSequenceIsDeterministicAndResetReplays) {
+  std::vector<Edge> edges = SyntheticEdges(8000, 9);
+  MetricsRegistry registry;
+  FaultInjector inj(
+      FaultPlan::ParseOrDie(
+          "seed=13,read-error=0.01,dup=0.05,garbage=0.02,reorder=32"),
+      &registry);
+  VectorEdgeStream inner_a(edges), inner_b(edges);
+  FaultInjectingStream a(&inner_a, &inj), b(&inner_b, &inj);
+  std::vector<Edge> first = Drain(a);
+  EXPECT_EQ(first, Drain(b));  // same plan → same perturbed tokens
+  EXPECT_GT(a.transient_errors(), 0u);
+  EXPECT_GT(a.duplicates_injected(), 0u);
+  EXPECT_GT(a.garbage_injected(), 0u);
+  EXPECT_GT(a.windows_reordered(), 0u);
+  a.Reset();
+  EXPECT_EQ(Drain(a), first);  // byte-identical replay after Reset
+}
+
+TEST(FaultInjectingStream, DuplicatesAndGarbageChangeOnlyWhatTheyClaim) {
+  std::vector<Edge> edges = SyntheticEdges(6000, 21);
+  MetricsRegistry registry;
+  FaultInjector inj(FaultPlan::ParseOrDie("seed=2,dup=0.03,garbage=0.01"),
+                    &registry);
+  VectorEdgeStream inner(edges);
+  FaultInjectingStream stream(&inner, &inj);
+  std::vector<Edge> got = Drain(stream);
+  ASSERT_EQ(got.size(), edges.size() + stream.duplicates_injected() +
+                            stream.garbage_injected());
+  // Garbage edges are confined to the out-of-domain id range, so a test (or
+  // consumer) can always separate them from real tokens.
+  uint64_t garbage_seen = 0;
+  std::map<std::pair<uint64_t, uint64_t>, int> histogram;
+  for (const Edge& e : got) {
+    if (e.set >= FaultPlan::kGarbageIdBase) {
+      ++garbage_seen;
+      continue;
+    }
+    ++histogram[{e.set, e.element}];
+  }
+  EXPECT_EQ(garbage_seen, stream.garbage_injected());
+  // Every emitted non-garbage token is an edge of the original stream
+  // (duplication repeats incidences; it never invents new ones).
+  std::map<std::pair<uint64_t, uint64_t>, int> original;
+  for (const Edge& e : edges) ++original[{e.set, e.element}];
+  for (const auto& [edge, count] : histogram) {
+    EXPECT_GE(count, original[edge]);
+    (void)edge;
+  }
+}
+
+TEST(FaultInjectingStream, ReorderPreservesTheTokenMultiset) {
+  std::vector<Edge> edges = SyntheticEdges(4096, 31);
+  MetricsRegistry registry;
+  FaultInjector inj(FaultPlan::ParseOrDie("seed=3,reorder=128"), &registry);
+  VectorEdgeStream inner(edges);
+  FaultInjectingStream stream(&inner, &inj);
+  std::vector<Edge> got = Drain(stream);
+  ASSERT_EQ(got.size(), edges.size());
+  EXPECT_NE(got, edges);  // it actually reordered something
+  auto key = [](const Edge& e) { return std::make_pair(e.set, e.element); };
+  std::vector<std::pair<uint64_t, uint64_t>> a, b;
+  for (const Edge& e : edges) a.push_back(key(e));
+  for (const Edge& e : got) b.push_back(key(e));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);  // same multiset, different order
+}
+
+TEST(FaultInjectingStream, TransientErrorIsRetryableAndLosesNothing) {
+  std::vector<Edge> edges = SyntheticEdges(3000, 41);
+  MetricsRegistry registry;
+  FaultInjector inj(FaultPlan::ParseOrDie("seed=17,read-error=0.02"),
+                    &registry);
+  VectorEdgeStream inner(edges);
+  FaultInjectingStream stream(&inner, &inj);
+  std::vector<Edge> got;
+  Edge e;
+  uint64_t errors_seen = 0;
+  for (;;) {
+    if (stream.Next(&e)) {
+      got.push_back(e);
+      continue;
+    }
+    if (!stream.ok()) {
+      ASSERT_TRUE(stream.transient());
+      EXPECT_FALSE(stream.StatusMessage().empty());
+      ++errors_seen;
+      continue;  // retry
+    }
+    break;  // clean end of stream
+  }
+  EXPECT_EQ(got, edges);  // read errors delay tokens, never drop them
+  EXPECT_GT(errors_seen, 0u);
+  EXPECT_EQ(errors_seen, stream.transient_errors());
+  EXPECT_TRUE(stream.ok());
+}
+
+}  // namespace
+}  // namespace streamkc

@@ -19,22 +19,11 @@
 #include "runtime/sketch_states.h"
 #include "setsys/generators.h"
 #include "stream/edge_stream.h"
+#include "test_util.h"
 #include "util/random.h"
 
 namespace streamkc {
 namespace {
-
-std::vector<Edge> SyntheticEdges(size_t count, uint64_t seed,
-                                 uint64_t num_sets = 256,
-                                 uint64_t num_elements = 4096) {
-  std::vector<Edge> edges;
-  edges.reserve(count);
-  for (size_t i = 0; i < count; ++i) {
-    uint64_t h = SplitMix64(seed + i);
-    edges.push_back(Edge{h % num_sets, SplitMix64(h) % num_elements});
-  }
-  return edges;
-}
 
 template <typename Sketch>
 std::string SaveBytes(const Sketch& s) {
@@ -100,6 +89,45 @@ TEST(ShardedPipeline, DeterministicSketchStateAtEightShards) {
   EXPECT_DOUBLE_EQ(merged.covered_l0.Estimate(), single.covered_l0.Estimate());
   EXPECT_EQ(pipe.metrics().edges_ingested.load(), edges.size());
   EXPECT_EQ(pipe.metrics().TotalShardEdges(), edges.size());
+}
+
+// Differential property sweep: across seeded instances, the N-shard merged
+// state must reproduce the 1-shard pipeline's state exactly — the two
+// configurations differ only in thread count, and the canonical fold order
+// makes the merge a deterministic function of the stream. Seed count scales
+// with STREAMKC_SWEEP_SEEDS (stress config turns it up); a failing seed is
+// named in the assertion message for replay.
+TEST(ShardedPipeline, SeededSweepOneShardVsManyShardsIdentical) {
+  const uint64_t base_seed = EnvScaledU64("STREAMKC_SWEEP_BASE_SEED", 1000);
+  const uint64_t num_seeds = EnvScaledU64("STREAMKC_SWEEP_SEEDS", 5);
+  CoverageSketchState::Config cfg;
+  cfg.seed = 23;
+  auto run_at = [&](uint32_t shards, const std::vector<Edge>& edges) {
+    ShardedPipelineOptions opts;
+    opts.num_shards = shards;
+    opts.batch_size = 128;
+    ShardedPipeline<CoverageSketchState> pipe(
+        opts, [&](uint32_t) { return CoverageSketchState(cfg); });
+    VectorEdgeStream stream(edges);
+    return pipe.Run(stream);
+  };
+  for (uint64_t i = 0; i < num_seeds; ++i) {
+    uint64_t seed = base_seed + i;
+    std::vector<Edge> edges = SyntheticEdges(12000, seed);
+    CoverageSketchState one = run_at(1, edges);
+    for (uint32_t shards : {2u, 5u, 8u}) {
+      CoverageSketchState many = run_at(shards, edges);
+      EXPECT_EQ(SaveBytes(many.covered_hll), SaveBytes(one.covered_hll))
+          << "replay: STREAMKC_SWEEP_BASE_SEED=" << seed
+          << " shards=" << shards;
+      EXPECT_EQ(SaveBytes(many.element_f2), SaveBytes(one.element_f2))
+          << "replay: STREAMKC_SWEEP_BASE_SEED=" << seed
+          << " shards=" << shards;
+      EXPECT_DOUBLE_EQ(many.covered_l0.Estimate(), one.covered_l0.Estimate())
+          << "replay: STREAMKC_SWEEP_BASE_SEED=" << seed
+          << " shards=" << shards;
+    }
+  }
 }
 
 TEST(ShardedPipeline, RepeatedRunsAreBitIdentical) {

@@ -4,11 +4,16 @@
 #define STREAMKC_TESTS_TEST_UTIL_H_
 
 #include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "core/streaming_interface.h"
 #include "offline/greedy.h"
 #include "setsys/generators.h"
 #include "setsys/set_system.h"
+#include "stream/edge.h"
+#include "util/random.h"
 
 namespace streamkc {
 
@@ -28,6 +33,52 @@ inline double OptUpperBound(const SetSystem& sys, uint64_t k) {
 
 inline uint64_t GreedyCoverage(const SetSystem& sys, uint64_t k) {
   return LazyGreedyMaxCover(sys, k).coverage;
+}
+
+// Unstructured synthetic edge stream (hash-random incidences) — the
+// workload the runtime/fault tests shard and perturb. Pure function of the
+// arguments; the same seed always yields the same token sequence.
+inline std::vector<Edge> SyntheticEdges(size_t count, uint64_t seed,
+                                        uint64_t num_sets = 256,
+                                        uint64_t num_elements = 4096) {
+  std::vector<Edge> edges;
+  edges.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t h = SplitMix64(seed + i);
+    edges.push_back(Edge{h % num_sets, SplitMix64(h) % num_elements});
+  }
+  return edges;
+}
+
+// Builds one of the named instance families at a common shape — the cell
+// axis shared by the statistical-guarantee and differential sweeps.
+// `family` ∈ {"uniform", "zipf", "planted"}.
+inline GeneratedInstance MakeFamilyInstance(const std::string& family,
+                                            uint64_t m, uint64_t n, uint64_t k,
+                                            uint64_t seed) {
+  if (family == "uniform") return RandomUniform(m, n, 12, seed);
+  if (family == "zipf") return ZipfFrequency(m, n, 12, 1.1, seed);
+  return PlantedCover(m, n, k, 0.5, 6, seed);
+}
+
+// Materializes `inst` as a randomly ordered edge stream (the general
+// edge-arrival model's adversarial default for tests).
+inline std::vector<Edge> InstanceEdges(const GeneratedInstance& inst,
+                                       uint64_t order_seed) {
+  std::vector<Edge> edges = inst.system.MaterializeEdges();
+  ApplyArrivalOrder(edges, ArrivalOrder::kRandom, order_seed);
+  return edges;
+}
+
+// Environment-scaled test knob: sweeps read their trial/seed counts from
+// env vars so the default ctest run stays fast while the stress
+// configuration (ctest -C stress) turns the same binaries up.
+inline uint64_t EnvScaledU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  uint64_t parsed = std::strtoull(v, &end, 10);
+  return (end != v && *end == '\0') ? parsed : fallback;
 }
 
 }  // namespace streamkc

@@ -24,6 +24,15 @@
 // (default, a superset of the original RuntimeMetrics schema) or
 // prometheus (text exposition format). Works with and without --threads.
 //
+// --fault-plan=SPEC (estimate/report with --threads >= 1) runs the pass
+// under deterministic fault injection (src/fault): transient read errors,
+// duplicate/garbage/reordered edges, push delays, shard slowdowns, worker
+// death and merge corruption, per the spec grammar in fault_plan.h. The
+// pipeline degrades per its policy (bounded retry, shard quarantine) and
+// the quarantined fraction is reported with the estimate; --fault-strict
+// turns any degradation into a hard failure. Same SPEC = same faults =
+// same answer — failures replay from the printed spec.
+//
 // Malformed input lines stop the run with a file:line error by default;
 // --lenient skips and counts them instead.
 
@@ -31,11 +40,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "core/estimate_max_cover.h"
 #include "core/report_max_cover.h"
 #include "core/two_pass.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "fault/faulty_stream.h"
 #include "obs/metrics.h"
 #include "obs/space_accountant.h"
 #include "runtime/metrics_export.h"
@@ -62,6 +75,8 @@ struct Args {
   std::string metrics_out;            // metrics dump sink ("-" = stdout)
   std::string metrics_format = "json";  // json | prometheus
   bool lenient = false;  // skip+count malformed input lines instead of failing
+  std::string fault_plan;     // fault_plan.h spec; empty = no injection
+  bool fault_strict = false;  // degradation aborts instead of quarantining
 };
 
 [[noreturn]] void Usage(const char* msg) {
@@ -77,6 +92,8 @@ struct Args {
                " [--partition element|set] [--lenient]\n"
                "           [--metrics-out FILE|-]"
                " [--metrics-format json|prometheus]\n"
+               "           [--fault-plan SPEC] [--fault-strict]"
+               "   (fault injection; needs --threads >= 1)\n"
                "  streamkc_cli report  FILE --m M --n N --k K --alpha A"
                " [--seed S] [--threads T ...]\n"
                "  streamkc_cli twopass FILE --m M --n N --k K --alpha A"
@@ -140,6 +157,12 @@ Args Parse(int argc, char** argv) {
       }
     } else if (flag == "--lenient") {
       a.lenient = true;
+    } else if (flag == "--fault-plan") {
+      a.fault_plan = next();
+    } else if (flag.rfind("--fault-plan=", 0) == 0) {
+      a.fault_plan = flag.substr(std::strlen("--fault-plan="));
+    } else if (flag == "--fault-strict") {
+      a.fault_strict = true;
     } else {
       Usage(("unknown flag " + flag).c_str());
     }
@@ -263,16 +286,26 @@ void DumpMetrics(const Args& a, const RuntimeMetrics* runtime,
   WriteDump(content, a.metrics_out);
 }
 
+// What a pass reports back to its command besides the estimator state.
+struct PassStats {
+  size_t peak_bytes = 0;  // peak sketch footprint (SpaceAccountant)
+  // Degradation verdicts from a faulted sharded pass (0 / 0.0 when clean).
+  uint32_t shards_quarantined = 0;
+  double quarantined_fraction = 0.0;
+};
+
 // One pass over `a.file` with a fresh `make()` estimator: in-line when
-// --threads is absent, through the sharded runtime otherwise. `*peak_bytes`
-// receives the pass's peak sketch footprint via the SpaceAccountant:
-// sampled every 64Ki edges in-line (rescaling subroutines can shrink, so
-// the final footprint is not the peak), and the sum of simultaneous shard
-// replica peaks when sharded.
+// --threads is absent, through the sharded runtime otherwise. Peak sketch
+// footprint comes from the SpaceAccountant: sampled every 64Ki edges
+// in-line (rescaling subroutines can shrink, so the final footprint is not
+// the peak), and the sum of simultaneous shard replica peaks when sharded.
+// With --fault-plan, the stream is wrapped in a FaultInjectingStream and
+// the pipeline runs under the plan's runtime faults + degradation policy.
 template <typename State, typename MakeFn>
-State RunPass(const Args& a, MakeFn make, size_t* peak_bytes) {
+State RunPass(const Args& a, MakeFn make, PassStats* stats) {
   TextEdgeStream stream(a.file, StreamConfig(a));
   if (a.threads == 0) {
+    if (!a.fault_plan.empty()) Usage("--fault-plan needs --threads >= 1");
     State st = make();
     SpaceAccountant acct(&MetricsRegistry::Global());
     Edge e;
@@ -283,24 +316,74 @@ State RunPass(const Args& a, MakeFn make, size_t* peak_bytes) {
     }
     CheckStream(stream);
     acct.Sample(st);
-    *peak_bytes = acct.peak_total_bytes();
+    stats->peak_bytes = acct.peak_total_bytes();
     DumpMetrics(a, nullptr, &acct);
     return st;
   }
-  ShardedPipeline<State> pipe(PipelineOptions(a),
-                              [&](uint32_t) { return make(); });
-  State st = pipe.Run(stream);
+  ShardedPipelineOptions po = PipelineOptions(a);
+  std::unique_ptr<FaultInjector> injector;
+  std::unique_ptr<FaultInjectingStream> faulted;
+  EdgeStream* src = &stream;
+  if (!a.fault_plan.empty()) {
+    FaultPlan plan;
+    std::string err;
+    if (!FaultPlan::Parse(a.fault_plan, &plan, &err)) Usage(err.c_str());
+    injector =
+        std::make_unique<FaultInjector>(plan, &MetricsRegistry::Global());
+    po.fault_injector = injector.get();
+    po.degradation.strict = a.fault_strict;
+    std::printf("fault plan         : %s%s\n", plan.ToSpec().c_str(),
+                a.fault_strict ? " (strict)" : "");
+    if (plan.HasStreamFaults()) {
+      faulted = std::make_unique<FaultInjectingStream>(&stream, injector.get());
+      src = faulted.get();
+    }
+  }
+  ShardedPipeline<State> pipe(po, [&](uint32_t) { return make(); });
+  State st = pipe.Run(*src);
   CheckStream(stream);
   const RuntimeMetrics& m = pipe.metrics();
-  *peak_bytes = std::max<size_t>(
+  stats->peak_bytes = std::max<size_t>(
       std::max<size_t>(m.TotalStateBytes(),
                        m.merged_state_bytes.load(std::memory_order_relaxed)),
       pipe.space().peak_total_bytes());
+  stats->shards_quarantined =
+      static_cast<uint32_t>(m.shards_quarantined.load(
+          std::memory_order_relaxed));
+  stats->quarantined_fraction = m.QuarantinedFraction();
   std::printf("runtime            : %u shards (%s-partitioned), "
               "%.2fM edges/s, %llu queue stalls\n",
               m.num_shards(), a.partition.c_str(), m.EdgesPerSecond() / 1e6,
               (unsigned long long)m.queue_full_stalls.load(
                   std::memory_order_relaxed));
+  if (injector != nullptr) {
+    if (faulted != nullptr && !faulted->ok()) {
+      // Transient budget exhausted: the pass was truncated, which is a
+      // degradation (reported), not a driver error.
+      std::printf("fault: stream truncated: %s\n",
+                  faulted->StatusMessage().c_str());
+    }
+    std::printf(
+        "faults             : retries %llu, worker deaths %llu, "
+        "merge corruptions %llu, edges discarded %llu\n",
+        (unsigned long long)m.stream_retries.load(std::memory_order_relaxed),
+        (unsigned long long)m.worker_deaths.load(std::memory_order_relaxed),
+        (unsigned long long)m.merge_corruptions_detected.load(
+            std::memory_order_relaxed),
+        (unsigned long long)m.TotalEdgesDiscarded());
+    if (faulted != nullptr) {
+      std::printf(
+          "stream faults      : %llu transient errors, %llu dups, "
+          "%llu garbage, %llu windows reordered\n",
+          (unsigned long long)faulted->transient_errors(),
+          (unsigned long long)faulted->duplicates_injected(),
+          (unsigned long long)faulted->garbage_injected(),
+          (unsigned long long)faulted->windows_reordered());
+    }
+    std::printf("quarantine         : %u/%u shards (%.1f%% of fleet)\n",
+                stats->shards_quarantined, m.num_shards(),
+                stats->quarantined_fraction * 100.0);
+  }
   DumpMetrics(a, &m, &pipe.space());
   return st;
 }
@@ -311,14 +394,21 @@ int CmdEstimate(const Args& a) {
   c.params = MakeParams(a);
   c.seed = a.seed;
   Stopwatch sw;
-  size_t peak_bytes = 0;
+  PassStats stats;
   EstimateMaxCover est = RunPass<EstimateMaxCover>(
-      a, [&] { return EstimateMaxCover(c); }, &peak_bytes);
+      a, [&] { return EstimateMaxCover(c); }, &stats);
   EstimateOutcome out = est.Finalize();
+  out.shards_quarantined = stats.shards_quarantined;
+  out.quarantined_fraction = stats.quarantined_fraction;
   std::printf("coverage estimate  : %.0f\n", out.estimate);
   std::printf("winning subroutine : %s\n", out.source.c_str());
+  if (out.shards_quarantined > 0) {
+    std::printf("confidence         : degraded — %u shards quarantined "
+                "(%.1f%% of substreams unseen)\n",
+                out.shards_quarantined, out.quarantined_fraction * 100.0);
+  }
   std::printf("sketch memory      : %zu KiB (peak %zu KiB)\n",
-              est.MemoryBytes() >> 10, peak_bytes >> 10);
+              est.MemoryBytes() >> 10, stats.peak_bytes >> 10);
   std::printf("pass time          : %.2fs\n", sw.ElapsedSeconds());
   return 0;
 }
@@ -329,17 +419,23 @@ int CmdReport(const Args& a) {
   c.params = MakeParams(a);
   c.seed = a.seed;
   Stopwatch sw;
-  size_t peak_bytes = 0;
+  PassStats stats;
   ReportMaxCover rep = RunPass<ReportMaxCover>(
-      a, [&] { return ReportMaxCover(c); }, &peak_bytes);
+      a, [&] { return ReportMaxCover(c); }, &stats);
   MaxCoverSolution sol = rep.Finalize();
   std::printf("coverage estimate  : %.0f (%s)\n", sol.estimate,
               sol.source.c_str());
+  if (stats.shards_quarantined > 0) {
+    std::printf("confidence         : degraded — %u shards quarantined "
+                "(%.1f%% of substreams unseen)\n",
+                stats.shards_quarantined, stats.quarantined_fraction * 100.0);
+  }
   std::printf("selected sets (%zu): ", sol.sets.size());
   for (SetId s : sol.sets) std::printf("%llu ", (unsigned long long)s);
   std::printf("\nsketch memory      : %zu KiB (peak %zu KiB), "
               "pass time %.2fs\n",
-              rep.MemoryBytes() >> 10, peak_bytes >> 10, sw.ElapsedSeconds());
+              rep.MemoryBytes() >> 10, stats.peak_bytes >> 10,
+              sw.ElapsedSeconds());
   return 0;
 }
 

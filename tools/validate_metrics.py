@@ -83,11 +83,26 @@ def check_invariants(dump, errors):
             if row.get("ring_stall_rounds", 0) < row.get("ring_stalls", 0):
                 errors.append(f"$.shards[{i}]: stall rounds < stall events")
         if "edges_ingested" in dump:
-            total = sum(row.get("edges", 0) for row in shards)
+            # Every ingested edge is either processed by its shard or
+            # discarded by a dead (quarantined) worker draining its ring.
+            total = sum(row.get("edges", 0) + row.get("edges_discarded", 0)
+                        for row in shards)
             if total != dump["edges_ingested"]:
                 errors.append(
-                    f"$: shard edges sum {total} != "
+                    f"$: shard edges+discarded sum {total} != "
                     f"edges_ingested {dump['edges_ingested']}")
+        quarantined_rows = sum(row.get("quarantined", 0) for row in shards)
+        if dump.get("shards_quarantined", quarantined_rows) != quarantined_rows:
+            errors.append(
+                f"$: shards_quarantined {dump['shards_quarantined']} != "
+                f"sum of quarantined shard rows {quarantined_rows}")
+        if "quarantined_fraction" in dump and shards:
+            expect = dump.get("shards_quarantined", 0) / len(shards)
+            if abs(dump["quarantined_fraction"] - expect) > 1e-3:
+                errors.append(
+                    f"$: quarantined_fraction {dump['quarantined_fraction']} "
+                    f"inconsistent with shards_quarantined/num_shards "
+                    f"{expect:.4f}")
 
     space = dump.get("space")
     if space is not None:
