@@ -31,6 +31,26 @@ set_tests_properties(bench_metrics_out_unwritable_fails PROPERTIES
   ENVIRONMENT "STREAMKC_BENCH_SCALE=small"
   WILL_FAIL TRUE LABELS "tier1" TIMEOUT 60)
 
+# Perf smoke: a small-scale bench_runtime pass emits BENCH_runtime.json,
+# then compare_bench.py diffs it against the checked-in baseline. Shape
+# drift (schema/metric/config changes, determinism violations) hard-fails;
+# throughput deltas only warn (shared runners are too noisy for a hard perf
+# gate — run compare_bench.py --hard-perf by hand on quiet hardware).
+add_test(NAME bench_runtime_perf_smoke
+  COMMAND bench_runtime --bench-out ${CMAKE_BINARY_DIR}/BENCH_runtime.json)
+set_tests_properties(bench_runtime_perf_smoke PROPERTIES
+  ENVIRONMENT "STREAMKC_BENCH_SCALE=small"
+  FIXTURES_SETUP bench_runtime_json LABELS "tier1" TIMEOUT 600)
+find_package(Python3 COMPONENTS Interpreter)
+if(Python3_Interpreter_FOUND)
+  add_test(NAME bench_runtime_compare
+    COMMAND ${Python3_EXECUTABLE} ${CMAKE_SOURCE_DIR}/tools/compare_bench.py
+            ${CMAKE_SOURCE_DIR}/bench/baselines/BENCH_runtime.small.json
+            ${CMAKE_BINARY_DIR}/BENCH_runtime.json)
+  set_tests_properties(bench_runtime_compare PROPERTIES
+    FIXTURES_REQUIRED bench_runtime_json LABELS "tier1" TIMEOUT 60)
+endif()
+
 # Throughput micro-benchmarks use google-benchmark.
 add_executable(bench_micro ${CMAKE_SOURCE_DIR}/bench/bench_micro.cc)
 target_link_libraries(bench_micro PRIVATE

@@ -13,6 +13,7 @@
 // the determinism and stall columns are still meaningful there. Record
 // curves from multi-core hardware in EXPERIMENTS.md.
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -20,6 +21,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "runtime/edge_batch.h"
 #include "runtime/sharded_pipeline.h"
 #include "runtime/sketch_states.h"
 #include "stream/edge_stream.h"
@@ -49,7 +51,12 @@ int Main(int argc, char** argv) {
   // Resolve (and writability-probe) the metrics sink up front: an
   // unwritable path must fail before the experiment runs, not after.
   const std::string metrics_out = bench::MetricsOutPath(argc, argv);
+  const std::string bench_out = bench::BenchOutPath(argc, argv);
   const size_t num_edges = bench::SmallScale() ? 1'000'000 : 10'000'000;
+  constexpr uint32_t kBatchSize = 8192;
+  bench::BenchReport report("runtime", bench::SmallScale() ? "small" : "full");
+  report.SetConfig("num_edges", static_cast<double>(num_edges));
+  report.SetConfig("batch_size", kBatchSize);
   bench::Banner(
       "Runtime thread scaling: sharded ingestion + mergeable-sketch reduction",
       "mergeable sketches admit embarrassingly parallel ingestion; the "
@@ -60,7 +67,8 @@ int Main(int argc, char** argv) {
   std::vector<Edge> edges = SynthesizeEdges(num_edges, 7);
   CoverageSketchState::Config cfg;
 
-  // In-line single-threaded reference (no pipeline machinery at all).
+  // In-line single-threaded reference, per-edge Process() path (no pipeline
+  // machinery, no batching): the pre-batching cost model.
   Stopwatch sw;
   CoverageSketchState reference(cfg);
   for (const Edge& e : edges) reference.Process(e);
@@ -68,15 +76,48 @@ int Main(int argc, char** argv) {
   double base_eps = static_cast<double>(num_edges) / base_s;
   double ref_l0 = reference.covered_l0.Estimate();
   double ref_hll = reference.covered_hll.Estimate();
-  std::printf("in-line reference: %.2fM edges/s (%.2fs)\n\n", base_eps / 1e6,
-              base_s);
+  std::printf("in-line per-edge reference: %.2fM edges/s (%.2fs)\n",
+              base_eps / 1e6, base_s);
+  report.SetMetric("inline_per_edge_eps", base_eps);
+
+  // In-line single-threaded BATCHED pass: same state, fed through the
+  // EdgeBatch prefold + ProcessBatch entry — isolates the hash-once +
+  // interleaved-Horner win from any threading effect. The estimates must be
+  // bit-identical to the per-edge pass (same seeds, same admission order).
+  sw.Restart();
+  CoverageSketchState batched(cfg);
+  {
+    EdgeBatch batch;
+    for (size_t i = 0; i < num_edges; i += kBatchSize) {
+      size_t m = std::min<size_t>(kBatchSize, num_edges - i);
+      batch.Clear();
+      batch.edges.assign(edges.begin() + i, edges.begin() + i + m);
+      batch.Prefold();
+      batched.ProcessBatch(batch.View());
+    }
+  }
+  double batch_s = sw.ElapsedSeconds();
+  double batch_eps = static_cast<double>(num_edges) / batch_s;
+  bool batch_identical = batched.covered_l0.Estimate() == ref_l0 &&
+                         batched.covered_hll.Estimate() == ref_hll;
+  std::printf(
+      "in-line batched:            %.2fM edges/s (%.2fs)  %.2fx vs per-edge  "
+      "identical estimates: %s\n\n",
+      batch_eps / 1e6, batch_s, batch_eps / base_eps,
+      batch_identical ? "yes" : "NO");
+  if (!batch_identical) {
+    std::printf("BATCH/PER-EDGE DIVERGENCE in single-threaded pass\n");
+    return 1;
+  }
+  report.SetMetric("inline_batched_eps", batch_eps);
+  report.SetMetric("inline_batch_speedup", batch_eps / base_eps);
 
   Table table({"shards", "edges/s", "speedup", "stalls", "shard KiB",
                "merged KiB", "deterministic"});
   for (uint32_t shards : {1u, 2u, 4u, 8u}) {
     ShardedPipelineOptions opts;
     opts.num_shards = shards;
-    opts.batch_size = 8192;
+    opts.batch_size = kBatchSize;
     ShardedPipeline<CoverageSketchState> pipe(
         opts, [&](uint32_t) { return CoverageSketchState(cfg); });
     VectorEdgeStream stream(edges);
@@ -95,17 +136,21 @@ int Main(int argc, char** argv) {
                   Fmt("%llu",
                       (unsigned long long)(m.merged_state_bytes.load() >> 10)),
                   deterministic ? "yes" : "NO"});
+    report.SetMetric(Fmt("sharded_%u_eps", shards), eps);
+    report.SetMetric(Fmt("sharded_%u_speedup", shards), eps / base_eps);
     if (!deterministic) {
       std::printf("DETERMINISM VIOLATION at %u shards\n", shards);
       return 1;
     }
   }
+  report.SetMetric("deterministic", 1);
   table.Print();
   std::printf(
       "\nSpeedup is bounded by physical cores; per-shard space is constant "
       "(seed-coordinated replicas), so total space grows linearly with "
       "shards until the fold collapses it back to one sketch.\n");
   bench::DumpMetricsJson(metrics_out);
+  report.Write(bench_out);
   return 0;
 }
 

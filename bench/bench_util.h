@@ -16,6 +16,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/export.h"
@@ -120,6 +121,103 @@ inline void DumpMetricsJson(const std::string& path) {
     std::exit(1);
   }
 }
+
+// Resolves the bench-baseline sink: `--bench-out FILE` on the command line,
+// else STREAMKC_BENCH_OUT, else "" (disabled). Same fail-fast writability
+// probe as MetricsOutPath — a baseline run that cannot land its JSON must
+// die before the experiment, not after.
+inline std::string BenchOutPath(int argc, char** argv) {
+  std::string path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--bench-out") == 0) path = argv[i + 1];
+  }
+  if (path.empty()) {
+    const char* env = std::getenv("STREAMKC_BENCH_OUT");
+    path = env != nullptr ? env : "";
+  }
+  if (!path.empty() && path != "-") {
+    FILE* f = std::fopen(path.c_str(), "a");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write --bench-out %s\n",
+                   path.c_str());
+      std::exit(2);
+    }
+    std::fclose(f);
+  }
+  return path;
+}
+
+// Machine-readable benchmark baseline: the BENCH_*.json contract consumed by
+// tools/compare_bench.py. Shape is deliberately flat — `config` pins the
+// workload (edge counts, batch sizes), `metrics` holds the measured numbers —
+// so the comparator can hard-fail on shape drift (a metric renamed or
+// dropped) while treating the values themselves with noise tolerance.
+// Insertion order is preserved: diffs of committed baselines stay readable.
+class BenchReport {
+ public:
+  // `bench` names the binary ("runtime"); `scale` records the workload size
+  // class ("small"/"full") so the comparator never compares across scales.
+  BenchReport(std::string bench, std::string scale)
+      : bench_(std::move(bench)), scale_(std::move(scale)) {}
+
+  void SetConfig(const std::string& key, double value) {
+    config_.emplace_back(key, value);
+  }
+  void SetMetric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+  void SetNote(std::string note) { note_ = std::move(note); }
+
+  // Writes the report ("-" = stdout); no-op when `path` is empty.
+  void Write(const std::string& path) const {
+    if (path.empty()) return;
+    std::string json = ToJson();
+    if (path == "-") {
+      std::printf("%s\n", json.c_str());
+      return;
+    }
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      std::exit(1);
+    }
+    std::fprintf(f, "%s\n", json.c_str());
+    if (std::fclose(f) != 0) {
+      std::fprintf(stderr, "bench: error flushing %s\n", path.c_str());
+      std::exit(1);
+    }
+    std::printf("bench baseline written: %s\n", path.c_str());
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\n";
+    out += "  \"schema_version\": 1,\n";
+    out += "  \"bench\": \"" + bench_ + "\",\n";
+    out += "  \"scale\": \"" + scale_ + "\",\n";
+    if (!note_.empty()) out += "  \"note\": \"" + note_ + "\",\n";
+    out += "  \"config\": {\n" + Section(config_) + "  },\n";
+    out += "  \"metrics\": {\n" + Section(metrics_) + "  }\n";
+    out += "}";
+    return out;
+  }
+
+ private:
+  static std::string Section(
+      const std::vector<std::pair<std::string, double>>& kv) {
+    std::string out;
+    for (size_t i = 0; i < kv.size(); ++i) {
+      out += "    \"" + kv[i].first + "\": " + Fmt("%.10g", kv[i].second);
+      out += i + 1 < kv.size() ? ",\n" : "\n";
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::string scale_;
+  std::string note_;
+  std::vector<std::pair<std::string, double>> config_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 inline void Banner(const char* experiment, const char* claim) {
   std::printf("\n================================================================\n");

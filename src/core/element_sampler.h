@@ -22,9 +22,26 @@ class ElementSampler : public SpaceAccounted {
   // Each element survives with probability min(1, rate).
   ElementSampler(double rate, uint32_t degree, uint64_t seed);
 
+  static constexpr uint64_t kRateDen = 1ULL << 40;
+
   bool Sampled(ElementId e) const {
     return hash_.Keep(e, rate_num_, kRateDen);
   }
+
+  // Membership for a pre-folded id (folded == MersenneFold(e)).
+  bool SampledFolded(uint64_t folded) const {
+    return hash_.KeepFolded(folded, rate_num_, kRateDen);
+  }
+
+  // Batched membership keys: out[i] ∈ [0, kRateDen) is folded[i]'s sample
+  // key; the element is sampled iff its key < rate_num() (keys are always
+  // below kRateDen, so the test matches Sampled() even at rate 1).
+  void SampleKeysFoldedBatch(const uint64_t* folded, uint64_t* out,
+                             size_t n) const {
+    hash_.MapRangeFoldedBatch(folded, out, n, kRateDen);
+  }
+
+  uint64_t rate_num() const { return rate_num_; }
 
   // The exact survival probability used (after clipping / quantization).
   double SampleRate() const {
@@ -34,7 +51,6 @@ class ElementSampler : public SpaceAccounted {
   size_t MemoryBytes() const override { return hash_.MemoryBytes(); }
 
  private:
-  static constexpr uint64_t kRateDen = 1ULL << 40;
   KWiseHash hash_;
   uint64_t rate_num_;
 };

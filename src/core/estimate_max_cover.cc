@@ -4,6 +4,7 @@
 #include <cstring>
 #include <optional>
 
+#include "hash/mersenne.h"
 #include "util/check.h"
 #include "util/math_util.h"
 #include "util/random.h"
@@ -63,6 +64,32 @@ void EstimateMaxCover::Process(const Edge& edge) {
   }
   for (Level& level : oracles_) {
     level.oracle->Process(level.reduction.MapEdge(edge));
+  }
+}
+
+void EstimateMaxCover::ProcessBatch(const PrefoldedEdges& batch) {
+  if (trivial_mode_) {
+    covered_elements_->AddFoldedBatch(batch.element_folded, batch.size);
+    return;
+  }
+  constexpr size_t kTile = 128;
+  Edge mapped[kTile];
+  uint64_t mapped_folded[kTile];
+  for (Level& level : oracles_) {
+    for (size_t i = 0; i < batch.size; i += kTile) {
+      size_t m = std::min(kTile, batch.size - i);
+      // Batched universe reduction; the mapped pseudo-element ids then get
+      // their own fold (they are fresh hash inputs downstream — a guess
+      // z > 2^61 - 1 would otherwise leak out-of-field values).
+      level.reduction.MapFoldedBatch(batch.element_folded + i, mapped_folded,
+                                     m);
+      for (size_t j = 0; j < m; ++j) {
+        mapped[j] = Edge{batch.edges[i + j].set, mapped_folded[j]};
+        mapped_folded[j] = MersenneFold(mapped_folded[j]);
+      }
+      level.oracle->ProcessBatch(PrefoldedEdges{
+          mapped, batch.set_folded + i, mapped_folded, m});
+    }
   }
 }
 

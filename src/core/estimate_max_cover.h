@@ -48,6 +48,13 @@ class EstimateMaxCover : public StreamingEstimator {
 
   void Process(const Edge& edge) override;
 
+  // Batched ingest. Trivial mode feeds the whole block to the L0's batch
+  // entry point; oracle mode maps the block through each level's universe
+  // reduction (batched) and forwards a remapped prefolded view to the
+  // oracle. Bit-identical to a Process() loop (levels are independent;
+  // per-level edge order is preserved).
+  void ProcessBatch(const PrefoldedEdges& batch) override;
+
   // The final coverage estimate. Always feasible: the trivial branch and the
   // z-threshold rule guarantee an answer (0 only for an empty stream).
   EstimateOutcome Finalize() const;

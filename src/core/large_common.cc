@@ -52,6 +52,26 @@ void LargeCommon::Process(const Edge& edge) {
   }
 }
 
+void LargeCommon::ProcessBatch(const PrefoldedEdges& batch) {
+  constexpr size_t kTile = 128;
+  uint64_t keys[kTile];
+  for (size_t i = 0; i < batch.size; i += kTile) {
+    size_t m = std::min(kTile, batch.size - i);
+    for (Level& level : levels_) {
+      level.sampler.SampleKeysFoldedBatch(batch.set_folded + i, keys, m);
+      for (size_t j = 0; j < m; ++j) {
+        if (keys[j] != 0) continue;
+        level.coverage.AddFolded(batch.element_folded[i + j]);
+        if (level.group_hash.has_value()) {
+          uint64_t g = level.group_hash->MapRangeFolded(
+              batch.set_folded[i + j], level.group_coverage.size());
+          level.group_coverage[g].AddFolded(batch.element_folded[i + j]);
+        }
+      }
+    }
+  }
+}
+
 void LargeCommon::Merge(const LargeCommon& other) {
   CHECK_EQ(config_.seed, other.config_.seed);
   CHECK_EQ(levels_.size(), other.levels_.size());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "hash/mersenne.h"
 #include "util/check.h"
 #include "util/math_util.h"
 #include "util/random.h"
@@ -112,28 +113,69 @@ LargeSetComplete::LargeSetComplete(const Config& config)
   pool_l0_seed_ = SplitMix64(config.seed ^ 0x6666);
 }
 
-void LargeSetComplete::Process(const Edge& edge) {
-  if (config_.element_rate < 1.0 &&
-      !element_sampler_.Sampled(edge.element)) {
-    return;
-  }
-  uint64_t id = superset_hash_.MapRange(edge.set, num_supersets_);
-  cntr_small_.Add(id);
-  cntr_large_.Add(id);
-  if (pool_hash_.Keep(id, pool_rate_num_, pool_rate_den_)) {
-    auto it = pool_.find(id);
+void LargeSetComplete::AdmitSuperset(uint64_t superset,
+                                     uint64_t element_folded) {
+  uint64_t folded = MersenneFold(superset);
+  cntr_small_.AddFolded(superset, folded);
+  cntr_large_.AddFolded(superset, folded);
+  if (pool_hash_.KeepFolded(folded, pool_rate_num_, pool_rate_den_)) {
+    auto it = pool_.find(superset);
     if (it == pool_.end()) {
       // Pool counters only feed a threshold test, so half-size KMV sketches
       // (±2/√32 ≈ 35% worst case) are accurate enough and halve the pool's
       // footprint.
       it = pool_
-               .emplace(id, L0Estimator(
-                                {.num_mins = std::max(
-                                     32u, config_.params.l0_num_mins / 2),
-                                 .seed = SplitMix64(pool_l0_seed_ ^ id)}))
+               .emplace(superset,
+                        L0Estimator(
+                            {.num_mins = std::max(
+                                 32u, config_.params.l0_num_mins / 2),
+                             .seed = SplitMix64(pool_l0_seed_ ^ superset)}))
                .first;
     }
-    it->second.Add(edge.element);
+    it->second.AddFolded(element_folded);
+  }
+}
+
+void LargeSetComplete::Process(const Edge& edge) {
+  if (config_.element_rate < 1.0 &&
+      !element_sampler_.Sampled(edge.element)) {
+    return;
+  }
+  AdmitSuperset(superset_hash_.MapRange(edge.set, num_supersets_),
+                MersenneFold(edge.element));
+}
+
+void LargeSetComplete::ProcessBatch(const PrefoldedEdges& batch) {
+  constexpr size_t kTile = 128;
+  uint64_t keys[kTile];
+  uint64_t set_f[kTile];
+  uint64_t elem_f[kTile];
+  uint64_t supersets[kTile];
+  const bool gate = config_.element_rate < 1.0;
+  for (size_t i = 0; i < batch.size; i += kTile) {
+    size_t m = std::min(kTile, batch.size - i);
+    // Apply the element gate first and compact the survivors, so the
+    // superset hash (the deepest chain) only runs on edges that matter.
+    size_t cnt = 0;
+    if (gate) {
+      element_sampler_.SampleKeysFoldedBatch(batch.element_folded + i, keys,
+                                             m);
+      const uint64_t thr = element_sampler_.rate_num();
+      for (size_t j = 0; j < m; ++j) {
+        if (keys[j] >= thr) continue;
+        set_f[cnt] = batch.set_folded[i + j];
+        elem_f[cnt] = batch.element_folded[i + j];
+        ++cnt;
+      }
+    } else {
+      for (size_t j = 0; j < m; ++j) {
+        set_f[j] = batch.set_folded[i + j];
+        elem_f[j] = batch.element_folded[i + j];
+      }
+      cnt = m;
+    }
+    superset_hash_.MapRangeFoldedBatch(set_f, supersets, cnt, num_supersets_);
+    for (size_t t = 0; t < cnt; ++t) AdmitSuperset(supersets[t], elem_f[t]);
   }
 }
 
@@ -260,6 +302,10 @@ LargeSet::LargeSet(const Config& config) : config_(config) {
 
 void LargeSet::Process(const Edge& edge) {
   for (auto& rep : reps_) rep.Process(edge);
+}
+
+void LargeSet::ProcessBatch(const PrefoldedEdges& batch) {
+  for (auto& rep : reps_) rep.ProcessBatch(batch);
 }
 
 void LargeSet::Merge(const LargeSet& other) {

@@ -59,6 +59,13 @@ class LargeSetComplete : public StreamingEstimator {
 
   void Process(const Edge& edge) override;
 
+  // Batched ingest: the two Θ(log mn)-wise front gates (element sample and
+  // superset hash — the deepest Horner chains in the oracle stack) run
+  // batched; survivors fold their superset id once and feed both
+  // contributing sketches and the pool through the `*Folded` entry points.
+  // Bit-identical to a Process() loop over the same edges.
+  void ProcessBatch(const PrefoldedEdges& batch) override;
+
   // Estimate is at universe scale (already divided by the element rate).
   EstimateOutcome Finalize() const;
 
@@ -87,6 +94,10 @@ class LargeSetComplete : public StreamingEstimator {
   };
 
   std::optional<Candidate> BestCandidate() const;
+
+  // Post-gate work for one surviving edge: folds the superset id once and
+  // routes it through both contributing sketches and the pool.
+  void AdmitSuperset(uint64_t superset, uint64_t element_folded);
 
   Config config_;
   ElementSampler element_sampler_;
@@ -121,6 +132,7 @@ class LargeSet : public StreamingEstimator {
   explicit LargeSet(const Config& config);
 
   void Process(const Edge& edge) override;
+  void ProcessBatch(const PrefoldedEdges& batch) override;
 
   EstimateOutcome Finalize() const;
 

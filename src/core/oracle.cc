@@ -44,6 +44,12 @@ void Oracle::Process(const Edge& edge) {
   if (small_set_ != nullptr) small_set_->Process(edge);
 }
 
+void Oracle::ProcessBatch(const PrefoldedEdges& batch) {
+  large_common_->ProcessBatch(batch);
+  large_set_->ProcessBatch(batch);
+  if (small_set_ != nullptr) small_set_->ProcessBatch(batch);
+}
+
 void Oracle::Merge(const Oracle& other) {
   CHECK_EQ(config_.seed, other.config_.seed);
   CHECK_EQ(small_set_ != nullptr, other.small_set_ != nullptr);

@@ -42,6 +42,7 @@ class Oracle : public StreamingEstimator {
   explicit Oracle(const Config& config);
 
   void Process(const Edge& edge) override;
+  void ProcessBatch(const PrefoldedEdges& batch) override;
 
   // Max over feasible subroutines; outcome.source names the winner.
   EstimateOutcome Finalize() const;

@@ -57,6 +57,13 @@ void ReportMaxCover::Process(const Edge& edge) {
   if (estimator_.trivial_mode()) set_sample_.Add(edge.set);
 }
 
+void ReportMaxCover::ProcessBatch(const PrefoldedEdges& batch) {
+  estimator_.ProcessBatch(batch);
+  if (estimator_.trivial_mode()) {
+    for (size_t i = 0; i < batch.size; ++i) set_sample_.Add(batch.edges[i].set);
+  }
+}
+
 uint64_t ReportMaxCover::MergeFingerprint() const {
   return SplitMix64(estimator_.MergeFingerprint() ^
                     SplitMix64(set_sample_.capacity));

@@ -46,6 +46,7 @@ class ReportMaxCover : public StreamingEstimator {
   explicit ReportMaxCover(const Config& config);
 
   void Process(const Edge& edge) override;
+  void ProcessBatch(const PrefoldedEdges& batch) override;
 
   // The reported k-cover. sets.size() ≤ k.
   MaxCoverSolution Finalize() const;

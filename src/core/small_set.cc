@@ -84,20 +84,48 @@ void SmallSet::Rescale(Instance& inst) {
   inst.stored_bytes = entries * (sizeof(ElementId) + sizeof(SetId) / 4);
 }
 
+void SmallSet::StoreEdge(Instance& inst, SetId set, ElementId element) {
+  auto& list = inst.edges[set];
+  list.push_back(element);
+  inst.stored_bytes += sizeof(ElementId) + sizeof(SetId) / 4;
+  while (inst.stored_bytes > budget_bytes_ && inst.rescales < kMaxRescales) {
+    // Over budget: halve the element rate and prune in place (Figure 5's
+    // "terminate", made graceful).
+    Rescale(inst);
+  }
+}
+
 void SmallSet::Process(const Edge& edge) {
   for (Instance& inst : instances_) {
     if (inst.rescales >= kMaxRescales) continue;
     if (inst.set_sampler.MapRange(edge.set, kRateDen) >= inst.set_rate_num)
       continue;
     if (!inst.ElementSampled(edge.element)) continue;
-    auto& list = inst.edges[edge.set];
-    list.push_back(edge.element);
-    inst.stored_bytes += sizeof(ElementId) + sizeof(SetId) / 4;
-    while (inst.stored_bytes > budget_bytes_ &&
-           inst.rescales < kMaxRescales) {
-      // Over budget: halve the element rate and prune in place (Figure 5's
-      // "terminate", made graceful).
-      Rescale(inst);
+    StoreEdge(inst, edge.set, edge.element);
+  }
+}
+
+void SmallSet::ProcessBatch(const PrefoldedEdges& batch) {
+  constexpr size_t kTile = 128;
+  uint64_t keys[kTile];
+  for (Instance& inst : instances_) {
+    bool dead = inst.rescales >= kMaxRescales;
+    for (size_t i = 0; i < batch.size && !dead; i += kTile) {
+      size_t m = std::min(kTile, batch.size - i);
+      inst.set_sampler.MapRangeFoldedBatch(batch.set_folded + i, keys, m,
+                                           kRateDen);
+      for (size_t j = 0; j < m; ++j) {
+        // Re-check liveness inside the block: a rescale cascade can exhaust
+        // the instance mid-batch, and the per-edge path would then skip the
+        // rest of its edges too.
+        if (inst.rescales >= kMaxRescales) {
+          dead = true;
+          break;
+        }
+        if (keys[j] >= inst.set_rate_num) continue;
+        if (!inst.ElementSampledFolded(batch.element_folded[i + j])) continue;
+        StoreEdge(inst, batch.edges[i + j].set, batch.edges[i + j].element);
+      }
     }
   }
 }

@@ -48,6 +48,13 @@ class SmallSet : public StreamingEstimator {
 
   void Process(const Edge& edge) override;
 
+  // Batched ingest: per instance, the Θ(log mn)-wise set-sampling gate runs
+  // batched over the block; the (rare) set survivors take the folded element
+  // test and the normal store/budget path, in edge order, so the stored
+  // sample — including any mid-batch rescale cascade — is bit-identical to a
+  // Process() loop.
+  void ProcessBatch(const PrefoldedEdges& batch) override;
+
   EstimateOutcome Finalize() const;
 
   // Merges another instance built with the same Config. Per (guess, rep)
@@ -97,6 +104,10 @@ class SmallSet : public StreamingEstimator {
     bool ElementSampled(ElementId e) const {
       return element_sampler.MapRange(e, kRateDen) < element_rate_num;
     }
+    bool ElementSampledFolded(uint64_t folded) const {
+      return element_sampler.MapRangeFolded(folded, kRateDen) <
+             element_rate_num;
+    }
     double EffectiveRate() const {
       return static_cast<double>(element_rate_num) /
              static_cast<double>(kRateDen);
@@ -110,6 +121,11 @@ class SmallSet : public StreamingEstimator {
 
   // Halves inst's element rate and prunes its stored sample accordingly.
   void Rescale(Instance& inst);
+
+  // Stores one surviving (set, element) incidence and runs the budget /
+  // rescale cascade — the post-gate tail of Process(), shared with the
+  // batched path.
+  void StoreEdge(Instance& inst, SetId set, ElementId element);
 
   // Folds the same-seeded instance `theirs` into `mine` (see Merge()).
   void MergeInstance(Instance& mine, const Instance& theirs);

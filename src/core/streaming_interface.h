@@ -3,8 +3,11 @@
 #ifndef STREAMKC_CORE_STREAMING_INTERFACE_H_
 #define STREAMKC_CORE_STREAMING_INTERFACE_H_
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
+#include "hash/mersenne.h"
 #include "obs/space_accountant.h"
 #include "stream/edge.h"
 #include "stream/edge_stream.h"
@@ -41,12 +44,37 @@ class StreamingEstimator : public SpaceMetered {
   // Observes one stream token. Must be O(polylog) time and touch only
   // sketch state.
   virtual void Process(const Edge& edge) = 0;
+
+  // Observes a block of stream tokens with their ids pre-folded into the
+  // hash field domain (see stream/edge.h). MUST leave the estimator in the
+  // state a Process() loop over the same edges would — batching is a pure
+  // throughput optimization, never a semantic one (the differential tests
+  // hold implementations to bit-identical serialized state). The default is
+  // that loop; estimators override it to amortize hash evaluation and skip
+  // per-edge virtual dispatch.
+  virtual void ProcessBatch(const PrefoldedEdges& batch) {
+    for (size_t i = 0; i < batch.size; ++i) Process(batch.edges[i]);
+  }
 };
 
-// Feeds the remainder of `stream` into `alg`.
+// Feeds the remainder of `stream` into `alg`, a batch at a time: one
+// MersenneFold per id here replaces one per (id, sub-estimator hash) pair
+// inside, and the batched entry points amortize the Horner evaluations.
 inline void FeedStream(EdgeStream& stream, StreamingEstimator& alg) {
-  Edge e;
-  while (stream.Next(&e)) alg.Process(e);
+  constexpr size_t kFeedBatch = 1024;
+  std::vector<Edge> edges;
+  std::vector<uint64_t> set_folded;
+  std::vector<uint64_t> element_folded;
+  while (stream.NextBatch(&edges, kFeedBatch) > 0) {
+    set_folded.resize(edges.size());
+    element_folded.resize(edges.size());
+    for (size_t i = 0; i < edges.size(); ++i) {
+      set_folded[i] = MersenneFold(edges[i].set);
+      element_folded[i] = MersenneFold(edges[i].element);
+    }
+    alg.ProcessBatch(PrefoldedEdges{edges.data(), set_folded.data(),
+                                    element_folded.data(), edges.size()});
+  }
 }
 
 }  // namespace streamkc

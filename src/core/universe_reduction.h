@@ -31,6 +31,13 @@ class UniverseReduction : public SpaceAccounted {
     return Edge{edge.set, Map(edge.element)};
   }
 
+  // out[i] = Map of the element whose fold is element_folded[i] (the mapped
+  // pseudo-element id, NOT its fold — re-fold before handing to a hash).
+  void MapFoldedBatch(const uint64_t* element_folded, uint64_t* out,
+                      size_t n) const {
+    hash_.MapRangeFoldedBatch(element_folded, out, n, z_);
+  }
+
   uint64_t num_pseudo_elements() const { return z_; }
 
   size_t MemoryBytes() const override { return hash_.MemoryBytes(); }

@@ -14,10 +14,20 @@
 // [0, r) by fixed-point multiplication; Sign(x) gives a ±1 value; Keep(x, num,
 // den) implements "h(x) = 1"-style subsampling at rate num/den without float
 // roundoff.
+//
+// Hot-path variants: every `*Folded` method takes an input already reduced
+// into the field domain by MersenneFold (the fold is idempotent, so callers
+// can fold an id exactly once and evaluate it under arbitrarily many hash
+// functions — the ingest stack's hash-once discipline). MapFoldedBatch
+// evaluates one polynomial over a whole input block with interleaved Horner
+// chains: the independent accumulators hide the 128-bit multiply latency
+// that serializes the scalar loop, which is where the batched ingest path
+// gets its ILP.
 
 #ifndef STREAMKC_HASH_KWISE_HASH_H_
 #define STREAMKC_HASH_KWISE_HASH_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -45,8 +55,13 @@ class KWiseHash : public SpaceAccounted {
   uint32_t degree() const { return static_cast<uint32_t>(coeffs_.size()); }
 
   // Uniform value in [0, 2^61 - 1).
-  uint64_t Map(uint64_t x) const {
-    uint64_t v = MersenneFold(x);
+  uint64_t Map(uint64_t x) const { return MapFolded(MersenneFold(x)); }
+
+  // Fold-free core of Map(): `v` must already be in the field domain [0, p)
+  // (i.e. v == MersenneFold(v)). Callers on the hash-once ingest path fold
+  // each id once and evaluate it under every sub-estimator's hash with this.
+  uint64_t MapFolded(uint64_t v) const {
+    DCHECK(v < kMersennePrime61);
     uint64_t acc = 0;
     // Horner evaluation: acc = (((c_{d-1} x + c_{d-2}) x + ...) x + c_0).
     for (size_t i = coeffs_.size(); i-- > 0;) {
@@ -55,15 +70,62 @@ class KWiseHash : public SpaceAccounted {
     return acc;
   }
 
-  // Uniform value in [0, range); range in [1, 2^61).
+  // out[i] = MapFolded(folded[i]) for i in [0, n). Evaluates kLanes inputs
+  // per Horner step so the multiply chains are independent: the scalar loop
+  // is latency-bound on MersenneMul (~6 cycles of dependent 64×64→128
+  // multiplies per coefficient), and eight parallel accumulator chains turn
+  // that latency into throughput. `out` may alias `folded`.
+  void MapFoldedBatch(const uint64_t* folded, uint64_t* out, size_t n) const {
+    constexpr size_t kLanes = 8;
+    const uint64_t* c = coeffs_.data();
+    const size_t d = coeffs_.size();
+    size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+      uint64_t v[kLanes];
+      uint64_t acc[kLanes];
+      for (size_t j = 0; j < kLanes; ++j) v[j] = folded[i + j];
+      for (size_t j = 0; j < kLanes; ++j) acc[j] = 0;
+      for (size_t t = d; t-- > 0;) {
+        const uint64_t ct = c[t];
+        for (size_t j = 0; j < kLanes; ++j) {
+          acc[j] = MersenneAdd(MersenneMul(acc[j], v[j]), ct);
+        }
+      }
+      for (size_t j = 0; j < kLanes; ++j) out[i + j] = acc[j];
+    }
+    for (; i < n; ++i) out[i] = MapFolded(folded[i]);
+  }
+
+  // Uniform value in [0, range); range in [1, 2^61). range == 0 would make
+  // every input collapse to 0 — a mis-sized caller bug that must fail in
+  // release builds too (a constant sampler silently destroys estimates), so
+  // this is a CHECK, not a DCHECK.
   uint64_t MapRange(uint64_t x, uint64_t range) const {
-    DCHECK(range > 0);
+    CHECK(range > 0);
     return static_cast<uint64_t>(
         (static_cast<__uint128_t>(Map(x)) * range) >> 61);
   }
 
+  uint64_t MapRangeFolded(uint64_t v, uint64_t range) const {
+    CHECK(range > 0);
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(MapFolded(v)) * range) >> 61);
+  }
+
+  // out[i] = MapRangeFolded(folded[i], range). `out` may alias `folded`.
+  void MapRangeFoldedBatch(const uint64_t* folded, uint64_t* out, size_t n,
+                           uint64_t range) const {
+    CHECK(range > 0);
+    MapFoldedBatch(folded, out, n);
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<uint64_t>(
+          (static_cast<__uint128_t>(out[i]) * range) >> 61);
+    }
+  }
+
   // ±1 sign, d-wise independent.
   int Sign(uint64_t x) const { return (Map(x) & 1) ? +1 : -1; }
+  int SignFolded(uint64_t v) const { return (MapFolded(v) & 1) ? +1 : -1; }
 
   // True with probability num/den over the choice of the hash function
   // (clipped to 1 when num >= den). Equivalent to "h(x) < num" with
@@ -73,6 +135,12 @@ class KWiseHash : public SpaceAccounted {
     DCHECK(den > 0);
     if (num >= den) return true;
     return MapRange(x, den) < num;
+  }
+
+  bool KeepFolded(uint64_t v, uint64_t num, uint64_t den) const {
+    DCHECK(den > 0);
+    if (num >= den) return true;
+    return MapRangeFolded(v, den) < num;
   }
 
   size_t MemoryBytes() const override { return VectorBytes(coeffs_); }

@@ -6,25 +6,61 @@
 // `batch_size` edges per hand-off amortizes the queue cost down to <1ns per
 // edge, which is what makes the sharded pipeline's overhead negligible
 // against the estimator work.
+//
+// A batch can also carry the per-edge MersenneFold of both ids (Prefold):
+// the fold is idempotent and every KWiseHash evaluation starts with it, so
+// folding once per edge here lets every estimator component on the batched
+// ingest path take the `*Folded` hash entry points.
 
 #ifndef STREAMKC_RUNTIME_EDGE_BATCH_H_
 #define STREAMKC_RUNTIME_EDGE_BATCH_H_
 
+#include <cstdint>
 #include <vector>
 
+#include "hash/mersenne.h"
 #include "stream/edge.h"
+#include "util/check.h"
 
 namespace streamkc {
 
 struct EdgeBatch {
   std::vector<Edge> edges;
+  // Parallel arrays filled by Prefold(): MersenneFold of each edge's ids.
+  std::vector<uint64_t> set_folded;
+  std::vector<uint64_t> element_folded;
 
   EdgeBatch() = default;
   explicit EdgeBatch(size_t reserve) { edges.reserve(reserve); }
 
   bool empty() const { return edges.empty(); }
   size_t size() const { return edges.size(); }
-  void Clear() { edges.clear(); }
+  void Clear() {
+    edges.clear();
+    set_folded.clear();
+    element_folded.clear();
+  }
+
+  // Computes the folded arrays for the current edges. Runs on the consumer
+  // side (the worker), not the producer, so the fold cost parallelizes with
+  // the shard fan-out.
+  void Prefold() {
+    set_folded.resize(edges.size());
+    element_folded.resize(edges.size());
+    for (size_t i = 0; i < edges.size(); ++i) {
+      set_folded[i] = MersenneFold(edges[i].set);
+      element_folded[i] = MersenneFold(edges[i].element);
+    }
+  }
+
+  // View over the prefolded batch; Prefold() must have run since the last
+  // mutation of `edges`.
+  PrefoldedEdges View() const {
+    DCHECK(set_folded.size() == edges.size());
+    DCHECK(element_folded.size() == edges.size());
+    return PrefoldedEdges{edges.data(), set_folded.data(),
+                          element_folded.data(), edges.size()};
+  }
 };
 
 }  // namespace streamkc

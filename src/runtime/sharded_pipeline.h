@@ -196,7 +196,18 @@ class ShardedPipeline {
             continue;
           }
           auto t0 = std::chrono::steady_clock::now();
-          for (const Edge& e : batch.edges) state.Process(e);
+          // Batch-capable states consume the whole block through one call
+          // (after a worker-side prefold of the ids), which amortizes hash
+          // evaluation and skips per-edge virtual dispatch; everything else
+          // gets the classic per-edge loop.
+          if constexpr (requires(State& st, const PrefoldedEdges& v) {
+                          st.ProcessBatch(v);
+                        }) {
+            batch.Prefold();
+            state.ProcessBatch(batch.View());
+          } else {
+            for (const Edge& e : batch.edges) state.Process(e);
+          }
           auto t1 = std::chrono::steady_clock::now();
           uint64_t busy = static_cast<uint64_t>(
               std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)

@@ -47,6 +47,19 @@ struct CoverageSketchState : SpaceMetered {
     element_f2.Add(edge.element);
   }
 
+  // Batched ingest: KMV and AMS take the pre-folded ids through their block
+  // entry points; HLL hashes the RAW ids (its tabulation hash has nothing to
+  // do with the Mersenne field, so a folded id would be a different input).
+  // The three sketches are independent, so component-at-a-time order is
+  // bit-identical to the per-edge interleaving.
+  void ProcessBatch(const PrefoldedEdges& batch) {
+    covered_l0.AddFoldedBatch(batch.element_folded, batch.size);
+    for (size_t i = 0; i < batch.size; ++i) {
+      covered_hll.Add(batch.edges[i].element);
+    }
+    element_f2.AddFoldedBatch(batch.element_folded, batch.size);
+  }
+
   void Merge(const CoverageSketchState& other) {
     covered_l0.Merge(other.covered_l0);
     covered_hll.Merge(other.covered_hll);

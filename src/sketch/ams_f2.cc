@@ -1,5 +1,7 @@
 #include "sketch/ams_f2.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 #include "util/math_util.h"
 #include "util/random.h"
@@ -19,9 +21,25 @@ AmsF2Sketch::AmsF2Sketch(const Config& config) : config_(config) {
   counters_.assign(cells, 0);
 }
 
-void AmsF2Sketch::Add(uint64_t id, int64_t delta) {
+void AmsF2Sketch::AddFolded(uint64_t folded, int64_t delta) {
   for (size_t i = 0; i < counters_.size(); ++i) {
-    counters_[i] += signs_[i].Sign(id) * delta;
+    counters_[i] += signs_[i].SignFolded(folded) * delta;
+  }
+}
+
+void AmsF2Sketch::AddFoldedBatch(const uint64_t* folded, size_t n,
+                                 int64_t delta) {
+  constexpr size_t kTile = 128;
+  uint64_t hashes[kTile];
+  for (size_t i = 0; i < n; i += kTile) {
+    size_t m = std::min(kTile, n - i);
+    for (size_t cell = 0; cell < counters_.size(); ++cell) {
+      signs_[cell].MapFoldedBatch(folded + i, hashes, m);
+      int64_t ones = 0;
+      for (size_t j = 0; j < m; ++j) ones += static_cast<int64_t>(hashes[j] & 1);
+      // Σ signs = (+1)·ones + (−1)·(m − ones) = 2·ones − m.
+      counters_[cell] += delta * (2 * ones - static_cast<int64_t>(m));
+    }
   }
 }
 

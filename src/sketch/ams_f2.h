@@ -35,7 +35,19 @@ class AmsF2Sketch : public SpaceMetered {
 
   // a[id] += delta (delta defaults to 1; negative deltas supported, the
   // sketch is linear).
-  void Add(uint64_t id, int64_t delta = 1);
+  void Add(uint64_t id, int64_t delta = 1) { AddFolded(MersenneFold(id), delta); }
+
+  // Hash-once ingest path: `folded` must equal MersenneFold(id).
+  void AddFolded(uint64_t folded, int64_t delta = 1);
+
+  // a[id] += delta for every pre-folded id in the block. State is
+  // bit-identical to n AddFolded calls (each cell accumulates a sum of ±delta
+  // terms; int64 addition commutes), but the hash evaluation runs per cell
+  // over the whole block with MapFoldedBatch: a cell counter update becomes
+  // counter += delta·(2·ones − n) where `ones` counts sign bits, so the
+  // per-edge cost drops from rows·cols dependent Horner chains to batched,
+  // ILP-friendly ones.
+  void AddFoldedBatch(const uint64_t* folded, size_t n, int64_t delta = 1);
 
   // Median-of-means estimate of F2.
   double Estimate() const;

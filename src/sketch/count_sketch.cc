@@ -1,5 +1,7 @@
 #include "sketch/count_sketch.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 #include "util/math_util.h"
 #include "util/random.h"
@@ -19,8 +21,12 @@ CountSketch::CountSketch(const Config& config) : config_(config) {
 }
 
 void CountSketch::Add(uint64_t id, int64_t delta) {
+  AddFolded(MersenneFold(id), delta);
+}
+
+void CountSketch::AddFolded(uint64_t folded, int64_t delta) {
   for (uint32_t r = 0; r < config_.depth; ++r) {
-    auto [sign, idx] = RowSignBucket(r, id);
+    auto [sign, idx] = SignBucketFromHash(r, row_hash_[r].MapFolded(folded));
     int64_t& cell = counters_[idx];
     int64_t update = sign * delta;
     if (r == 0) {
@@ -28,6 +34,32 @@ void CountSketch::Add(uint64_t id, int64_t delta) {
       row0_f2_ += static_cast<double>(2 * cell * update + update * update);
     }
     cell += update;
+  }
+}
+
+void CountSketch::AddFoldedBatch(const uint64_t* folded, size_t n,
+                                 int64_t delta) {
+  constexpr size_t kTile = 128;
+  uint64_t hashes[kTile];
+  for (size_t i = 0; i < n; i += kTile) {
+    size_t m = std::min(kTile, n - i);
+    for (uint32_t r = 0; r < config_.depth; ++r) {
+      row_hash_[r].MapFoldedBatch(folded + i, hashes, m);
+      if (r == 0) {
+        for (size_t j = 0; j < m; ++j) {
+          auto [sign, idx] = SignBucketFromHash(0, hashes[j]);
+          int64_t& cell = counters_[idx];
+          int64_t update = sign * delta;
+          row0_f2_ += static_cast<double>(2 * cell * update + update * update);
+          cell += update;
+        }
+      } else {
+        for (size_t j = 0; j < m; ++j) {
+          auto [sign, idx] = SignBucketFromHash(r, hashes[j]);
+          counters_[idx] += sign * delta;
+        }
+      }
+    }
   }
 }
 

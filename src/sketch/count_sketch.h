@@ -40,6 +40,16 @@ class CountSketch : public SpaceMetered {
   // a[id] += delta.
   void Add(uint64_t id, int64_t delta = 1);
 
+  // Hash-once ingest path: `folded` must equal MersenneFold(id).
+  void AddFolded(uint64_t folded, int64_t delta = 1);
+
+  // a[id] += delta for every pre-folded id in the block. Bit-identical to n
+  // AddFolded calls: rows touch disjoint counters (loop interchange is free)
+  // and within row 0 the updates — including the running row0_f2_ double
+  // accumulation — happen in edge order. Hash evaluation runs per row over
+  // the whole block with MapFoldedBatch.
+  void AddFoldedBatch(const uint64_t* folded, size_t n, int64_t delta = 1);
+
   // Median estimate of a[id].
   double PointQuery(uint64_t id) const;
 
@@ -61,6 +71,12 @@ class CountSketch : public SpaceMetered {
     return sign * static_cast<double>(counters_[bucket]);
   }
 
+  // QuickEstimate for a pre-folded id (folded == MersenneFold(id)).
+  double QuickEstimateFolded(uint64_t folded) const {
+    auto [sign, bucket] = SignBucketFromHash(0, row_hash_[0].MapFolded(folded));
+    return sign * static_cast<double>(counters_[bucket]);
+  }
+
   // Row 0's Σ_b C[0][b]², maintained incrementally (an always-current,
   // single-sample F2 estimate for the same gate).
   double QuickF2() const { return row0_f2_; }
@@ -76,13 +92,17 @@ class CountSketch : public SpaceMetered {
   uint64_t ItemCount() const override { return counters_.size(); }
 
  private:
-  // (sign, flat index into counters_) for row r and item id.
-  std::pair<int, size_t> RowSignBucket(uint32_t r, uint64_t id) const {
-    uint64_t h = row_hash_[r].Map(id);
+  // (sign, flat index into counters_) for row r given the row hash value.
+  std::pair<int, size_t> SignBucketFromHash(uint32_t r, uint64_t h) const {
     int sign = (h & 1) ? +1 : -1;
     uint64_t bucket = static_cast<uint64_t>(
         (static_cast<__uint128_t>(h >> 1) * config_.width) >> 60);
     return {sign, static_cast<size_t>(r) * config_.width + bucket};
+  }
+
+  // (sign, flat index into counters_) for row r and item id.
+  std::pair<int, size_t> RowSignBucket(uint32_t r, uint64_t id) const {
+    return SignBucketFromHash(r, row_hash_[r].Map(id));
   }
 
   Config config_;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "hash/mersenne.h"
 #include "util/check.h"
 #include "util/math_util.h"
 #include "util/random.h"
@@ -45,12 +46,16 @@ F2Contributing::F2Contributing(const Config& config)
 }
 
 void F2Contributing::Add(uint64_t id, int64_t delta) {
+  AddFolded(id, MersenneFold(id), delta);
+}
+
+void F2Contributing::AddFolded(uint64_t id, uint64_t folded, int64_t delta) {
   // One shared hash evaluation; levels_ is sorted by decreasing rate, so the
   // first failing threshold ends the walk (samples are nested).
-  uint64_t key = sampler_.MapRange(id, kRateDen);
+  uint64_t key = sampler_.MapRangeFolded(folded, kRateDen);
   for (auto& level : levels_) {
     if (key >= level.rate_num) break;
-    level.hh.Add(id, delta);
+    level.hh.AddFolded(id, folded, delta);
   }
 }
 

@@ -62,6 +62,11 @@ class F2Contributing : public SpaceMetered {
 
   void Add(uint64_t id, int64_t delta = 1);
 
+  // Hash-once ingest path: `folded` must equal MersenneFold(id). One fold
+  // serves the shared level sampler and every surviving level's
+  // heavy-hitter sketch.
+  void AddFolded(uint64_t id, uint64_t folded, int64_t delta = 1);
+
   // One representative (at least) from each γ-contributing class of size
   // ≤ max_class_size, deduplicated by id (max estimate wins), sorted by
   // descending estimate.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "hash/mersenne.h"
 #include "util/check.h"
 #include "util/math_util.h"
 #include "util/random.h"
@@ -36,7 +37,11 @@ F2HeavyHitters::F2HeavyHitters(const Config& config)
 }
 
 void F2HeavyHitters::Add(uint64_t id, int64_t delta) {
-  count_sketch_.Add(id, delta);
+  AddFolded(id, MersenneFold(id), delta);
+}
+
+void F2HeavyHitters::AddFolded(uint64_t id, uint64_t folded, int64_t delta) {
+  count_sketch_.AddFolded(folded, delta);
   auto it = candidates_.find(id);
   if (it != candidates_.end()) {
     it->second += static_cast<double>(delta > 0 ? delta : -delta);
@@ -48,7 +53,7 @@ void F2HeavyHitters::Add(uint64_t id, int64_t delta) {
   // which keeps map churn (and amortized point queries) low. A heavy
   // coordinate unluckily gated on one update passes on a later one — in an
   // insertion-only stream its estimate only grows.
-  double quick = count_sketch_.QuickEstimate(id);
+  double quick = count_sketch_.QuickEstimateFolded(folded);
   if (quick * quick * 6.0 < config_.phi * count_sketch_.QuickF2()) return;
   candidates_[id] = count_sketch_.PointQuery(id);
   if (candidates_.size() > 2 * capacity_) PruneCandidates();
@@ -116,8 +121,19 @@ F2HeavyHitters F2HeavyHitters::Load(std::istream& is) {
 }
 
 void F2HeavyHitters::Merge(const F2HeavyHitters& other) {
+  // Full config equality, not just seed + phi: depth/width_factor/max_width
+  // determine the CountSketch geometry and cand_factor the candidate
+  // capacity. The inner CountSketch re-checks its own shape, but failing
+  // here names the mismatched field instead of a derived quantity, and
+  // cand_factor/noise_floor_sigmas are NOT covered by any inner check —
+  // a mismatch would silently merge incompatible candidate policies.
   CHECK_EQ(config_.seed, other.config_.seed);
   CHECK_EQ(config_.phi, other.config_.phi);
+  CHECK_EQ(config_.depth, other.config_.depth);
+  CHECK_EQ(config_.width_factor, other.config_.width_factor);
+  CHECK_EQ(config_.cand_factor, other.config_.cand_factor);
+  CHECK_EQ(config_.noise_floor_sigmas, other.config_.noise_floor_sigmas);
+  CHECK_EQ(config_.max_width, other.config_.max_width);
   count_sketch_.Merge(other.count_sketch_);
   for (const auto& [id, score] : other.candidates_) {
     (void)score;

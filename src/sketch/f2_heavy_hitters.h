@@ -64,6 +64,12 @@ class F2HeavyHitters : public SpaceMetered {
 
   void Add(uint64_t id, int64_t delta = 1);
 
+  // Hash-once ingest path: `folded` must equal MersenneFold(id). The raw id
+  // is still needed as the candidate-set key. The candidate admission gate
+  // reads the evolving QuickF2 per update, so there is no whole-batch
+  // variant — batching callers loop this, saving the per-sub-hash re-folds.
+  void AddFolded(uint64_t id, uint64_t folded, int64_t delta = 1);
+
   // All coordinates whose estimated frequency passes the φ test against the
   // estimated F2, most-frequent first. Call after the stream ends (may be
   // called repeatedly).

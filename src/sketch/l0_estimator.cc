@@ -1,6 +1,7 @@
 #include "sketch/l0_estimator.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "hash/mersenne.h"
 #include "util/serialize.h"
@@ -9,46 +10,52 @@
 namespace streamkc {
 
 L0Estimator::L0Estimator(const Config& config)
-    : config_(config), hash_(KWiseHash::FourWise(config.seed)) {
+    : config_(config),
+      hash_(KWiseHash::FourWise(config.seed)),
+      // A quarter of k keeps the buffer's space overhead at 25% while the
+      // merge cost stays amortized O(log k) per admission (each flush sorts
+      // ~1.25k values for k/4 admissions).
+      flush_at_(std::max<size_t>(8, config.num_mins / 4)),
+      threshold_(std::numeric_limits<uint64_t>::max()) {
   CHECK_GE(config.num_mins, 2u);
-  heap_.reserve(config.num_mins);
+  mins_.reserve(config.num_mins);
+  buf_.reserve(flush_at_);
 }
 
-void L0Estimator::Add(uint64_t id) {
-  ++items_added_;
-  uint64_t h = hash_.Map(id);
-  if (heap_.size() < config_.num_mins) {
-    // Linear duplicate check is fine at this size (num_mins is O(1)); it only
-    // runs until the heap fills.
-    if (std::find(heap_.begin(), heap_.end(), h) != heap_.end()) return;
-    heap_.push_back(h);
-    std::push_heap(heap_.begin(), heap_.end());
-    return;
+void L0Estimator::AddFoldedBatch(const uint64_t* folded, size_t n) {
+  items_added_ += n;
+  constexpr size_t kTile = 128;
+  uint64_t hashes[kTile];
+  for (size_t i = 0; i < n; i += kTile) {
+    size_t m = std::min(kTile, n - i);
+    hash_.MapFoldedBatch(folded + i, hashes, m);
+    for (size_t j = 0; j < m; ++j) AddHash(hashes[j]);
   }
-  // Heap is full; heap_.front() is the largest retained value.
-  if (h > heap_.front()) {
-    // A distinct value beyond the k smallest exists: estimate mode from now
-    // on. (h cannot be a retained duplicate: it exceeds the maximum.)
+}
+
+void L0Estimator::FlushBuffer() const {
+  if (buf_.empty()) return;
+  mins_.insert(mins_.end(), buf_.begin(), buf_.end());
+  buf_.clear();
+  std::sort(mins_.begin(), mins_.end());
+  mins_.erase(std::unique(mins_.begin(), mins_.end()), mins_.end());
+  if (mins_.size() > config_.num_mins) {
+    // A distinct value beyond the k smallest existed: estimate mode from now
+    // on.
     saturated_ = true;
-    return;
+    mins_.resize(config_.num_mins);
   }
-  if (h == heap_.front() ||
-      std::find(heap_.begin(), heap_.end(), h) != heap_.end()) {
-    return;  // duplicate of a retained value
-  }
-  saturated_ = true;
-  std::pop_heap(heap_.begin(), heap_.end());
-  heap_.back() = h;
-  std::push_heap(heap_.begin(), heap_.end());
+  if (mins_.size() == config_.num_mins) threshold_ = mins_.back();
 }
 
 double L0Estimator::Estimate() const {
-  if (!saturated_) return static_cast<double>(heap_.size());
+  FlushBuffer();
+  if (!saturated_) return static_cast<double>(mins_.size());
   // v_k normalized to (0, 1]; estimate (k-1)/v_k.
-  double vk = static_cast<double>(heap_.front()) /
+  double vk = static_cast<double>(mins_.back()) /
               static_cast<double>(kMersennePrime61);
-  if (vk <= 0) return static_cast<double>(heap_.size());
-  return static_cast<double>(heap_.size() - 1) / vk;
+  if (vk <= 0) return static_cast<double>(mins_.size());
+  return static_cast<double>(mins_.size() - 1) / vk;
 }
 
 namespace {
@@ -56,10 +63,11 @@ constexpr uint32_t kL0Magic = 0x4b4d5631;  // "KMV1"
 }  // namespace
 
 void L0Estimator::Save(std::ostream& os) const {
+  FlushBuffer();
   WriteHeader(os, kL0Magic, 1);
   WriteU32(os, config_.num_mins);
   WriteU64(os, config_.seed);
-  WritePodVector(os, heap_);
+  WritePodVector(os, mins_);
   WriteU32(os, saturated_ ? 1 : 0);
   WriteU64(os, items_added_);
 }
@@ -70,9 +78,25 @@ L0Estimator L0Estimator::Load(std::istream& is) {
   config.num_mins = ReadU32(is);
   config.seed = ReadU64(is);
   L0Estimator out(config);
-  out.heap_ = ReadPodVector<uint64_t>(is);
-  CHECK_LE(out.heap_.size(), config.num_mins);
+  out.mins_ = ReadPodVector<uint64_t>(is);
+  CHECK_LE(out.mins_.size(), config.num_mins);
+  // Re-establish the invariant rather than trusting the blob: every value
+  // must be a possible hash output (the field domain [0, 2^61 - 1)), and the
+  // retained minima must be distinct — a duplicated or out-of-range entry
+  // means a corrupted checkpoint, which must fail loudly here instead of
+  // deflating every later estimate. Version-1 blobs written by the old
+  // heap-ordered representation are accepted: sorting is part of the
+  // re-establishment.
+  std::sort(out.mins_.begin(), out.mins_.end());
+  for (size_t i = 0; i < out.mins_.size(); ++i) {
+    CHECK(out.mins_[i] < kMersennePrime61);
+    if (i > 0) CHECK(out.mins_[i] > out.mins_[i - 1]);
+  }
   out.saturated_ = ReadU32(is) != 0;
+  // A saturated sketch has, by construction, retained exactly num_mins
+  // values; anything else is tampering.
+  if (out.saturated_) CHECK_EQ(out.mins_.size(), config.num_mins);
+  if (out.mins_.size() == config.num_mins) out.threshold_ = out.mins_.back();
   out.items_added_ = ReadU64(is);
   return out;
 }
@@ -80,16 +104,16 @@ L0Estimator L0Estimator::Load(std::istream& is) {
 void L0Estimator::Merge(const L0Estimator& other) {
   CHECK_EQ(config_.num_mins, other.config_.num_mins);
   CHECK_EQ(config_.seed, other.config_.seed);
+  FlushBuffer();
+  other.FlushBuffer();
   items_added_ += other.items_added_;
-  // Union the two minima multisets, dedup, keep the k smallest.
-  std::vector<uint64_t> all = heap_;
-  all.insert(all.end(), other.heap_.begin(), other.heap_.end());
-  std::sort(all.begin(), all.end());
-  all.erase(std::unique(all.begin(), all.end()), all.end());
-  bool dropped = all.size() > config_.num_mins;
-  if (dropped) all.resize(config_.num_mins);
-  heap_ = std::move(all);
-  std::make_heap(heap_.begin(), heap_.end());
+  // Union the two minima sets, dedup, keep the k smallest.
+  mins_.insert(mins_.end(), other.mins_.begin(), other.mins_.end());
+  std::sort(mins_.begin(), mins_.end());
+  mins_.erase(std::unique(mins_.begin(), mins_.end()), mins_.end());
+  bool dropped = mins_.size() > config_.num_mins;
+  if (dropped) mins_.resize(config_.num_mins);
+  if (mins_.size() == config_.num_mins) threshold_ = mins_.back();
   saturated_ = saturated_ || other.saturated_ || dropped;
 }
 

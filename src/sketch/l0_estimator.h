@@ -14,6 +14,17 @@
 // order statistics have fat tails — we measured 2.5× errors. Degree ≥ 3
 // breaks the linear structure and restores the expected 1/√k behavior.
 //
+// Representation: a sorted, duplicate-free array of the k smallest hash
+// values flushed so far (`mins_`) plus an unsorted admission buffer
+// (`buf_`). A new hash is admitted only if it beats the current k-th
+// smallest (`threshold_`); the buffer is merged into `mins_` by
+// sort/dedup/truncate when it fills or when an observer needs the exact
+// state. Admission is O(1), the merge costs O((k + |buf|)·log) every |buf|
+// admissions, and the admission rate itself decays like k/L0 — amortized
+// O(log k) per admitted item, and no per-item linear duplicate scan (the
+// previous max-heap representation paid an O(k) std::find for every hash
+// below the running maximum).
+//
 // While fewer than k distinct hash values have been seen the sketch is exact.
 // Sketches built with the same seed are mergeable (used by tests and by the
 // reporting pipeline's per-group counters).
@@ -21,6 +32,7 @@
 #ifndef STREAMKC_SKETCH_L0_ESTIMATOR_H_
 #define STREAMKC_SKETCH_L0_ESTIMATOR_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <istream>
 #include <ostream>
@@ -44,14 +56,31 @@ class L0Estimator : public SpaceMetered {
   explicit L0Estimator(const Config& config);
 
   // Observes item `id` (duplicates are free: same hash value).
-  void Add(uint64_t id);
+  void Add(uint64_t id) {
+    ++items_added_;
+    AddHash(hash_.Map(id));
+  }
+
+  // Hash-once ingest path: `folded` must equal MersenneFold(id).
+  void AddFolded(uint64_t folded) {
+    ++items_added_;
+    AddHash(hash_.MapFolded(folded));
+  }
+
+  // Observes a block of pre-folded ids. Equivalent to calling AddFolded on
+  // each in order (bit-identical state), but evaluates the hash with
+  // KWiseHash::MapFoldedBatch.
+  void AddFoldedBatch(const uint64_t* folded, size_t n);
 
   // Current estimate of the number of distinct ids seen.
   double Estimate() const;
 
   // True while the sketch still holds every distinct hash value (estimate is
   // exact).
-  bool IsExact() const { return !saturated_; }
+  bool IsExact() const {
+    FlushBuffer();
+    return !saturated_;
+  }
 
   // Merges another sketch built with the same Config (same seed). The result
   // estimates the distinct count of the union of the two input streams.
@@ -61,22 +90,51 @@ class L0Estimator : public SpaceMetered {
 
   // Binary checkpointing (util/serialize.h conventions). Load rebuilds the
   // hash from the stored seed, so a restored sketch continues the stream
-  // exactly where the saved one stopped.
+  // exactly where the saved one stopped. Load validates the blob: values
+  // must lie in the field domain and be duplicate-free, and a saturated
+  // sketch must be full — a tampered or corrupted checkpoint fails a CHECK
+  // instead of silently skewing estimates.
   void Save(std::ostream& os) const;
   static L0Estimator Load(std::istream& is);
 
   size_t MemoryBytes() const override {
-    return VectorBytes(heap_) + hash_.MemoryBytes();
+    return VectorBytes(mins_) + VectorBytes(buf_) + hash_.MemoryBytes();
   }
   const char* ComponentName() const override { return "l0_estimator"; }
-  uint64_t ItemCount() const override { return heap_.size(); }
+  uint64_t ItemCount() const override {
+    FlushBuffer();
+    return mins_.size();
+  }
 
  private:
+  // Admission gate shared by all Add entry points.
+  void AddHash(uint64_t h) {
+    if (h >= threshold_) {
+      // Beyond (or equal to) the current k-th smallest: either a duplicate
+      // of the retained maximum or a distinct value outside the k smallest.
+      // Only possible once the sketch is full (threshold_ starts at +inf).
+      if (h > threshold_) saturated_ = true;
+      return;
+    }
+    buf_.push_back(h);
+    if (buf_.size() >= flush_at_) FlushBuffer();
+  }
+
+  // Merges buf_ into mins_ (sort/dedup/truncate) and refreshes threshold_ /
+  // saturated_. Const because observers (Estimate, IsExact, Save) must see
+  // the settled state; the mutated members are declared mutable.
+  void FlushBuffer() const;
+
   Config config_;
   KWiseHash hash_;
-  // Max-heap of the num_mins smallest distinct hash values seen so far.
-  std::vector<uint64_t> heap_;
-  bool saturated_ = false;
+  size_t flush_at_;  // buffer capacity before a forced flush
+  // Sorted ascending, duplicate-free: the k smallest flushed hash values.
+  mutable std::vector<uint64_t> mins_;
+  // Unsorted admitted hashes, each < threshold_ (may contain duplicates).
+  mutable std::vector<uint64_t> buf_;
+  // Admission gate: k-th smallest flushed value once full, else +inf.
+  mutable uint64_t threshold_;
+  mutable bool saturated_ = false;
   uint64_t items_added_ = 0;
 };
 

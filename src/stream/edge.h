@@ -32,6 +32,20 @@ struct EdgeHash {
   }
 };
 
+// Non-owning view of a block of edges with their ids pre-reduced into the
+// GF(2^61-1) field domain (MersenneFold). The fold is idempotent and every
+// KWiseHash evaluation starts with it, so computing it once per edge here
+// lets every sub-estimator on the batched ingest path use the `*Folded`
+// hash entry points and skip the redundant per-sketch fold. The arrays are
+// parallel: set_folded[i] == MersenneFold(edges[i].set) and likewise for
+// element_folded. Produced by EdgeBatch::Prefold()/View().
+struct PrefoldedEdges {
+  const Edge* edges = nullptr;
+  const uint64_t* set_folded = nullptr;
+  const uint64_t* element_folded = nullptr;
+  size_t size = 0;
+};
+
 }  // namespace streamkc
 
 #endif  // STREAMKC_STREAM_EDGE_H_

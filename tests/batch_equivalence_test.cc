@@ -1,0 +1,236 @@
+// Batch-vs-per-edge differential tests: the ProcessBatch / AddFoldedBatch
+// ingest path must leave every estimator in a state BIT-IDENTICAL to the
+// per-edge Process / Add path on the same stream — not merely statistically
+// equivalent. Sketches are compared by serialized blob (the strongest
+// observable equality the library offers); the core estimator stack by
+// exact Finalize() equality, which a single reordered hash admission would
+// break.
+//
+// Batch sizes are deliberately awkward (primes straddling the 128-edge
+// internal tile) so tile remainders and cross-batch boundaries are hit.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/estimate_max_cover.h"
+#include "core/report_max_cover.h"
+#include "hash/mersenne.h"
+#include "runtime/edge_batch.h"
+#include "runtime/sketch_states.h"
+#include "sketch/ams_f2.h"
+#include "sketch/count_sketch.h"
+#include "sketch/f2_contributing.h"
+#include "sketch/f2_heavy_hitters.h"
+#include "sketch/hyperloglog.h"
+#include "sketch/l0_estimator.h"
+#include "test_util.h"
+
+namespace streamkc {
+namespace {
+
+template <typename Sketch>
+std::string Blob(const Sketch& sketch) {
+  std::stringstream ss;
+  sketch.Save(ss);
+  return ss.str();
+}
+
+// Element ids folded once — the producer-side contract of the batch path.
+std::vector<uint64_t> FoldedElements(const std::vector<Edge>& edges) {
+  std::vector<uint64_t> folded;
+  folded.reserve(edges.size());
+  for (const Edge& e : edges) folded.push_back(MersenneFold(e.element));
+  return folded;
+}
+
+// Streams `edges` into `batched` through ProcessBatch in chunks of
+// `batch_size`, using the same EdgeBatch::Prefold hand-off the sharded
+// pipeline uses.
+template <typename Alg>
+void FeedBatched(Alg& batched, const std::vector<Edge>& edges,
+                 size_t batch_size) {
+  EdgeBatch batch;
+  for (size_t i = 0; i < edges.size(); i += batch_size) {
+    size_t m = std::min(batch_size, edges.size() - i);
+    batch.Clear();
+    batch.edges.assign(edges.begin() + i, edges.begin() + i + m);
+    batch.Prefold();
+    batched.ProcessBatch(batch.View());
+  }
+}
+
+TEST(BatchEquivalence, L0BitIdentical) {
+  std::vector<Edge> edges = SyntheticEdges(20000, 42);
+  std::vector<uint64_t> folded = FoldedElements(edges);
+  L0Estimator per_edge({.num_mins = 128, .seed = 5});
+  L0Estimator batched({.num_mins = 128, .seed = 5});
+  for (const Edge& e : edges) per_edge.Add(e.element);
+  // 113 < tile (remainder path) and a stretch past it in one call.
+  batched.AddFoldedBatch(folded.data(), 113);
+  batched.AddFoldedBatch(folded.data() + 113, folded.size() - 113);
+  EXPECT_EQ(Blob(per_edge), Blob(batched));
+  EXPECT_DOUBLE_EQ(per_edge.Estimate(), batched.Estimate());
+}
+
+TEST(BatchEquivalence, AmsF2BitIdentical) {
+  std::vector<Edge> edges = SyntheticEdges(10000, 7);
+  std::vector<uint64_t> folded = FoldedElements(edges);
+  AmsF2Sketch per_edge({.rows = 5, .cols = 16, .seed = 3});
+  AmsF2Sketch batched({.rows = 5, .cols = 16, .seed = 3});
+  for (const Edge& e : edges) per_edge.Add(e.element);
+  for (size_t i = 0; i < folded.size(); i += 131) {
+    batched.AddFoldedBatch(folded.data() + i,
+                           std::min<size_t>(131, folded.size() - i));
+  }
+  EXPECT_EQ(Blob(per_edge), Blob(batched));
+  EXPECT_DOUBLE_EQ(per_edge.Estimate(), batched.Estimate());
+}
+
+TEST(BatchEquivalence, CountSketchBitIdentical) {
+  std::vector<Edge> edges = SyntheticEdges(10000, 11, 256, 512);
+  std::vector<uint64_t> folded = FoldedElements(edges);
+  CountSketch per_edge({.depth = 5, .width = 64, .seed = 9});
+  CountSketch batched({.depth = 5, .width = 64, .seed = 9});
+  for (const Edge& e : edges) per_edge.Add(e.element, 1);
+  for (size_t i = 0; i < folded.size(); i += 251) {
+    batched.AddFoldedBatch(folded.data() + i,
+                           std::min<size_t>(251, folded.size() - i), 1);
+  }
+  EXPECT_EQ(Blob(per_edge), Blob(batched));
+  EXPECT_DOUBLE_EQ(per_edge.EstimateF2(), batched.EstimateF2());
+}
+
+TEST(BatchEquivalence, F2HeavyHittersFoldedIdentical) {
+  std::vector<Edge> edges = SyntheticEdges(8000, 13, 256, 64);
+  F2HeavyHitters per_edge({.phi = 0.05, .seed = 21});
+  F2HeavyHitters folded_path({.phi = 0.05, .seed = 21});
+  for (const Edge& e : edges) per_edge.Add(e.element);
+  for (const Edge& e : edges) {
+    folded_path.AddFolded(e.element, MersenneFold(e.element));
+  }
+  EXPECT_EQ(Blob(per_edge), Blob(folded_path));
+}
+
+TEST(BatchEquivalence, F2ContributingFoldedIdentical) {
+  std::vector<Edge> edges = SyntheticEdges(8000, 17, 256, 128);
+  F2Contributing::Config cfg;
+  cfg.gamma = 0.05;
+  cfg.domain_size = 128;
+  cfg.max_class_size = 64;
+  cfg.seed = 31;
+  F2Contributing per_edge(cfg);
+  F2Contributing folded_path(cfg);
+  for (const Edge& e : edges) per_edge.Add(e.element);
+  for (const Edge& e : edges) {
+    folded_path.AddFolded(e.element, MersenneFold(e.element));
+  }
+  EXPECT_EQ(Blob(per_edge), Blob(folded_path));
+}
+
+TEST(BatchEquivalence, CoverageSketchStateIdentical) {
+  std::vector<Edge> edges = SyntheticEdges(30000, 19);
+  CoverageSketchState::Config cfg;
+  CoverageSketchState per_edge(cfg);
+  CoverageSketchState batched(cfg);
+  for (const Edge& e : edges) per_edge.Process(e);
+  FeedBatched(batched, edges, 509);
+  EXPECT_EQ(Blob(per_edge.covered_l0), Blob(batched.covered_l0));
+  EXPECT_EQ(Blob(per_edge.element_f2), Blob(batched.element_f2));
+  EXPECT_DOUBLE_EQ(per_edge.covered_hll.Estimate(),
+                   batched.covered_hll.Estimate());
+}
+
+TEST(BatchEquivalence, EstimateMaxCoverOracleMode) {
+  auto inst = MakeFamilyInstance("planted", 512, 1024, 16, 23);
+  std::vector<Edge> edges = InstanceEdges(inst, 5);
+  EstimateMaxCover::Config cfg;
+  cfg.params = Params::Practical(512, 1024, 16, 8);
+  cfg.seed = 77;
+  EstimateMaxCover per_edge(cfg);
+  EstimateMaxCover batched(cfg);
+  ASSERT_FALSE(per_edge.trivial_mode());
+  for (const Edge& e : edges) per_edge.Process(e);
+  FeedBatched(batched, edges, 241);
+  EstimateOutcome a = per_edge.Finalize();
+  EstimateOutcome b = batched.Finalize();
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.source, b.source);
+  EXPECT_DOUBLE_EQ(a.estimate, b.estimate);
+}
+
+TEST(BatchEquivalence, EstimateMaxCoverTrivialMode) {
+  auto inst = MakeFamilyInstance("uniform", 64, 512, 16, 29);
+  std::vector<Edge> edges = InstanceEdges(inst, 6);
+  EstimateMaxCover::Config cfg;
+  cfg.params = Params::Practical(64, 512, 16, 8);  // kα = 128 ≥ m = 64
+  cfg.seed = 78;
+  EstimateMaxCover per_edge(cfg);
+  EstimateMaxCover batched(cfg);
+  ASSERT_TRUE(per_edge.trivial_mode());
+  for (const Edge& e : edges) per_edge.Process(e);
+  FeedBatched(batched, edges, 241);
+  EXPECT_DOUBLE_EQ(per_edge.Finalize().estimate, batched.Finalize().estimate);
+}
+
+TEST(BatchEquivalence, ReportMaxCoverSolutionsIdentical) {
+  auto inst = MakeFamilyInstance("planted", 512, 1024, 16, 37);
+  std::vector<Edge> edges = InstanceEdges(inst, 8);
+  ReportMaxCover::Config cfg;
+  cfg.params = Params::Practical(512, 1024, 16, 8);
+  cfg.seed = 99;
+  ReportMaxCover per_edge(cfg);
+  ReportMaxCover batched(cfg);
+  for (const Edge& e : edges) per_edge.Process(e);
+  FeedBatched(batched, edges, 367);
+  MaxCoverSolution a = per_edge.Finalize();
+  MaxCoverSolution b = batched.Finalize();
+  EXPECT_DOUBLE_EQ(a.estimate, b.estimate);
+  EXPECT_EQ(a.source, b.source);
+  EXPECT_EQ(a.sets, b.sets);
+}
+
+// Cross-validation of the two Theorem 2.12 realizations: KMV and HLL see
+// identical streams and must agree with the true distinct count — and hence
+// with each other — within their combined relative-error bands. A bug in
+// either batch path that degrades accuracy without breaking determinism
+// (e.g. dropping admissions) trips this even though the bit-identity tests
+// above pass vacuously on both sides.
+TEST(BatchEquivalence, KmvHllCrossValidation) {
+  constexpr uint32_t kNumMins = 256;
+  constexpr uint32_t kPrecision = 12;
+  // 3σ bands: KMV σ ≈ 1/√(k-2), HLL σ ≈ 1.04/√2^p.
+  const double kmv_band = 3.0 / std::sqrt(static_cast<double>(kNumMins - 2));
+  const double hll_band = 3.04 * 1.04 / std::sqrt(4096.0);
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const uint64_t distinct = 40000 + 1000 * seed;
+    L0Estimator kmv({.num_mins = kNumMins, .seed = seed});
+    HyperLogLog hll({.precision = kPrecision, .seed = seed});
+    std::vector<uint64_t> folded;
+    folded.reserve(2 * distinct);
+    // Every id appears twice (batch path sees the duplicates too).
+    for (uint64_t rep = 0; rep < 2; ++rep) {
+      for (uint64_t i = 0; i < distinct; ++i) {
+        uint64_t id = SplitMix64(i ^ (seed << 32));
+        folded.push_back(MersenneFold(id));
+        hll.Add(id);
+      }
+    }
+    kmv.AddFoldedBatch(folded.data(), folded.size());
+    const double d = static_cast<double>(distinct);
+    EXPECT_NEAR(kmv.Estimate(), d, kmv_band * d)
+        << "KMV outside band at seed " << seed;
+    EXPECT_NEAR(hll.Estimate(), d, hll_band * d)
+        << "HLL outside band at seed " << seed;
+    EXPECT_NEAR(kmv.Estimate(), hll.Estimate(),
+                (kmv_band + hll_band) * d)
+        << "KMV and HLL disagree at seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace streamkc

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "hash/mersenne.h"
+#include "util/random.h"
 
 namespace streamkc {
 namespace {
@@ -150,6 +151,46 @@ TEST(KWiseHash, FourWiseFourthMomentBehaved) {
   fourth /= kTrials;
   double expected = 3.0 * kWindow * kWindow - 2.0 * kWindow;
   EXPECT_NEAR(fourth, expected, 0.25 * expected);
+}
+
+TEST(KWiseHash, ZeroRangeAborts) {
+  // range = 0 would make MapRange collapse to the constant 0 — a sampler
+  // built on it admits everything. Hard CHECK in release builds too: the
+  // misconfiguration corrupts estimates silently, which is worse than
+  // dying.
+  KWiseHash h(4, 3);
+  EXPECT_DEATH(h.MapRange(123, 0), "CHECK failed");
+  EXPECT_DEATH(h.MapRangeFolded(MersenneFold(123), 0), "CHECK failed");
+  uint64_t folded[2] = {1, 2};
+  uint64_t out[2];
+  EXPECT_DEATH(h.MapRangeFoldedBatch(folded, out, 2, 0), "CHECK failed");
+}
+
+TEST(KWiseHash, FoldedBatchMatchesScalarMap) {
+  // The interleaved multi-lane Horner evaluation must agree with the scalar
+  // path bit-for-bit at every size around the lane width (remainder loop,
+  // exactly-full lanes, multiple blocks), for degrees on both sides of the
+  // unrolled cases.
+  for (uint32_t degree : {2u, 4u, 7u}) {
+    KWiseHash h(degree, 1234 + degree);
+    for (size_t n : {0u, 1u, 7u, 8u, 9u, 16u, 61u}) {
+      std::vector<uint64_t> folded(n), batch_out(n);
+      for (size_t i = 0; i < n; ++i) {
+        folded[i] = MersenneFold(SplitMix64(i ^ (degree << 20)));
+      }
+      h.MapFoldedBatch(folded.data(), batch_out.data(), n);
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(batch_out[i], h.MapFolded(folded[i]))
+            << "degree " << degree << " n " << n << " i " << i;
+      }
+      // And through the range-mapped variant (which may alias its input).
+      std::vector<uint64_t> range_out(folded);
+      h.MapRangeFoldedBatch(range_out.data(), range_out.data(), n, 17);
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(range_out[i], h.MapRangeFolded(folded[i], 17));
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -136,5 +136,49 @@ TEST(F2HeavyHitters, RecallOverZipfSweep) {
   EXPECT_GE(static_cast<double>(found) / expected, 0.9);
 }
 
+// Merge must reject every shape/seed mismatch, including the parameters the
+// inner CountSketch cannot see (cand_factor bounds the candidate set,
+// noise_floor_sigmas changes Extract's admission): merging sketches that
+// disagree on those silently produces a state neither config describes.
+TEST(F2HeavyHittersMerge, MismatchedConfigsAbort) {
+  F2HeavyHitters::Config base;
+  base.phi = 0.05;
+  base.seed = 11;
+  {
+    F2HeavyHitters a(base), b(base);
+    a.Add(1);
+    b.Add(2);
+    a.Merge(b);  // identical configs merge fine
+  }
+  auto expect_merge_death = [&](F2HeavyHitters::Config other) {
+    F2HeavyHitters a(base), b(other);
+    EXPECT_DEATH(a.Merge(b), "CHECK failed");
+  };
+  F2HeavyHitters::Config c = base;
+  c.seed = 12;
+  expect_merge_death(c);
+  c = base;
+  c.phi = 0.1;
+  expect_merge_death(c);
+  c = base;
+  c.depth = base.depth + 2;
+  expect_merge_death(c);
+  c = base;
+  c.width_factor = base.width_factor * 2;
+  expect_merge_death(c);
+  c = base;
+  c.cand_factor = base.cand_factor * 2;
+  expect_merge_death(c);
+  c = base;
+  c.noise_floor_sigmas = base.noise_floor_sigmas + 1;
+  expect_merge_death(c);
+  // max_width differs but the realized width (16/φ = 320) does not: the
+  // config-level CHECK must fire anyway — the two sketches would diverge
+  // the moment a smaller φ config reused this state.
+  c = base;
+  c.max_width = 1u << 10;
+  expect_merge_death(c);
+}
+
 }  // namespace
 }  // namespace streamkc

@@ -83,6 +83,35 @@ TEST(CountSketchMerge, MismatchedGeometryAborts) {
   EXPECT_DEATH(a.Merge(c), "CHECK failed");
 }
 
+// The sharded fold's safety audit: every mergeable sketch must CHECK both
+// seed and shape before folding — a seed-mismatched merge combines hash
+// spaces that share no structure and silently corrupts the result.
+TEST(L0Merge, MismatchedConfigAborts) {
+  L0Estimator a({.num_mins = 64, .seed = 3});
+  L0Estimator b({.num_mins = 32, .seed = 3});
+  L0Estimator c({.num_mins = 64, .seed = 4});
+  EXPECT_DEATH(a.Merge(b), "CHECK failed");
+  EXPECT_DEATH(a.Merge(c), "CHECK failed");
+}
+
+TEST(HllMerge, MismatchedConfigAborts) {
+  HyperLogLog a({.precision = 12, .seed = 3});
+  HyperLogLog b({.precision = 10, .seed = 3});
+  HyperLogLog c({.precision = 12, .seed = 4});
+  EXPECT_DEATH(a.Merge(b), "CHECK failed");
+  EXPECT_DEATH(a.Merge(c), "CHECK failed");
+}
+
+TEST(AmsF2Merge, MismatchedConfigAborts) {
+  AmsF2Sketch a({.rows = 3, .cols = 8, .seed = 5});
+  AmsF2Sketch b({.rows = 4, .cols = 8, .seed = 5});
+  AmsF2Sketch c({.rows = 3, .cols = 16, .seed = 5});
+  AmsF2Sketch d({.rows = 3, .cols = 8, .seed = 6});
+  EXPECT_DEATH(a.Merge(b), "CHECK failed");
+  EXPECT_DEATH(a.Merge(c), "CHECK failed");
+  EXPECT_DEATH(a.Merge(d), "CHECK failed");
+}
+
 TEST(AmsF2Merge, EqualsConcatenation) {
   AmsF2Sketch::Config cfg{.rows = 3, .cols = 8, .seed = 5};
   AmsF2Sketch a(cfg), b(cfg), whole(cfg);

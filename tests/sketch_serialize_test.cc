@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
 
 #include "sketch/ams_f2.h"
@@ -69,6 +70,83 @@ TEST(L0Serialize, TruncatedStreamAborts) {
   std::string bytes = buffer.str();
   std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
   EXPECT_DEATH(L0Estimator::Load(truncated), "CHECK failed");
+}
+
+// Blob byte layout (see L0Estimator::Save): magic u32, version u32,
+// num_mins u32, seed u64, minima count u64, minima u64[count], saturated
+// u32, items u64. The tampering tests below patch specific fields of a
+// genuine blob: Load must re-establish the sorted-distinct-in-field
+// invariant rather than trust the bytes, because a corrupted minima vector
+// silently deflates every later estimate instead of crashing.
+constexpr size_t kL0MinsOffset = 4 + 4 + 4 + 8 + 8;
+
+std::string SavedL0Blob(uint32_t num_mins, uint64_t items) {
+  L0Estimator sketch({.num_mins = num_mins, .seed = 7});
+  for (uint64_t i = 0; i < items; ++i) sketch.Add(i * 977 + 1);
+  std::stringstream buffer;
+  sketch.Save(buffer);
+  return buffer.str();
+}
+
+void PatchU64(std::string& blob, size_t offset, uint64_t value) {
+  ASSERT_LE(offset + sizeof(value), blob.size());
+  std::memcpy(blob.data() + offset, &value, sizeof(value));
+}
+
+uint64_t PeekU64(const std::string& blob, size_t offset) {
+  uint64_t value = 0;
+  std::memcpy(&value, blob.data() + offset, sizeof(value));
+  return value;
+}
+
+TEST(L0Serialize, DuplicatedMinimumAborts) {
+  std::string blob = SavedL0Blob(64, 500);
+  // Clone the first retained minimum over the second: still sorted after
+  // Load's re-sort, but no longer distinct.
+  PatchU64(blob, kL0MinsOffset + 8, PeekU64(blob, kL0MinsOffset));
+  std::stringstream tampered(blob);
+  EXPECT_DEATH(L0Estimator::Load(tampered), "CHECK failed");
+}
+
+TEST(L0Serialize, OutOfFieldMinimumAborts) {
+  std::string blob = SavedL0Blob(64, 500);
+  // 2^61 - 1 is the field modulus — one past the largest possible hash
+  // output, so it can never be a legitimate retained minimum.
+  PatchU64(blob, kL0MinsOffset, (uint64_t{1} << 61) - 1);
+  std::stringstream tampered(blob);
+  EXPECT_DEATH(L0Estimator::Load(tampered), "CHECK failed");
+}
+
+TEST(L0Serialize, SaturatedFlagWithoutFullMinsAborts) {
+  // 10 distinct items into a 64-min sketch: exact mode, 10 minima.
+  std::string blob = SavedL0Blob(64, 10);
+  const size_t count_offset = 4 + 4 + 4 + 8;
+  ASSERT_EQ(PeekU64(blob, count_offset), 10u);
+  // Flip the saturated flag (u32 right after the minima): a saturated
+  // sketch by construction holds exactly num_mins values, so this is an
+  // impossible state and Load must refuse to resurrect it.
+  const size_t saturated_offset = kL0MinsOffset + 10 * 8;
+  uint32_t one = 1;
+  std::memcpy(blob.data() + saturated_offset, &one, sizeof(one));
+  std::stringstream tampered(blob);
+  EXPECT_DEATH(L0Estimator::Load(tampered), "CHECK failed");
+}
+
+TEST(L0Serialize, HeapOrderedLegacyBlobStillLoads) {
+  // Version-1 blobs from the pre-batching build stored the minima in heap
+  // order; Load sorts before validating, so a shuffled (but distinct and
+  // in-field) vector must load and estimate identically.
+  std::string blob = SavedL0Blob(64, 500);
+  uint64_t a = PeekU64(blob, kL0MinsOffset);
+  uint64_t b = PeekU64(blob, kL0MinsOffset + 8);
+  ASSERT_LT(a, b);
+  PatchU64(blob, kL0MinsOffset, b);
+  PatchU64(blob, kL0MinsOffset + 8, a);
+  std::stringstream shuffled(blob);
+  L0Estimator restored = L0Estimator::Load(shuffled);
+  std::stringstream pristine(SavedL0Blob(64, 500));
+  EXPECT_DOUBLE_EQ(restored.Estimate(),
+                   L0Estimator::Load(pristine).Estimate());
 }
 
 TEST(CountSketchSerialize, RoundTripPreservesQueries) {
