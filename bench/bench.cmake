@@ -4,9 +4,9 @@
 function(streamkc_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
   target_link_libraries(${name} PRIVATE
-    streamkc_runtime streamkc_core streamkc_offline streamkc_sketch
-    streamkc_setsys streamkc_stream streamkc_obs streamkc_hash
-    streamkc_util)
+    streamkc_serve streamkc_runtime streamkc_core streamkc_offline
+    streamkc_sketch streamkc_setsys streamkc_stream streamkc_obs
+    streamkc_hash streamkc_util)
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endfunction()
@@ -21,6 +21,7 @@ streamkc_bench(bench_reporting)
 streamkc_bench(bench_ablation)
 streamkc_bench(bench_set_cover)
 streamkc_bench(bench_runtime)
+streamkc_bench(bench_serving)
 
 # --metrics-out contract: an unwritable sink must fail fast (the probe
 # runs before the experiment), never silently drop the dump at the end.
@@ -49,6 +50,24 @@ if(Python3_Interpreter_FOUND)
             ${CMAKE_BINARY_DIR}/BENCH_runtime.json)
   set_tests_properties(bench_runtime_compare PROPERTIES
     FIXTURES_REQUIRED bench_runtime_json LABELS "tier1" TIMEOUT 60)
+endif()
+
+# Serving perf smoke mirrors the runtime one: the bench itself hard-fails on
+# any correctness break (staleness differential, sharded/inline divergence);
+# the comparator then hard-gates shape + the deterministic flag and warns on
+# throughput drift.
+add_test(NAME bench_serving_perf_smoke
+  COMMAND bench_serving --bench-out ${CMAKE_BINARY_DIR}/BENCH_serving.json)
+set_tests_properties(bench_serving_perf_smoke PROPERTIES
+  ENVIRONMENT "STREAMKC_BENCH_SCALE=small"
+  FIXTURES_SETUP bench_serving_json LABELS "tier1" TIMEOUT 600)
+if(Python3_Interpreter_FOUND)
+  add_test(NAME bench_serving_compare
+    COMMAND ${Python3_EXECUTABLE} ${CMAKE_SOURCE_DIR}/tools/compare_bench.py
+            ${CMAKE_SOURCE_DIR}/bench/baselines/BENCH_serving.small.json
+            ${CMAKE_BINARY_DIR}/BENCH_serving.json)
+  set_tests_properties(bench_serving_compare PROPERTIES
+    FIXTURES_REQUIRED bench_serving_json LABELS "tier1" TIMEOUT 60)
 endif()
 
 # Throughput micro-benchmarks use google-benchmark.

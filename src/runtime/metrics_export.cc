@@ -6,7 +6,9 @@ namespace streamkc {
 
 std::string ComposeMetricsJson(const RuntimeMetrics* runtime,
                                const SpaceAccountant* space,
-                               MetricsRegistry& registry) {
+                               MetricsRegistry& registry,
+                               const std::string& extra_section_name,
+                               const std::string& extra_section_json) {
   std::string out;
   bool have_keys = false;
   if (runtime != nullptr) {
@@ -23,6 +25,13 @@ std::string ComposeMetricsJson(const RuntimeMetrics* runtime,
   if (space != nullptr) {
     out += have_keys ? ",\n  \"space\": " : "\n  \"space\": ";
     out += space->ToJson();
+    have_keys = true;
+  }
+  if (!extra_section_name.empty()) {
+    out += have_keys ? ",\n  \"" : "\n  \"";
+    out += extra_section_name;
+    out += "\": ";
+    out += extra_section_json;
     have_keys = true;
   }
   out += have_keys ? ",\n  \"registry\": " : "\n  \"registry\": ";

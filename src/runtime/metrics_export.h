@@ -20,10 +20,18 @@
 
 namespace streamkc {
 
-// `runtime` and `space` may each be nullptr (section omitted).
+// `runtime` and `space` may each be nullptr (section omitted). A driver
+// with its own observability surface (e.g. the serving mode) can append one
+// extra top-level section: `extra_section_json` must be a complete JSON
+// value, emitted verbatim under the `extra_section_name` key (both empty =
+// no extra section).
 std::string ComposeMetricsJson(const RuntimeMetrics* runtime,
                                const SpaceAccountant* space,
-                               MetricsRegistry& registry);
+                               MetricsRegistry& registry,
+                               const std::string& extra_section_name =
+                                   std::string(),
+                               const std::string& extra_section_json =
+                                   std::string());
 
 // Publishes `runtime` into `registry` (when non-null), then renders the
 // whole registry in Prometheus text format. Space gauges are expected to be

@@ -1,0 +1,65 @@
+#include "serve/serving_state.h"
+
+#include "util/random.h"
+
+namespace streamkc {
+
+namespace {
+
+ReportMaxCover::Config ReporterConfig(const ServingState::Config& config) {
+  ReportMaxCover::Config rc;
+  rc.params = config.params;
+  rc.seed = config.seed;
+  return rc;
+}
+
+CountSketch::Config SetSketchConfig(const ServingState::Config& config) {
+  CountSketch::Config cc;
+  cc.depth = config.set_sketch_depth;
+  cc.width = config.set_sketch_width;
+  // Decorrelated from the reporter's hashes but still a pure function of the
+  // instance seed, so same-seed replicas stay merge-compatible.
+  cc.seed = SplitMix64(config.seed ^ 0x5e7c0e5aul);
+  return cc;
+}
+
+}  // namespace
+
+ServingState::ServingState(const Config& config)
+    : config_(config),
+      reporter_(ReporterConfig(config)),
+      set_coverage_(SetSketchConfig(config)) {}
+
+void ServingState::Process(const Edge& edge) {
+  reporter_.Process(edge);
+  set_coverage_.Add(edge.set);
+}
+
+void ServingState::ProcessBatch(const PrefoldedEdges& batch) {
+  reporter_.ProcessBatch(batch);
+  set_coverage_.AddFoldedBatch(batch.set_folded, batch.size);
+}
+
+void ServingState::Merge(const ServingState& other) {
+  reporter_.Merge(other.reporter_);
+  set_coverage_.Merge(other.set_coverage_);
+}
+
+uint64_t ServingState::MergeFingerprint() const {
+  uint64_t fp = reporter_.MergeFingerprint();
+  fp = SplitMix64(fp ^ config_.set_sketch_depth);
+  fp = SplitMix64(fp ^ config_.set_sketch_width);
+  return fp;
+}
+
+size_t ServingState::MemoryBytes() const {
+  return reporter_.MemoryBytes() + set_coverage_.MemoryBytes();
+}
+
+void ServingState::ReportSpace(SpaceAccountant* acct) const {
+  acct->Report(ComponentName(), MemoryBytes(), 0);
+  reporter_.ReportSpace(acct);
+  set_coverage_.ReportSpace(acct);
+}
+
+}  // namespace streamkc

@@ -1,0 +1,216 @@
+// ServingRuntime contract — including the subsystem's acceptance
+// criterion: querying a snapshot at epoch E returns exactly what a one-shot
+// inline pass over the first E ingest segments would have returned. Plus:
+// sharded segment ingest converges to the same answers as inline, a
+// trailing partial segment still publishes, and pipeline quarantine
+// propagates into every later snapshot's staleness metadata.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/params.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "obs/metrics.h"
+#include "serve/query_engine.h"
+#include "serve/serving_runtime.h"
+#include "serve/serving_state.h"
+#include "serve/snapshot_store.h"
+#include "setsys/generators.h"
+#include "stream/edge_stream.h"
+
+namespace streamkc {
+namespace {
+
+constexpr uint64_t kM = 256, kN = 512, kK = 8;
+
+ServingState::Config TestConfig() {
+  ServingState::Config config;
+  config.params = Params::Practical(kM, kN, kK, 8.0);
+  config.seed = 21;
+  return config;
+}
+
+std::vector<Edge> TestEdges() {
+  GeneratedInstance inst = PlantedCover(kM, kN, kK, 0.5, 6, 21);
+  auto edges = inst.system.MaterializeEdges();
+  ApplyArrivalOrder(edges, ArrivalOrder::kRandom, 21);
+  return edges;
+}
+
+// Reference answer: a fresh inline per-edge pass over a prefix.
+ServingState PrefixPass(const std::vector<Edge>& edges, uint64_t count) {
+  ServingState state(TestConfig());
+  for (uint64_t i = 0; i < count && i < edges.size(); ++i) {
+    state.Process(edges[i]);
+  }
+  return state;
+}
+
+TEST(ServingRuntime, SnapshotAtEpochEMatchesInlinePrefixPass) {
+  const std::vector<Edge> edges = TestEdges();
+  const uint64_t kCadence = 300;
+  MetricsRegistry registry;
+  SnapshotStore store("rt0", &registry);
+  ServingRuntimeOptions opts;
+  opts.snapshot_every_edges = kCadence;
+  opts.registry = &registry;
+  std::vector<std::shared_ptr<const CoverageSnapshot>> published;
+  opts.on_publish = [&](const std::shared_ptr<const CoverageSnapshot>& s) {
+    published.push_back(s);
+  };
+  ServingRuntime runtime(TestConfig(), opts, &store);
+  VectorEdgeStream stream(edges);
+  IngestSummary sum = runtime.Ingest(stream);
+
+  ASSERT_TRUE(sum.stream_ok);
+  EXPECT_EQ(sum.edges, edges.size());
+  const uint64_t want_segments = (edges.size() + kCadence - 1) / kCadence;
+  EXPECT_EQ(sum.segments, want_segments);
+  ASSERT_EQ(published.size(), want_segments);
+
+  // THE acceptance differential: every published epoch E must equal a
+  // one-shot pass over the first min(E * cadence, total) edges.
+  for (const auto& snap : published) {
+    const uint64_t epoch = snap->meta().epoch;
+    const uint64_t prefix =
+        std::min<uint64_t>(epoch * kCadence, edges.size());
+    EXPECT_EQ(snap->meta().edges_ingested, prefix) << "epoch " << epoch;
+    ServingState reference = PrefixPass(edges, prefix);
+    MaxCoverSolution want = reference.FinalizeSolution();
+    EXPECT_DOUBLE_EQ(snap->solution().estimate, want.estimate)
+        << "epoch " << epoch;
+    EXPECT_EQ(snap->solution().source, want.source) << "epoch " << epoch;
+    EXPECT_EQ(snap->solution().sets, want.sets) << "epoch " << epoch;
+    for (SetId s = 0; s < 16; ++s) {
+      EXPECT_DOUBLE_EQ(snap->SetCoverage(s),
+                       reference.set_coverage().PointQuery(s))
+          << "epoch " << epoch << " set " << s;
+    }
+  }
+}
+
+TEST(ServingRuntime, ShardedSegmentsMatchInlineIngest) {
+  const std::vector<Edge> edges = TestEdges();
+  const uint64_t kCadence = 512;
+  MetricsRegistry inline_registry;
+  SnapshotStore inline_store("rt1a", &inline_registry);
+  ServingRuntimeOptions inline_opts;
+  inline_opts.snapshot_every_edges = kCadence;
+  inline_opts.registry = &inline_registry;
+  ServingRuntime inline_runtime(TestConfig(), inline_opts, &inline_store);
+  VectorEdgeStream inline_stream(edges);
+  IngestSummary inline_sum = inline_runtime.Ingest(inline_stream);
+
+  MetricsRegistry sharded_registry;
+  SnapshotStore sharded_store("rt1b", &sharded_registry);
+  ServingRuntimeOptions sharded_opts;
+  sharded_opts.snapshot_every_edges = kCadence;
+  sharded_opts.threads = 4;
+  sharded_opts.batch_size = 64;
+  sharded_opts.registry = &sharded_registry;
+  ServingRuntime sharded_runtime(TestConfig(), sharded_opts, &sharded_store);
+  VectorEdgeStream sharded_stream(edges);
+  IngestSummary sharded_sum = sharded_runtime.Ingest(sharded_stream);
+
+  EXPECT_EQ(sharded_sum.edges, inline_sum.edges);
+  EXPECT_EQ(sharded_sum.segments, inline_sum.segments);
+  EXPECT_DOUBLE_EQ(sharded_sum.quarantined_fraction, 0.0);
+
+  auto inline_snap = inline_store.Current();
+  auto sharded_snap = sharded_store.Current();
+  ASSERT_NE(inline_snap, nullptr);
+  ASSERT_NE(sharded_snap, nullptr);
+  // Seed-coordinated shard replicas merge to the same estimator state as
+  // the single-threaded pass, so the served answers agree exactly.
+  EXPECT_DOUBLE_EQ(sharded_snap->solution().estimate,
+                   inline_snap->solution().estimate);
+  EXPECT_EQ(sharded_snap->solution().sets, inline_snap->solution().sets);
+  for (SetId s = 0; s < 16; ++s) {
+    EXPECT_DOUBLE_EQ(sharded_snap->SetCoverage(s),
+                     inline_snap->SetCoverage(s));
+  }
+}
+
+TEST(ServingRuntime, TrailingPartialSegmentStillPublishes) {
+  const std::vector<Edge> edges = TestEdges();
+  // A cadence that does NOT divide the stream: the final snapshot must
+  // still cover every edge.
+  const uint64_t kCadence = 1000;
+  ASSERT_NE(edges.size() % kCadence, 0u);
+  MetricsRegistry registry;
+  SnapshotStore store("rt2", &registry);
+  ServingRuntimeOptions opts;
+  opts.snapshot_every_edges = kCadence;
+  opts.registry = &registry;
+  ServingRuntime runtime(TestConfig(), opts, &store);
+  VectorEdgeStream stream(edges);
+  IngestSummary sum = runtime.Ingest(stream);
+  auto last = store.Current();
+  ASSERT_NE(last, nullptr);
+  EXPECT_EQ(last->meta().edges_ingested, edges.size());
+  EXPECT_EQ(last->meta().epoch, (edges.size() + kCadence - 1) / kCadence);
+  EXPECT_EQ(sum.snapshots_published, last->meta().epoch);
+}
+
+TEST(ServingRuntime, QuarantinePropagatesIntoStaleness) {
+  const std::vector<Edge> edges = TestEdges();
+  MetricsRegistry registry;
+  SnapshotStore store("rt3", &registry);
+  FaultPlan plan;
+  std::string err;
+  ASSERT_TRUE(FaultPlan::Parse("seed=7,kill-shard=1@0", &plan, &err)) << err;
+  FaultInjector injector(plan, &registry);
+  ServingRuntimeOptions opts;
+  opts.snapshot_every_edges = 1024;
+  opts.threads = 2;
+  opts.batch_size = 64;
+  opts.registry = &registry;
+  opts.fault_injector = &injector;
+  ServingRuntime runtime(TestConfig(), opts, &store);
+  VectorEdgeStream stream(edges);
+  IngestSummary sum = runtime.Ingest(stream);
+
+  EXPECT_GT(sum.shard_runs_quarantined, 0u);
+  EXPECT_GT(sum.quarantined_fraction, 0.0);
+  auto snap = store.Current();
+  ASSERT_NE(snap, nullptr);
+  // The confidence discount rides the snapshot into every served answer.
+  EXPECT_GT(snap->meta().quarantined_fraction, 0.0);
+  QueryEngine engine(&store, &registry);
+  EstimateAnswer ans = engine.Estimate();
+  ASSERT_TRUE(ans.ok);
+  EXPECT_GT(ans.staleness.quarantined_fraction, 0.0);
+}
+
+TEST(ServingRuntime, IngestMetricsAreConsistent) {
+  const std::vector<Edge> edges = TestEdges();
+  MetricsRegistry registry;
+  SnapshotStore store("rt4", &registry);
+  ServingRuntimeOptions opts;
+  opts.snapshot_every_edges = 500;
+  opts.registry = &registry;
+  ServingRuntime runtime(TestConfig(), opts, &store);
+  VectorEdgeStream stream(edges);
+  IngestSummary sum = runtime.Ingest(stream);
+
+  EXPECT_EQ(registry.GetCounter("serve_ingest_edges_total")->Value(),
+            edges.size());
+  EXPECT_EQ(registry.GetCounter("serve_ingest_segments_total")->Value(),
+            sum.segments);
+  EXPECT_EQ(registry
+                .GetCounter(LabeledName("serve_snapshots_published_total",
+                                        "store", "rt4"))
+                ->Value(),
+            sum.snapshots_published);
+  EXPECT_EQ(store.epoch(), sum.snapshots_published);
+  EXPECT_EQ(registry.GetHistogram("serve_publish_ns")->Count(),
+            sum.snapshots_published);
+}
+
+}  // namespace
+}  // namespace streamkc

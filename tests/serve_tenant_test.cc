@@ -1,0 +1,156 @@
+// TenantRegistry contract: admission enforces the paper's space law (a
+// budget below the α = √m floor is rejected, an admitted budget buys the
+// tightest feasible α) and the global reservation cap; runtime enforcement
+// flips a tenant's over-budget flag from measured footprints, which its
+// QueryEngine turns into explicit rejections.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "obs/metrics.h"
+#include "serve/serving_state.h"
+#include "serve/snapshot.h"
+#include "serve/tenant_registry.h"
+#include "setsys/generators.h"
+
+namespace streamkc {
+namespace {
+
+TenantQuota SmallQuota(size_t budget_bytes = 64u << 20) {
+  TenantQuota q;
+  q.m = 512;
+  q.n = 1024;
+  q.k = 16;
+  q.budget_bytes = budget_bytes;
+  q.seed = 9;
+  return q;
+}
+
+TEST(TenantRegistry, AdmitsAndDerivesAlpha) {
+  MetricsRegistry registry;
+  TenantRegistry tenants(0, &registry);
+  std::string error;
+  Tenant* t = tenants.Create("acme", SmallQuota(), &error);
+  ASSERT_NE(t, nullptr) << error;
+  EXPECT_EQ(t->name(), "acme");
+  EXPECT_GE(t->alpha(), 2.0);
+  EXPECT_LE(t->alpha(), std::sqrt(512.0) + 1e-9);
+  EXPECT_EQ(t->state_config().params.m, 512u);
+  EXPECT_EQ(t->state_config().seed, 9u);
+  EXPECT_EQ(tenants.NumTenants(), 1u);
+  EXPECT_EQ(tenants.reserved_budget_bytes(), 64u << 20);
+  EXPECT_EQ(registry.GetGauge("serve_tenants")->Value(), 1u);
+  EXPECT_EQ(registry
+                .GetGauge(LabeledName("serve_tenant_budget_bytes", "tenant",
+                                      "acme"))
+                ->Value(),
+            64u << 20);
+  EXPECT_EQ(registry.GetCounter("serve_tenants_admitted_total")->Value(), 1u);
+}
+
+TEST(TenantRegistry, BiggerBudgetBuysTighterAlpha) {
+  MetricsRegistry registry;
+  TenantRegistry tenants(0, &registry);
+  std::string error;
+  Tenant* small = tenants.Create("small", SmallQuota(2u << 20), &error);
+  ASSERT_NE(small, nullptr) << error;
+  Tenant* big = tenants.Create("big", SmallQuota(256u << 20), &error);
+  ASSERT_NE(big, nullptr) << error;
+  EXPECT_LE(big->alpha(), small->alpha());
+}
+
+TEST(TenantRegistry, RejectsDuplicateAndMalformed) {
+  MetricsRegistry registry;
+  TenantRegistry tenants(0, &registry);
+  std::string error;
+  ASSERT_NE(tenants.Create("acme", SmallQuota(), &error), nullptr);
+
+  EXPECT_EQ(tenants.Create("acme", SmallQuota(), &error), nullptr);
+  EXPECT_NE(error.find("already exists"), std::string::npos) << error;
+
+  EXPECT_EQ(tenants.Create("", SmallQuota(), &error), nullptr);
+
+  TenantQuota no_k = SmallQuota();
+  no_k.k = 0;
+  EXPECT_EQ(tenants.Create("nok", no_k, &error), nullptr);
+
+  TenantQuota no_budget = SmallQuota();
+  no_budget.budget_bytes = 0;
+  EXPECT_EQ(tenants.Create("nobudget", no_budget, &error), nullptr);
+
+  EXPECT_EQ(registry.GetCounter("serve_tenants_rejected_total")->Value(), 4u);
+  EXPECT_EQ(tenants.NumTenants(), 1u);
+}
+
+TEST(TenantRegistry, RejectsBudgetBelowSpaceLawFloor) {
+  MetricsRegistry registry;
+  TenantRegistry tenants(0, &registry);
+  std::string error;
+  // 1 KiB cannot hold any admissible sketch for m=512 even at α = √m.
+  EXPECT_EQ(tenants.Create("tiny", SmallQuota(1u << 10), &error), nullptr);
+  EXPECT_NE(error.find("space-law floor"), std::string::npos) << error;
+}
+
+TEST(TenantRegistry, GlobalBudgetCapsAdmission) {
+  MetricsRegistry registry;
+  TenantRegistry tenants(100u << 20, &registry);
+  std::string error;
+  ASSERT_NE(tenants.Create("a", SmallQuota(60u << 20), &error), nullptr);
+  EXPECT_EQ(tenants.Create("b", SmallQuota(60u << 20), &error), nullptr);
+  EXPECT_NE(error.find("global budget exhausted"), std::string::npos) << error;
+  // A tenant that fits the remaining reservation is still admitted.
+  ASSERT_NE(tenants.Create("c", SmallQuota(30u << 20), &error), nullptr);
+  EXPECT_EQ(tenants.reserved_budget_bytes(), 90u << 20);
+}
+
+TEST(TenantRegistry, FindReturnsAdmittedTenantsOnly) {
+  MetricsRegistry registry;
+  TenantRegistry tenants(0, &registry);
+  std::string error;
+  Tenant* t = tenants.Create("acme", SmallQuota(), &error);
+  EXPECT_EQ(tenants.Find("acme"), t);
+  EXPECT_EQ(tenants.Find("ghost"), nullptr);
+  EXPECT_FALSE(tenants.RecordSpace("ghost", 1));
+}
+
+TEST(TenantRegistry, RecordSpaceFlipsOverBudgetAndRejectsQueries) {
+  MetricsRegistry registry;
+  TenantRegistry tenants(0, &registry);
+  std::string error;
+  Tenant* t = tenants.Create("acme", SmallQuota(), &error);
+  ASSERT_NE(t, nullptr) << error;
+
+  // Give the tenant a snapshot so budget rejections are distinguishable
+  // from no-snapshot rejections.
+  ServingState state(t->state_config());
+  GeneratedInstance inst = PlantedCover(512, 1024, 16, 0.5, 6, 9);
+  for (const Edge& e : inst.system.MaterializeEdges()) state.Process(e);
+  SnapshotMeta meta;
+  meta.epoch = 1;
+  t->store()->Publish(CoverageSnapshot::Build(state, meta));
+
+  EXPECT_TRUE(t->queries().Estimate().ok);
+
+  // Measured footprint above the budget: flag up, queries rejected.
+  ASSERT_TRUE(tenants.RecordSpace("acme", (64u << 20) + 1));
+  EXPECT_TRUE(t->over_budget());
+  EXPECT_EQ(t->space_bytes(), (64u << 20) + 1);
+  EstimateAnswer rejected = t->queries().Estimate();
+  EXPECT_FALSE(rejected.ok);
+  EXPECT_EQ(rejected.error, "tenant over space budget");
+  EXPECT_EQ(registry
+                .GetGauge(LabeledName("serve_tenant_space_bytes", "tenant",
+                                      "acme"))
+                ->Value(),
+            (64u << 20) + 1);
+
+  // Footprint back under budget: flag clears, service resumes.
+  ASSERT_TRUE(tenants.RecordSpace("acme", 1u << 20));
+  EXPECT_FALSE(t->over_budget());
+  EXPECT_TRUE(t->queries().Estimate().ok);
+}
+
+}  // namespace
+}  // namespace streamkc

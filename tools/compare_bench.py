@@ -12,7 +12,7 @@ Two classes of drift, handled differently:
     (exit 1). Extra metrics in the current run are fine (new instrumentation
     lands before its baseline is refreshed) and only noted.
 
-  * Perf drift — a throughput metric (key ending in `_eps`) below
+  * Perf drift — a throughput metric (key ending in `_eps` or `_qps`) below
     baseline * (1 - tolerance). Wall-clock noise on shared CI runners makes
     this an unreliable hard gate, so by default it WARNS and exits 0;
     pass --hard-perf (e.g. on a quiet dedicated machine) to turn warnings
@@ -29,7 +29,7 @@ import json
 import sys
 
 SCHEMA_VERSION = 1
-PERF_SUFFIX = "_eps"
+PERF_SUFFIXES = ("_eps", "_qps")
 
 
 def load(path):
@@ -108,7 +108,7 @@ def main():
     # --- perf gate (warn-only unless --hard-perf) ---
     if not failures:
         for key, want in sorted(base["metrics"].items()):
-            if not key.endswith(PERF_SUFFIX):
+            if not key.endswith(PERF_SUFFIXES):
                 continue
             have = cur["metrics"][key]
             floor = want * (1.0 - args.tolerance)

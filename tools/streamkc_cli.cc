@@ -33,15 +33,28 @@
 // turns any degradation into a hard failure. Same SPEC = same faults =
 // same answer — failures replay from the printed spec.
 //
+// `serve` is the long-running mode (src/serve): the pass ingests the file
+// in segments of --snapshot-every edges, publishing an immutable coverage
+// snapshot into a double-buffered store at every boundary, while
+// --query-threads reader threads answer EstimateMaxCover / ReportMaxCover /
+// per-set coverage queries against the current snapshot the whole time.
+// Every answer carries staleness metadata (epoch, edges ingested,
+// quarantined fraction, snapshot age). --threads >= 1 runs each segment
+// through the sharded runtime (and is required for --fault-plan, exactly as
+// in estimate/report). --metrics-out gains a "serving" section.
+//
 // Malformed input lines stop the run with a file:line error by default;
 // --lenient skips and counts them instead.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/estimate_max_cover.h"
 #include "core/report_max_cover.h"
@@ -53,6 +66,9 @@
 #include "obs/space_accountant.h"
 #include "runtime/metrics_export.h"
 #include "runtime/sharded_pipeline.h"
+#include "serve/query_engine.h"
+#include "serve/serving_runtime.h"
+#include "serve/snapshot_store.h"
 #include "setsys/generators.h"
 #include "stream/stream_stats.h"
 #include "stream/text_stream.h"
@@ -77,6 +93,12 @@ struct Args {
   bool lenient = false;  // skip+count malformed input lines instead of failing
   std::string fault_plan;     // fault_plan.h spec; empty = no injection
   bool fault_strict = false;  // degradation aborts instead of quarantining
+  // Serve-mode knobs (rejected outside the serve command).
+  uint64_t snapshot_every = 65536;  // edges per snapshot segment
+  uint64_t query_threads = 2;       // concurrent reader threads
+  bool snapshot_every_set = false;
+  bool query_threads_set = false;
+  bool metrics_format_set = false;
 };
 
 [[noreturn]] void Usage(const char* msg) {
@@ -97,7 +119,15 @@ struct Args {
                "  streamkc_cli report  FILE --m M --n N --k K --alpha A"
                " [--seed S] [--threads T ...]\n"
                "  streamkc_cli twopass FILE --m M --n N --k K --alpha A"
-               " [--seed S]\n");
+               " [--seed S]\n"
+               "  streamkc_cli serve   FILE --m M --n N --k K"
+               " (--alpha A | --budget-kb B) [--seed S]\n"
+               "           [--snapshot-every E] [--query-threads Q]"
+               " [--threads T] [--batch-size B]\n"
+               "           [--partition element|set] [--lenient]"
+               " [--metrics-out FILE|-]\n"
+               "           [--metrics-format json|prometheus]"
+               " [--fault-plan SPEC] [--fault-strict]\n");
   std::exit(2);
 }
 
@@ -152,9 +182,16 @@ Args Parse(int argc, char** argv) {
       a.metrics_out = next();
     } else if (flag == "--metrics-format") {
       a.metrics_format = next();
+      a.metrics_format_set = true;
       if (a.metrics_format != "json" && a.metrics_format != "prometheus") {
         Usage("--metrics-format must be json or prometheus");
       }
+    } else if (flag == "--snapshot-every") {
+      a.snapshot_every = ParseU64(next());
+      a.snapshot_every_set = true;
+    } else if (flag == "--query-threads") {
+      a.query_threads = ParseU64(next());
+      a.query_threads_set = true;
     } else if (flag == "--lenient") {
       a.lenient = true;
     } else if (flag == "--fault-plan") {
@@ -168,6 +205,31 @@ Args Parse(int argc, char** argv) {
     }
   }
   return a;
+}
+
+// Cross-flag validation, run once after Parse: a mode must reject knobs it
+// cannot honor with a specific error instead of silently ignoring them.
+void ValidateFlags(const Args& a) {
+  if (a.command == "serve") {
+    if (a.snapshot_every == 0) Usage("--snapshot-every must be >= 1");
+    if (a.query_threads == 0) Usage("--query-threads must be >= 1");
+  } else {
+    if (a.snapshot_every_set) {
+      Usage("--snapshot-every only applies to the serve command");
+    }
+    if (a.query_threads_set) {
+      Usage("--query-threads only applies to the serve command");
+    }
+  }
+  if (a.metrics_format_set && a.metrics_out.empty()) {
+    Usage("--metrics-format needs --metrics-out");
+  }
+  if (a.fault_strict && a.fault_plan.empty()) {
+    Usage("--fault-strict needs --fault-plan");
+  }
+  if (!a.fault_plan.empty() && a.threads == 0) {
+    Usage("--fault-plan needs --threads >= 1");
+  }
 }
 
 TextEdgeStream::Config StreamConfig(const Args& a);
@@ -275,14 +337,19 @@ void WriteDump(const std::string& content, const std::string& path) {
 }
 
 // Renders the selected --metrics-format and writes it to --metrics-out.
-// `runtime` is nullptr for in-line (threads == 0) passes.
+// `runtime` is nullptr for in-line (threads == 0) passes; `serving_json`,
+// when non-empty, becomes the dump's "serving" section (serve mode).
 void DumpMetrics(const Args& a, const RuntimeMetrics* runtime,
-                 const SpaceAccountant* space) {
+                 const SpaceAccountant* space,
+                 const std::string& serving_json = std::string()) {
   if (a.metrics_out.empty()) return;
   MetricsRegistry& reg = MetricsRegistry::Global();
-  std::string content = a.metrics_format == "prometheus"
-                            ? ComposeMetricsPrometheus(runtime, reg)
-                            : ComposeMetricsJson(runtime, space, reg);
+  std::string content =
+      a.metrics_format == "prometheus"
+          ? ComposeMetricsPrometheus(runtime, reg)
+          : ComposeMetricsJson(runtime, space, reg,
+                               serving_json.empty() ? "" : "serving",
+                               serving_json);
   WriteDump(content, a.metrics_out);
 }
 
@@ -459,13 +526,145 @@ int CmdTwoPass(const Args& a) {
   return 0;
 }
 
+// Long-running serving mode: ingest publishes snapshots at the
+// --snapshot-every cadence while --query-threads readers answer queries
+// against the current snapshot the whole time. The reported query counts
+// split served/rejected — readers that start before the first publish see
+// explicit "no snapshot published yet" rejections, not blocking.
+int CmdServe(const Args& a) {
+  if (a.file.empty()) Usage("serve needs a FILE");
+  ServingState::Config sc;
+  sc.params = MakeParams(a);
+  sc.seed = a.seed;
+
+  SnapshotStore store("cli");
+  ServingRuntimeOptions opts;
+  opts.snapshot_every_edges = a.snapshot_every;
+  opts.threads = static_cast<uint32_t>(a.threads);
+  opts.batch_size = a.batch_size;
+  opts.policy = a.partition == "set" ? PartitionPolicy::kBySet
+                                     : PartitionPolicy::kByElement;
+
+  TextEdgeStream stream(a.file, StreamConfig(a));
+  std::unique_ptr<FaultInjector> injector;
+  std::unique_ptr<FaultInjectingStream> faulted;
+  EdgeStream* src = &stream;
+  if (!a.fault_plan.empty()) {
+    FaultPlan plan;
+    std::string err;
+    if (!FaultPlan::Parse(a.fault_plan, &plan, &err)) Usage(err.c_str());
+    injector =
+        std::make_unique<FaultInjector>(plan, &MetricsRegistry::Global());
+    opts.fault_injector = injector.get();
+    opts.degradation.strict = a.fault_strict;
+    std::printf("fault plan         : %s%s\n", plan.ToSpec().c_str(),
+                a.fault_strict ? " (strict)" : "");
+    if (plan.HasStreamFaults()) {
+      faulted = std::make_unique<FaultInjectingStream>(&stream, injector.get());
+      src = faulted.get();
+    }
+  }
+
+  ServingRuntime runtime(sc, opts, &store);
+  QueryEngine engine(&store);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> served{0};
+  std::atomic<uint64_t> rejected{0};
+  std::vector<std::thread> readers;
+  readers.reserve(a.query_threads);
+  for (uint64_t q = 0; q < a.query_threads; ++q) {
+    readers.emplace_back([&, q] {
+      uint64_t ok = 0, rej = 0;
+      uint64_t i = q;  // stagger the set-coverage probes across readers
+      while (!stop.load(std::memory_order_relaxed)) {
+        EstimateAnswer est = engine.Estimate();
+        est.ok ? ++ok : ++rej;
+        SetCoverageAnswer cov =
+            engine.SetCoverage(static_cast<SetId>(i++ % a.m));
+        cov.ok ? ++ok : ++rej;
+        if ((i & 0xF) == 0) {
+          ReportAnswer rep = engine.Report();
+          rep.ok ? ++ok : ++rej;
+        }
+      }
+      served.fetch_add(ok, std::memory_order_relaxed);
+      rejected.fetch_add(rej, std::memory_order_relaxed);
+    });
+  }
+
+  Stopwatch sw;
+  IngestSummary sum = runtime.Ingest(*src);
+  double seconds = sw.ElapsedSeconds();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+  CheckStream(stream);
+
+  std::printf("serving            : %llu snapshots over %llu segments "
+              "(cadence %llu edges%s)\n",
+              (unsigned long long)sum.snapshots_published,
+              (unsigned long long)sum.segments,
+              (unsigned long long)a.snapshot_every,
+              a.threads > 0 ? ", sharded ingest" : "");
+  // The summary query below goes through the same engine, so tally it too:
+  // the metrics dump's serving section must equal the registry counters.
+  ReportAnswer final_ans = engine.Report();
+  uint64_t total_served =
+      served.load(std::memory_order_relaxed) + (final_ans.ok ? 1 : 0);
+  uint64_t total_rejected =
+      rejected.load(std::memory_order_relaxed) + (final_ans.ok ? 0 : 1);
+  std::printf("queries            : %llu served, %llu rejected, "
+              "%.0f q/s across %llu readers\n",
+              (unsigned long long)total_served,
+              (unsigned long long)total_rejected,
+              seconds > 0 ? static_cast<double>(total_served) / seconds : 0.0,
+              (unsigned long long)a.query_threads);
+  std::printf("ingest             : %.2fM edges/s with queries attached\n",
+              seconds > 0 ? static_cast<double>(sum.edges) / seconds / 1e6
+                          : 0.0);
+  if (final_ans.ok) {
+    std::printf("coverage estimate  : %.0f (%s) @ epoch %llu, %llu edges\n",
+                final_ans.estimate, final_ans.source.c_str(),
+                (unsigned long long)final_ans.staleness.epoch,
+                (unsigned long long)final_ans.staleness.edges_ingested);
+    std::printf("selected sets (%zu): ", final_ans.sets.size());
+    for (SetId s : final_ans.sets) std::printf("%llu ", (unsigned long long)s);
+    std::printf("\n");
+  } else {
+    std::printf("coverage estimate  : unavailable (%s)\n",
+                final_ans.error.c_str());
+  }
+  if (sum.quarantined_fraction > 0) {
+    std::printf("quarantine         : %u shard runs (%.1f%% of substreams "
+                "unseen)\n",
+                sum.shard_runs_quarantined, sum.quarantined_fraction * 100.0);
+  }
+
+  char serving_json[512];
+  std::snprintf(
+      serving_json, sizeof(serving_json),
+      "{\"store\": \"%s\", \"epoch\": %llu, \"snapshots_published\": %llu, "
+      "\"segments\": %llu, \"edges_ingested\": %llu, "
+      "\"quarantined_fraction\": %.6f, \"queries_served\": %llu, "
+      "\"queries_rejected\": %llu, \"query_threads\": %llu}",
+      store.name().c_str(), (unsigned long long)store.epoch(),
+      (unsigned long long)sum.snapshots_published,
+      (unsigned long long)sum.segments, (unsigned long long)sum.edges,
+      sum.quarantined_fraction, (unsigned long long)total_served,
+      (unsigned long long)total_rejected, (unsigned long long)a.query_threads);
+  DumpMetrics(a, nullptr, nullptr, serving_json);
+  return final_ans.ok ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   Args a = Parse(argc, argv);
+  ValidateFlags(a);
   if (a.command == "generate") return CmdGenerate(a);
   if (a.command == "stats") return CmdStats(a);
   if (a.command == "estimate") return CmdEstimate(a);
   if (a.command == "report") return CmdReport(a);
   if (a.command == "twopass") return CmdTwoPass(a);
+  if (a.command == "serve") return CmdServe(a);
   Usage(("unknown command " + a.command).c_str());
 }
 

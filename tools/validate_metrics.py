@@ -112,6 +112,56 @@ def check_invariants(dump, errors):
             if comp["peak_bytes"] < comp["current_bytes"]:
                 errors.append(f"$.space.components.{name}: peak < current")
 
+    serving = dump.get("serving")
+    if serving is not None:
+        reg = dump.get("registry", {})
+        # A serving dump comes from one fresh store, so its final epoch is
+        # exactly the number of snapshots it published.
+        if serving["epoch"] != serving["snapshots_published"]:
+            errors.append(
+                f"$.serving: epoch {serving['epoch']} != "
+                f"snapshots_published {serving['snapshots_published']}")
+        store = serving["store"]
+        for gauge, want in (
+                (f'serve_snapshots_published_total{{store="{store}"}}',
+                 serving["snapshots_published"]),
+                (f'serve_snapshot_epoch{{store="{store}"}}',
+                 serving["epoch"]),
+                ("serve_ingest_edges_total", serving["edges_ingested"]),
+                ("serve_ingest_segments_total", serving["segments"])):
+            have = reg.get(gauge, want)
+            if have != want:
+                errors.append(
+                    f"$.registry.{gauge}: {have} != serving section {want}")
+        publish = reg.get("serve_publish_ns")
+        if isinstance(publish, dict) and \
+                publish["count"] != serving["snapshots_published"]:
+            errors.append(
+                f"$.registry.serve_publish_ns: count {publish['count']} != "
+                f"snapshots_published {serving['snapshots_published']}")
+        # Every served query is observed in exactly one per-type latency
+        # histogram; every rejection is counted under exactly one reason.
+        served = rejected = 0
+        for name, metric in reg.items():
+            if name.startswith("serve_queries_total{"):
+                served += metric
+                latency = reg.get(name.replace(
+                    "serve_queries_total", "serve_query_latency_ns"))
+                if isinstance(latency, dict) and latency["count"] != metric:
+                    errors.append(
+                        f"$.registry.{name}: served {metric} != latency "
+                        f"observations {latency['count']}")
+            elif name.startswith("serve_queries_rejected_total{"):
+                rejected += metric
+        if served != serving["queries_served"]:
+            errors.append(
+                f"$: per-type served counters sum {served} != "
+                f"serving.queries_served {serving['queries_served']}")
+        if rejected != serving["queries_rejected"]:
+            errors.append(
+                f"$: per-reason rejected counters sum {rejected} != "
+                f"serving.queries_rejected {serving['queries_rejected']}")
+
     for name, metric in dump.get("registry", {}).items():
         if isinstance(metric, dict):  # histogram
             bucket_sum = sum(count for _, count in metric["buckets"])
