@@ -5,6 +5,9 @@
 // counts {1, 2, 4, 8}. Reports edges/s, speedup vs the in-line single-
 // threaded pass, producer stall counts and sketch space (per-shard sum vs
 // merged), and verifies the deterministic-merge contract on every row.
+// A second table scales the multi-producer front-end (P∈{1,2,4,8} × 8
+// shards through the ring lattice) and gates the 8-producer speedup
+// against a hardware-aware floor (producer_scaling_ok).
 //
 // NOTE on reading the speedup column: shard workers are real OS threads, so
 // the curve only rises on hardware with that many physical cores. On a
@@ -149,6 +152,70 @@ int Main(int argc, char** argv) {
       "\nSpeedup is bounded by physical cores; per-shard space is constant "
       "(seed-coordinated replicas), so total space grows linearly with "
       "shards until the fold collapses it back to one sketch.\n");
+
+  // Producer scaling: the multi-producer front-end at a fixed 8 shards.
+  // The single-producer rows above are parse/route-bound on one thread;
+  // this table splits the stream into P even spans (EdgeSpanStream, the
+  // in-memory analogue of SegmentedTextStream) and feeds them through the
+  // P×8 ring lattice. Determinism must hold on every row — the merged
+  // estimates are multiset functions, independent of P.
+  std::printf("\n");
+  Table ptable({"producers", "edges/s", "speedup", "stalls", "recycled",
+                "deterministic"});
+  double producers_1_eps = 0;
+  double producers_8_eps = 0;
+  for (uint32_t producers : {1u, 2u, 4u, 8u}) {
+    ShardedPipelineOptions opts;
+    opts.num_shards = 8;
+    opts.num_producers = producers;
+    opts.batch_size = kBatchSize;
+    ShardedPipeline<CoverageSketchState> pipe(
+        opts, [&](uint32_t) { return CoverageSketchState(cfg); });
+    CoverageSketchState merged = pipe.RunSegmented(
+        [&](uint32_t p) { return MakeEdgeSpanSegment(edges, p, producers); });
+    const RuntimeMetrics& m = pipe.metrics();
+    double eps = m.EdgesPerSecond();
+    bool deterministic = merged.covered_l0.Estimate() == ref_l0 &&
+                         merged.covered_hll.Estimate() == ref_hll;
+    ptable.AddRow(
+        {Fmt("%ux8", producers), Fmt("%.2fM", eps / 1e6),
+         Fmt("%.2fx", eps / base_eps),
+         Fmt("%llu", (unsigned long long)m.queue_full_stalls.load()),
+         Fmt("%llu", (unsigned long long)m.TotalBatchesRecycled()),
+         deterministic ? "yes" : "NO"});
+    report.SetMetric(Fmt("producers_%u_eps", producers), eps);
+    if (producers == 1) producers_1_eps = eps;
+    if (producers == 8) producers_8_eps = eps;
+    if (!deterministic) {
+      std::printf("DETERMINISM VIOLATION at %u producers\n", producers);
+      return 1;
+    }
+  }
+  ptable.Print();
+
+  // Hardware-aware scaling gate. The ROADMAP target (≥6×, acceptance ≥4×)
+  // is only observable with 8+ real cores; on smaller hosts every
+  // configuration time-slices the same cores, so the floor degrades to a
+  // sanity check that the lattice at least doesn't collapse throughput.
+  // compare_bench.py hard-fails any committed *_ok metric that is not 1.
+  const uint32_t hc = std::thread::hardware_concurrency();
+  const double scaling_floor = hc >= 8 ? 4.0 : hc >= 4 ? 2.0 : hc >= 2 ? 1.0
+                                                                       : 0.4;
+  const double producer_scaling =
+      producers_1_eps > 0 ? producers_8_eps / producers_1_eps : 0.0;
+  const bool scaling_ok = producer_scaling >= scaling_floor;
+  std::printf(
+      "\n8-producer scaling vs 1-producer (8 shards): %.2fx "
+      "(floor %.1fx on %u hardware threads) -> %s\n",
+      producer_scaling, scaling_floor, hc, scaling_ok ? "ok" : "REGRESSION");
+  report.SetMetric("producer_scaling", producer_scaling);
+  report.SetMetric("producer_scaling_floor", scaling_floor);
+  report.SetMetric("producer_scaling_ok", scaling_ok ? 1 : 0);
+  if (!scaling_ok) {
+    std::printf("PRODUCER SCALING BELOW FLOOR\n");
+    return 1;
+  }
+
   bench::DumpMetricsJson(metrics_out);
   report.Write(bench_out);
   return 0;

@@ -25,7 +25,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fault/fault_injector.h"
@@ -80,6 +82,26 @@ class FaultInjectingStream : public EdgeStream {
   uint64_t garbage_injected_ = 0;
   uint64_t windows_reordered_ = 0;
 };
+
+// Owning composition of FaultInjectingStream for segment sources: a
+// SegmentOpener hands out freshly-opened streams by unique_ptr, so the
+// fault wrapper must carry its inner stream with it (FaultInjectingStream
+// itself borrows). Each wrapped segment gets its own token/call/window
+// sequence, keeping per-segment fault decisions deterministic under any
+// producer count.
+inline std::unique_ptr<EdgeStream> WrapWithFaults(
+    std::unique_ptr<EdgeStream> inner, const FaultInjector* injector) {
+  class Owning : public FaultInjectingStream {
+   public:
+    Owning(std::unique_ptr<EdgeStream> owned, const FaultInjector* injector)
+        : FaultInjectingStream(owned.get(), injector),
+          owned_(std::move(owned)) {}
+
+   private:
+    std::unique_ptr<EdgeStream> owned_;
+  };
+  return std::make_unique<Owning>(std::move(inner), injector);
+}
 
 }  // namespace streamkc
 

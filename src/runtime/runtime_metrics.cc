@@ -7,9 +7,11 @@
 
 namespace streamkc {
 
-void RuntimeMetrics::Reset(uint32_t num_shards) {
+void RuntimeMetrics::Reset(uint32_t num_shards, uint32_t num_producers) {
   num_shards_ = num_shards;
+  num_producers_ = num_producers;
   shards_ = std::make_unique<PerShard[]>(num_shards);
+  producers_ = std::make_unique<PerProducer[]>(num_producers);
   edges_ingested.store(0, std::memory_order_relaxed);
   batches_enqueued.store(0, std::memory_order_relaxed);
   queue_full_stalls.store(0, std::memory_order_relaxed);
@@ -31,6 +33,16 @@ RuntimeMetrics::PerShard& RuntimeMetrics::shard(uint32_t s) {
 const RuntimeMetrics::PerShard& RuntimeMetrics::shard(uint32_t s) const {
   CHECK_LT(s, num_shards_);
   return shards_[s];
+}
+
+RuntimeMetrics::PerProducer& RuntimeMetrics::producer(uint32_t p) {
+  CHECK_LT(p, num_producers_);
+  return producers_[p];
+}
+
+const RuntimeMetrics::PerProducer& RuntimeMetrics::producer(uint32_t p) const {
+  CHECK_LT(p, num_producers_);
+  return producers_[p];
 }
 
 uint64_t RuntimeMetrics::TotalShardEdges() const {
@@ -73,6 +85,14 @@ uint64_t RuntimeMetrics::TotalEdgesDiscarded() const {
   return total;
 }
 
+uint64_t RuntimeMetrics::TotalBatchesRecycled() const {
+  uint64_t total = 0;
+  for (uint32_t p = 0; p < num_producers_; ++p) {
+    total += producers_[p].batches_recycled.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
 double RuntimeMetrics::QuarantinedFraction() const {
   if (num_shards_ == 0) return 0;
   return static_cast<double>(
@@ -111,6 +131,8 @@ std::string RuntimeMetrics::ToJson() const {
       "  \"total_shard_state_bytes\": %" PRIu64 ",\n"
       "  \"wall_ns\": %" PRIu64 ",\n"
       "  \"edges_per_second\": %.0f,\n"
+      "  \"num_producers\": %u,\n"
+      "  \"batches_recycled\": %" PRIu64 ",\n"
       "  \"shards\": [",
       edges_ingested.load(std::memory_order_relaxed),
       batches_enqueued.load(std::memory_order_relaxed),
@@ -124,7 +146,8 @@ std::string RuntimeMetrics::ToJson() const {
       merges.load(std::memory_order_relaxed),
       merge_ns.load(std::memory_order_relaxed),
       merged_state_bytes.load(std::memory_order_relaxed), TotalStateBytes(),
-      wall_ns.load(std::memory_order_relaxed), EdgesPerSecond());
+      wall_ns.load(std::memory_order_relaxed), EdgesPerSecond(),
+      num_producers_, TotalBatchesRecycled());
   out += buf;
   for (uint32_t s = 0; s < num_shards_; ++s) {
     const PerShard& ps = shards_[s];
@@ -148,7 +171,22 @@ std::string RuntimeMetrics::ToJson() const {
                   ps.quarantined.load(std::memory_order_relaxed));
     out += buf;
   }
-  out += num_shards_ > 0 ? "\n  ]\n}" : "]\n}";
+  out += num_shards_ > 0 ? "\n  ]" : "]";
+  out += ",\n  \"producers\": [";
+  for (uint32_t p = 0; p < num_producers_; ++p) {
+    const PerProducer& pp = producers_[p];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n    {\"producer\": %u, \"edges\": %" PRIu64
+                  ", \"batches\": %" PRIu64 ", \"stream_retries\": %" PRIu64
+                  ", \"batches_recycled\": %" PRIu64 "}",
+                  p == 0 ? "" : ",", p,
+                  pp.edges.load(std::memory_order_relaxed),
+                  pp.batches.load(std::memory_order_relaxed),
+                  pp.stream_retries.load(std::memory_order_relaxed),
+                  pp.batches_recycled.load(std::memory_order_relaxed));
+    out += buf;
+  }
+  out += num_producers_ > 0 ? "\n  ]\n}" : "]\n}";
   return out;
 }
 
@@ -180,6 +218,8 @@ void RuntimeMetrics::PublishTo(MetricsRegistry* registry) const {
   set("runtime_total_shard_state_bytes", TotalStateBytes());
   set("runtime_wall_ns", wall_ns.load(std::memory_order_relaxed));
   set("runtime_num_shards", num_shards_);
+  set("runtime_num_producers", num_producers_);
+  set("runtime_batches_recycled", TotalBatchesRecycled());
   for (uint32_t s = 0; s < num_shards_; ++s) {
     const PerShard& ps = shards_[s];
     std::string shard = std::to_string(s);
@@ -204,6 +244,21 @@ void RuntimeMetrics::PublishTo(MetricsRegistry* registry) const {
               ps.edges_discarded.load(std::memory_order_relaxed));
     set_shard("runtime_shard_quarantined",
               ps.quarantined.load(std::memory_order_relaxed));
+  }
+  for (uint32_t p = 0; p < num_producers_; ++p) {
+    const PerProducer& pp = producers_[p];
+    std::string producer = std::to_string(p);
+    auto set_producer = [&](const char* name, uint64_t v) {
+      registry->GetGauge(LabeledName(name, "producer", producer))->Set(v);
+    };
+    set_producer("runtime_producer_edges",
+                 pp.edges.load(std::memory_order_relaxed));
+    set_producer("runtime_producer_batches",
+                 pp.batches.load(std::memory_order_relaxed));
+    set_producer("runtime_producer_stream_retries",
+                 pp.stream_retries.load(std::memory_order_relaxed));
+    set_producer("runtime_producer_batches_recycled",
+                 pp.batches_recycled.load(std::memory_order_relaxed));
   }
 }
 

@@ -1,11 +1,12 @@
 // Ingestion-engine observability: atomic counters + JSON snapshot.
 //
-// Counters are written from three contexts — the producer thread
-// (edges_ingested, batches_enqueued, queue_full_stalls), each worker thread
-// (its own PerShard row), and the coordinator after the join
-// (state_bytes, wall_ns, merges). All cross-thread counters are relaxed
-// atomics: they are statistics, not synchronization; the pipeline's
-// happens-before edges come from the rings and thread joins.
+// Counters are written from three contexts — the producer threads
+// (edges_ingested, batches_enqueued, queue_full_stalls, plus each
+// producer's own PerProducer row), each worker thread (its own PerShard
+// row), and the coordinator after the join (state_bytes, wall_ns, merges).
+// All cross-thread counters are relaxed atomics: they are statistics, not
+// synchronization; the pipeline's happens-before edges come from the rings
+// and thread joins.
 //
 // ToJson() renders a point-in-time snapshot; it is meant to be called after
 // Run() returns (calling it mid-run is safe but reads moving counters).
@@ -43,15 +44,31 @@ class RuntimeMetrics {
     std::atomic<uint64_t> quarantined{0};
   };
 
+  // One row per producer thread of the segmented front-end. Each row is
+  // written only by its own producer before the join; a single-producer run
+  // has exactly one row mirroring the producer-side aggregates.
+  struct PerProducer {
+    std::atomic<uint64_t> edges{0};            // edges read from its segment
+    std::atomic<uint64_t> batches{0};          // batches flushed into rings
+    std::atomic<uint64_t> stream_retries{0};   // transient retries it took
+    std::atomic<uint64_t> batches_recycled{0};  // flushes served from the
+                                                // recycle lane (no alloc)
+  };
+
   RuntimeMetrics() = default;
 
-  // (Re)sizes the per-shard table and zeroes every counter. Called by the
-  // pipeline at the start of Run(); not thread-safe against concurrent use.
-  void Reset(uint32_t num_shards);
+  // (Re)sizes the per-shard and per-producer tables and zeroes every
+  // counter. Called by the pipeline at the start of Run(); not thread-safe
+  // against concurrent use.
+  void Reset(uint32_t num_shards, uint32_t num_producers = 1);
 
   PerShard& shard(uint32_t s);
   const PerShard& shard(uint32_t s) const;
   uint32_t num_shards() const { return num_shards_; }
+
+  PerProducer& producer(uint32_t p);
+  const PerProducer& producer(uint32_t p) const;
+  uint32_t num_producers() const { return num_producers_; }
 
   // Whole-run aggregates derived from the per-shard rows.
   uint64_t TotalShardEdges() const;
@@ -59,6 +76,7 @@ class RuntimeMetrics {
   uint64_t TotalRingStallRounds() const;
   uint64_t TotalRingStalledNs() const;
   uint64_t TotalEdgesDiscarded() const;
+  uint64_t TotalBatchesRecycled() const;
   double EdgesPerSecond() const;  // edges_ingested / wall time; 0 if unknown
   // Quarantined shards / num_shards — the confidence discount a degraded
   // run reports alongside its estimate. 0 when the run was clean.
@@ -89,7 +107,9 @@ class RuntimeMetrics {
 
  private:
   uint32_t num_shards_ = 0;
+  uint32_t num_producers_ = 0;
   std::unique_ptr<PerShard[]> shards_;
+  std::unique_ptr<PerProducer[]> producers_;
 };
 
 }  // namespace streamkc

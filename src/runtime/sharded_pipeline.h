@@ -1,15 +1,22 @@
 // ShardedPipeline: multi-threaded ingestion over any EdgeStream + any
 // mergeable estimator state.
 //
-// Topology (one run):
+// Topology (one run, P producers × N shards):
 //
-//   producer (calling thread)
-//     │  EdgeStream::NextBatch → ShardRouter → per-shard EdgeBatch
-//     ├──SpscRing[0]──▶ worker 0: State replica 0   ┐
-//     ├──SpscRing[1]──▶ worker 1: State replica 1   ├─ join ─▶ merge
-//     └──SpscRing[N]──▶ worker N: State replica N   ┘   coordinator
-//                                                        (fold in shard
-//                                                         order 0←1←2…)
+//   producer 0 ──┐                 ┌─ lane(0,s) ─┐
+//   producer 1 ──┼─ parse + route ─┼─ lane(1,s) ─┼─▶ worker s: replica s ─┐
+//   producer P-1─┘  + prefold      └─ lane(P-1,s)┘      (round-robins its │
+//                                                        P input lanes)   │
+//                                                     join ─▶ merge ◀─────┘
+//                                                     coordinator (fold in
+//                                                     shard order 0←1←2…)
+//
+// Each (producer, shard) pair owns one SpscRing lane, so the whole P×N
+// lattice preserves the single-producer/single-consumer invariant without
+// any new locking. Run() is the single-producer entry (P = 1, the calling
+// stream); RunSegmented() spawns options.num_producers producer threads,
+// each draining its own substream from a SegmentOpener — the sender/receiver
+// decoupling that breaks the one-thread parse/route/flush bottleneck.
 //
 // `State` is any type with
 //     void Process(const Edge&);
@@ -20,25 +27,37 @@
 // what makes the shard states Merge()-compatible (seed-coordinated
 // replicas, the same contract as the distributed_coverage example).
 //
-// Determinism: the router is a pure function of the edge, so shard
-// substreams are fixed subsequences of the input independent of thread
-// timing; each replica's final state is a pure function of its substream;
-// and the coordinator folds in fixed shard order. The merged state is
-// therefore a deterministic function of (stream, factory, options) — with
-// NO dependence on scheduling — and for union/linear sketch states it is
-// bit-identical to the single-threaded state on the same seeds
-// (tests/runtime_pipeline_test.cc asserts this at 8 shards).
+// Determinism: the router is a pure function of the edge, so the MULTISET
+// each shard observes is fixed by (stream, segmentation, options),
+// independent of thread timing. With one producer each shard's substream is
+// additionally a fixed subsequence of the input; with P producers the
+// per-shard interleaving of the P lanes is scheduling-dependent, so the
+// P-producer guarantee is the shard_router.h contract: every merged state
+// is a function of the observed multiset, hence bit-identical (for
+// union/linear sketch states) to the single-threaded pass on the same seeds
+// (tests/parallel_pipeline_test.cc asserts this across the P×N grid).
 //
-// Backpressure: rings are bounded; a slow shard blocks the producer
+// Backpressure: rings are bounded; a slow shard blocks its producers
 // (metrics.queue_full_stalls counts the events) instead of buffering the
-// stream, preserving the streaming space discipline.
+// stream, preserving the streaming space discipline. Consumers never block
+// on one specific lane — a worker parked on an empty lane while two
+// producers stall on each other's full lanes would deadlock the lattice —
+// they poll all P lanes (SpscRing::TryPop) and only sleep when every lane
+// is momentarily empty.
+//
+// Allocation discipline: every data lane has a recycle lane running the
+// other way. Workers hand drained batches back (Clear() keeps the vector
+// capacities) and producers prefer a recycled buffer over a fresh
+// EdgeBatch, so the steady-state flush path performs zero allocations
+// (metrics.batches_recycled tracks the recycle hit rate).
 //
 // Degradation policy: a production pipeline must degrade predictably, not
 // assume a clean world. Three failure classes are handled (and injectable
 // via src/fault for testing):
-//   * transient stream errors — retried with bounded exponential backoff
-//     (DegradationPolicy::max_stream_retries, retries_total metric);
-//   * worker death mid-stream — the dead shard's ring keeps draining (so
+//   * transient stream errors — retried per producer with bounded,
+//     SATURATING exponential backoff (DegradationPolicy::max_stream_retries
+//     / max_backoff_ns, retries_total metric);
+//   * worker death mid-stream — the dead shard's lanes keep draining (so
 //     backpressure cannot deadlock) but its edges are discarded and the
 //     shard is QUARANTINED out of the merge;
 //   * merge corruption — before folding, shard fingerprints
@@ -46,11 +65,14 @@
 //     minority view is quarantined rather than folded into garbage.
 // Quarantine counts are reported in RuntimeMetrics (shards_quarantined,
 // QuarantinedFraction()) so drivers can attach a confidence discount to the
-// final estimate. strict mode turns every degradation into a hard failure.
+// final estimate. strict mode turns every degradation into a hard failure —
+// and every strict exit happens AFTER the rings are closed and all worker
+// threads joined, so process teardown never races live workers.
 
 #ifndef STREAMKC_RUNTIME_SHARDED_PIPELINE_H_
 #define STREAMKC_RUNTIME_SHARDED_PIPELINE_H_
 
+#include <algorithm>
 #include <chrono>
 #include <concepts>
 #include <cstdint>
@@ -58,6 +80,7 @@
 #include <cstdlib>
 #include <functional>
 #include <memory>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -76,24 +99,33 @@ namespace streamkc {
 
 // How the pipeline responds to faults (injected or real).
 struct DegradationPolicy {
-  // Consecutive transient-read retries before the producer gives up and
-  // truncates the pass (the stream's error then surfaces through ok()).
+  // Consecutive transient-read retries before a producer gives up and
+  // truncates its pass (the stream's error then surfaces through ok()).
   // The budget resets after every successful read.
   uint32_t max_stream_retries = 5;
   // First retry backoff; doubles per consecutive retry.
   uint64_t initial_backoff_ns = 100'000;  // 100 µs
+  // Backoff ceiling: the doubling SATURATES here instead of growing
+  // unboundedly (an uncapped uint64 doubling wraps after ~47 consecutive
+  // failures and turns the next sleep into a near-eternal one).
+  uint64_t max_backoff_ns = 100'000'000;  // 100 ms
   // Hard-fail mode: abort the process on any degradation (exhausted
   // retries, worker death, merge corruption) instead of quarantining —
-  // for runs where a partial answer is worse than no answer.
+  // for runs where a partial answer is worse than no answer. Strict exits
+  // always run after rings are closed and workers joined.
   bool strict = false;
 };
 
 struct ShardedPipelineOptions {
   uint32_t num_shards = 1;
+  // Producer threads for RunSegmented(); Run() always uses exactly one.
+  // Each producer parses, routes and flushes its own substream through its
+  // own row of the P×N ring lattice.
+  uint32_t num_producers = 1;
   // Edges per hand-off batch (amortizes ring synchronization).
   size_t batch_size = 4096;
-  // In-flight batches per shard ring; small on purpose — bounded queues are
-  // the backpressure mechanism.
+  // In-flight batches per (producer, shard) lane; small on purpose —
+  // bounded queues are the backpressure mechanism.
   size_t queue_capacity = 16;
   PartitionPolicy policy = PartitionPolicy::kByElement;
   // Extra salt for the routing hash (vary to re-shuffle shard assignment).
@@ -107,7 +139,7 @@ struct ShardedPipelineOptions {
   // O(tree size) — 16 amortizes it to noise at the default batch_size.
   uint32_t space_sample_every_batches = 16;
   // Fault-injection hooks (nullptr = no injected faults). The injector must
-  // outlive Run(); it is shared by the producer, every worker, and the
+  // outlive Run(); it is shared by every producer, every worker, and the
   // coordinator, which is safe because its decisions are stateless.
   const FaultInjector* fault_injector = nullptr;
   DegradationPolicy degradation;
@@ -117,44 +149,220 @@ template <typename State>
 class ShardedPipeline {
  public:
   using Factory = std::function<State(uint32_t shard)>;
+  // Opens producer p's substream (p < num_producers); called on the
+  // producer's own thread. The union of the substreams' multisets must be
+  // the full stream's multiset (SegmentedTextStream and
+  // MakeEdgeSpanSegment guarantee this by construction).
+  using SegmentOpener =
+      std::function<std::unique_ptr<EdgeStream>(uint32_t producer)>;
+
+  // End-of-run health of one producer's stream, readable after Run()/
+  // RunSegmented() returns. `ok` mirrors the stream's ok(); a non-ok
+  // transient status means that producer exhausted its retry budget and
+  // truncated its pass.
+  struct ProducerStatus {
+    bool ok = true;
+    bool transient = false;
+    uint32_t retries_used = 0;
+    std::string message;
+  };
 
   // `factory(s)` must build shard s's replica with the SAME seeds for every
   // shard, so that the replicas are Merge()-compatible.
   ShardedPipeline(ShardedPipelineOptions options, Factory factory)
       : options_(options), factory_(std::move(factory)) {
     CHECK_GE(options_.num_shards, 1u);
+    CHECK_GE(options_.num_producers, 1u);
     CHECK_GE(options_.batch_size, 1u);
     CHECK_GE(options_.queue_capacity, 1u);
   }
 
-  // Drains `stream` and returns the merged state. The calling thread acts
-  // as the producer; num_shards worker threads are spawned and joined
-  // before returning.
+  // Drains `stream` with a single producer thread and returns the merged
+  // state; num_shards worker threads are spawned and joined before
+  // returning. Equivalent to RunSegmented with one segment.
   State Run(EdgeStream& stream) {
+    return RunLattice(1, [&stream](uint32_t) -> EdgeStream* {
+      return &stream;
+    });
+  }
+
+  // Multi-producer entry: num_producers producer threads each drain their
+  // own `open(p)` substream through the P×N lattice. Per-producer stream
+  // health is available from producer_status() afterwards.
+  State RunSegmented(const SegmentOpener& open) {
+    const uint32_t P = options_.num_producers;
+    std::vector<std::unique_ptr<EdgeStream>> owned(P);
+    return RunLattice(P, [&](uint32_t p) -> EdgeStream* {
+      owned[p] = open(p);
+      CHECK(owned[p] != nullptr);
+      return owned[p].get();
+    });
+  }
+
+  const RuntimeMetrics& metrics() const { return metrics_; }
+
+  // One entry per producer of the last run.
+  const std::vector<ProducerStatus>& producer_status() const {
+    return producer_status_;
+  }
+
+  // Space breakdown of the last Run(): peak = sum of simultaneous per-shard
+  // peaks, current = merged state. Empty unless State is SpaceMetered.
+  const SpaceAccountant& space() const { return accountant_; }
+
+ private:
+  using Ring = SpscRing<EdgeBatch>;
+
+  // The P×N lattice plus the reverse recycle lanes. ring(p, s) is pushed
+  // only by producer p and popped only by worker s; recycle(p, s) runs the
+  // other way (pushed by worker s, popped by producer p) — both stay SPSC.
+  struct Lattice {
+    uint32_t num_producers = 0;
+    uint32_t num_shards = 0;
+    std::vector<std::unique_ptr<Ring>> data;
+    std::vector<std::unique_ptr<Ring>> recycle;
+
+    Lattice(uint32_t P, uint32_t N, size_t capacity)
+        : num_producers(P), num_shards(N) {
+      data.reserve(static_cast<size_t>(P) * N);
+      recycle.reserve(static_cast<size_t>(P) * N);
+      for (size_t i = 0; i < static_cast<size_t>(P) * N; ++i) {
+        data.push_back(std::make_unique<Ring>(capacity));
+        // The recycle lane must hold a lane's whole circulating set — data
+        // ring (≤ capacity) + producer accumulator + worker hand — or
+        // returns get dropped under bursts and the producer keeps
+        // allocating fresh batches to replace them.
+        recycle.push_back(std::make_unique<Ring>(capacity + 2));
+      }
+    }
+    Ring& ring(uint32_t p, uint32_t s) {
+      return *data[static_cast<size_t>(p) * num_shards + s];
+    }
+    Ring& recycle_ring(uint32_t p, uint32_t s) {
+      return *recycle[static_cast<size_t>(p) * num_shards + s];
+    }
+  };
+
+  // Producer p's parse/route/flush loop over its own substream. Writes only
+  // its own PerProducer row, its own lattice row, and the shared relaxed
+  // aggregates; returns its end-of-stream status.
+  ProducerStatus ProducerLoop(uint32_t p, EdgeStream& stream, Lattice& lat,
+                              const ShardRouter& router,
+                              Histogram* retry_backoff_hist) {
     const uint32_t n = options_.num_shards;
-    metrics_.Reset(n);
+    const FaultInjector* injector = options_.fault_injector;
+    RuntimeMetrics::PerProducer& pm = metrics_.producer(p);
+    std::vector<EdgeBatch> accum(n);
+    for (EdgeBatch& b : accum) b.edges.reserve(options_.batch_size);
+    // Per-(producer, shard) flush sequence numbers: deterministic (routing
+    // is a pure function of the edge and segmentation is fixed), so
+    // injected push delays are replayable.
+    std::vector<uint64_t> flush_seq(n, 0);
+    auto flush = [&](uint32_t s) {
+      metrics_.batches_enqueued.fetch_add(1, std::memory_order_relaxed);
+      pm.batches.fetch_add(1, std::memory_order_relaxed);
+      if (injector != nullptr) {
+        uint64_t delay_ns = injector->PushDelayNs(s, flush_seq[s]);
+        if (delay_ns > 0) {
+          std::this_thread::sleep_for(std::chrono::nanoseconds(delay_ns));
+        }
+      }
+      ++flush_seq[s];
+      // Prefer a buffer the worker handed back over a fresh allocation: in
+      // steady state the same EdgeBatch objects cycle producer → worker →
+      // producer and the flush path allocates nothing.
+      EdgeBatch next;
+      if (lat.recycle_ring(p, s).TryPop(&next) == Ring::PopResult::kItem) {
+        pm.batches_recycled.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        next = EdgeBatch(options_.batch_size);
+      }
+      lat.ring(p, s).Push(std::move(accum[s]));
+      accum[s] = std::move(next);
+    };
+    const DegradationPolicy& deg = options_.degradation;
+    // Bounded retry with saturating exponential backoff for TRANSIENT
+    // stream errors. The budget is per-consecutive-failure: any successful
+    // read resets it.
+    uint32_t retries_used = 0;
+    uint64_t backoff_ns =
+        std::min(deg.initial_backoff_ns, deg.max_backoff_ns);
+    std::vector<Edge> read_buf;
+    ProducerStatus status;
+    for (;;) {
+      size_t got = stream.NextBatch(&read_buf, options_.batch_size);
+      if (got > 0) {
+        retries_used = 0;
+        backoff_ns = std::min(deg.initial_backoff_ns, deg.max_backoff_ns);
+        metrics_.edges_ingested.fetch_add(got, std::memory_order_relaxed);
+        pm.edges.fetch_add(got, std::memory_order_relaxed);
+        for (const Edge& e : read_buf) {
+          uint32_t s = router.ShardOf(e);
+          accum[s].edges.push_back(e);
+          if (accum[s].edges.size() >= options_.batch_size) flush(s);
+        }
+      }
+      if (stream.ok()) {
+        if (got == 0) break;  // end of stream
+        continue;
+      }
+      if (stream.transient() && retries_used < deg.max_stream_retries) {
+        // Retry: the next NextBatch() call clears the error and resumes.
+        ++retries_used;
+        metrics_.stream_retries.fetch_add(1, std::memory_order_relaxed);
+        pm.stream_retries.fetch_add(1, std::memory_order_relaxed);
+        retry_backoff_hist->Observe(backoff_ns);
+        std::this_thread::sleep_for(std::chrono::nanoseconds(backoff_ns));
+        // Saturating doubling: cap at max_backoff_ns without ever
+        // overflowing the multiplication itself.
+        backoff_ns = backoff_ns >= deg.max_backoff_ns / 2
+                         ? deg.max_backoff_ns
+                         : backoff_ns * 2;
+        continue;
+      }
+      // Unrecoverable (parse error, or transient budget exhausted): this
+      // producer's pass is truncated and the error surfaces to the driver
+      // through the stream / producer_status(). Strict handling happens on
+      // the coordinator AFTER rings close and workers join.
+      break;
+    }
+    for (uint32_t s = 0; s < n; ++s) {
+      if (!accum[s].empty()) flush(s);
+    }
+    for (uint32_t s = 0; s < n; ++s) lat.ring(p, s).Close();
+    status.ok = stream.ok();
+    status.transient = stream.transient();
+    status.retries_used = retries_used;
+    status.message = stream.StatusMessage();
+    return status;
+  }
+
+  // Shared engine behind Run()/RunSegmented(): `acquire(p)` hands producer
+  // p its stream (borrowed; the caller keeps it alive past the joins).
+  State RunLattice(uint32_t P,
+                   const std::function<EdgeStream*(uint32_t)>& acquire) {
+    const uint32_t n = options_.num_shards;
+    metrics_.Reset(n, P);
+    producer_status_.assign(P, ProducerStatus{});
     MetricsRegistry* registry =
         options_.registry ? options_.registry : &MetricsRegistry::Global();
-    // Histograms are thread-safe (relaxed atomic buckets); both are shared
-    // by all workers.
+    // Histograms are thread-safe (relaxed atomic buckets); all are shared
+    // by every worker/producer.
     Histogram* batch_busy_hist = registry->GetHistogram("runtime_batch_busy_ns");
     Histogram* batch_edges_hist = registry->GetHistogram("runtime_batch_edges");
+    Histogram* retry_backoff_hist =
+        registry->GetHistogram("runtime_retry_backoff_ns");
     accountant_ = SpaceAccountant(registry);
     auto run_start = std::chrono::steady_clock::now();
 
-    // Replicas are constructed in shard order on the producer thread, then
-    // each is handed to its worker (the thread start is the happens-before
-    // edge; the join hands it back for merging).
+    // Replicas are constructed in shard order on the coordinator thread,
+    // then each is handed to its worker (the thread start is the
+    // happens-before edge; the join hands it back for merging).
     std::vector<State> states;
     states.reserve(n);
     for (uint32_t s = 0; s < n; ++s) states.push_back(factory_(s));
 
-    std::vector<std::unique_ptr<SpscRing<EdgeBatch>>> rings;
-    rings.reserve(n);
-    for (uint32_t s = 0; s < n; ++s) {
-      rings.push_back(
-          std::make_unique<SpscRing<EdgeBatch>>(options_.queue_capacity));
-    }
+    Lattice lat(P, n, options_.queue_capacity);
 
     // Per-shard space accountants (registry-less; folded into accountant_
     // after the join). Each is touched only by its own worker thread until
@@ -169,7 +377,7 @@ class ShardedPipeline {
     std::vector<std::thread> workers;
     workers.reserve(n);
     for (uint32_t s = 0; s < n; ++s) {
-      workers.emplace_back([this, s, &rings, &states, &shard_accts, injector,
+      workers.emplace_back([this, s, P, &lat, &states, &shard_accts, injector,
                             &worker_died, batch_busy_hist, batch_edges_hist] {
         RuntimeMetrics::PerShard& ps = metrics_.shard(s);
         State& state = states[s];
@@ -177,14 +385,44 @@ class ShardedPipeline {
         const uint32_t sample_every = options_.space_sample_every_batches;
         uint32_t batches_since_sample = 0;
         uint64_t batches_popped = 0;
+        uint64_t idle_rounds = 0;
         bool dead = false;
         EdgeBatch batch;
-        while (rings[s]->Pop(&batch)) {
+        uint32_t lane = s % P;  // stagger starting lanes across workers
+        for (;;) {
+          // Round-robin the P input lanes without ever blocking on one:
+          // take the first lane with a batch, remember the next lane for
+          // fairness, and only sleep when every lane is momentarily empty.
+          bool popped = false;
+          bool all_closed = true;
+          uint32_t from = 0;
+          for (uint32_t i = 0; i < P; ++i) {
+            uint32_t p = (lane + i) % P;
+            Ring::PopResult r = lat.ring(p, s).TryPop(&batch);
+            if (r == Ring::PopResult::kItem) {
+              popped = true;
+              from = p;
+              lane = (p + 1) % P;
+              break;
+            }
+            if (r != Ring::PopResult::kClosed) all_closed = false;
+          }
+          if (!popped) {
+            if (all_closed) break;  // every lane closed and drained
+            ++idle_rounds;
+            if (idle_rounds < 64) {
+              std::this_thread::yield();
+            } else {
+              std::this_thread::sleep_for(std::chrono::microseconds(50));
+            }
+            continue;
+          }
+          idle_rounds = 0;
           if (!dead && injector != nullptr &&
               injector->WorkerDiesAt(s, batches_popped)) {
             // Simulated worker death: the state stops advancing, but the
-            // ring MUST keep draining — a dead shard that stopped popping
-            // would wedge the producer behind a full ring forever.
+            // lanes MUST keep draining — a dead shard that stopped popping
+            // would wedge its producers behind full rings forever.
             dead = true;
             worker_died[s] = 1;
             injector->Count(FaultInjector::kFaultWorkerDeath);
@@ -193,6 +431,8 @@ class ShardedPipeline {
           if (dead) {
             ps.edges_discarded.fetch_add(batch.edges.size(),
                                          std::memory_order_relaxed);
+            batch.Clear();
+            lat.recycle_ring(from, s).TryPush(batch);
             continue;
           }
           auto t0 = std::chrono::steady_clock::now();
@@ -217,6 +457,10 @@ class ShardedPipeline {
           ps.batches.fetch_add(1, std::memory_order_relaxed);
           batch_busy_hist->Observe(busy);
           batch_edges_hist->Observe(batch.edges.size());
+          // Hand the drained buffer back to its producer (capacity intact);
+          // if the recycle lane is full the buffer is simply dropped.
+          batch.Clear();
+          lat.recycle_ring(from, s).TryPush(batch);
           if (injector != nullptr) {
             uint64_t slow_ns = injector->ShardSlowdownNs(s);
             if (slow_ns > 0) {
@@ -238,88 +482,56 @@ class ShardedPipeline {
       });
     }
 
-    // Producer: batched reads, routed into per-shard accumulators that are
-    // flushed into the rings when full.
+    // Producers: one thread per segment, each with its own accumulators,
+    // retry budget and row of lanes. The router is shared and const.
     ShardRouter router(n, options_.policy, options_.route_salt);
-    std::vector<EdgeBatch> accum(n);
-    for (EdgeBatch& b : accum) b.edges.reserve(options_.batch_size);
-    // Per-shard flush sequence numbers: deterministic (routing is a pure
-    // function of the edge), so injected push delays are replayable.
-    std::vector<uint64_t> flush_seq(n, 0);
-    auto flush = [&](uint32_t s) {
-      metrics_.batches_enqueued.fetch_add(1, std::memory_order_relaxed);
-      if (injector != nullptr) {
-        uint64_t delay_ns = injector->PushDelayNs(s, flush_seq[s]);
-        if (delay_ns > 0) {
-          std::this_thread::sleep_for(std::chrono::nanoseconds(delay_ns));
-        }
-      }
-      ++flush_seq[s];
-      rings[s]->Push(std::move(accum[s]));
-      accum[s] = EdgeBatch(options_.batch_size);
-    };
-    const DegradationPolicy& deg = options_.degradation;
-    // Bounded retry with exponential backoff for TRANSIENT stream errors.
-    // The budget is per-consecutive-failure: any successful read resets it.
-    uint32_t retries_used = 0;
-    uint64_t backoff_ns = deg.initial_backoff_ns;
-    std::vector<Edge> read_buf;
-    for (;;) {
-      size_t got = stream.NextBatch(&read_buf, options_.batch_size);
-      if (got > 0) {
-        retries_used = 0;
-        backoff_ns = deg.initial_backoff_ns;
-        metrics_.edges_ingested.fetch_add(got, std::memory_order_relaxed);
-        for (const Edge& e : read_buf) {
-          uint32_t s = router.ShardOf(e);
-          accum[s].edges.push_back(e);
-          if (accum[s].edges.size() >= options_.batch_size) flush(s);
-        }
-      }
-      if (stream.ok()) {
-        if (got == 0) break;  // end of stream
-        continue;
-      }
-      if (stream.transient() && retries_used < deg.max_stream_retries) {
-        // Retry: the next NextBatch() call clears the error and resumes.
-        ++retries_used;
-        metrics_.stream_retries.fetch_add(1, std::memory_order_relaxed);
-        registry->GetHistogram("runtime_retry_backoff_ns")
-            ->Observe(backoff_ns);
-        std::this_thread::sleep_for(std::chrono::nanoseconds(backoff_ns));
-        backoff_ns *= 2;
-        continue;
-      }
-      // Unrecoverable (parse error, or transient budget exhausted): the pass
-      // is truncated and the error surfaces to the driver through
-      // stream.ok(). In strict mode an exhausted retry budget is fatal.
-      if (deg.strict && stream.transient()) {
-        std::fprintf(stderr,
-                     "[streamkc] strict: stream error persisted after %u "
-                     "retries: %s\n",
-                     retries_used, stream.StatusMessage().c_str());
-        std::exit(1);
-      }
-      break;
+    std::vector<std::thread> producers;
+    producers.reserve(P);
+    for (uint32_t p = 0; p < P; ++p) {
+      producers.emplace_back([this, p, &acquire, &lat, &router,
+                              retry_backoff_hist] {
+        EdgeStream* stream = acquire(p);
+        producer_status_[p] =
+            ProducerLoop(p, *stream, lat, router, retry_backoff_hist);
+      });
     }
-    for (uint32_t s = 0; s < n; ++s) {
-      if (!accum[s].empty()) flush(s);
-    }
-    for (uint32_t s = 0; s < n; ++s) rings[s]->Close();
+    for (std::thread& pt : producers) pt.join();
+    // Every producer has closed its row; workers drain and exit.
     for (std::thread& w : workers) w.join();
 
-    // The join is the happens-before edge: each ring's stall counters and
-    // each shard accountant are now quiescent. Stall statistics live in the
-    // rings (one Push side each), read here into the per-shard rows.
+    // The joins are the happens-before edges: ring stall counters, shard
+    // accountants and producer statuses are now quiescent. Stall statistics
+    // live in the lanes (one Push side each); each shard's row aggregates
+    // its P lanes.
     for (uint32_t s = 0; s < n; ++s) {
       RuntimeMetrics::PerShard& ps = metrics_.shard(s);
-      ps.ring_stalls.store(rings[s]->push_stalls(), std::memory_order_relaxed);
-      ps.ring_stall_rounds.store(rings[s]->push_stall_rounds(),
-                                 std::memory_order_relaxed);
-      ps.ring_stalled_ns.store(rings[s]->push_stalled_ns(),
-                               std::memory_order_relaxed);
-      metrics_.queue_full_stalls.fetch_add(rings[s]->push_stalls(),
-                                           std::memory_order_relaxed);
+      uint64_t stalls = 0, rounds = 0, stalled_ns = 0;
+      for (uint32_t p = 0; p < P; ++p) {
+        stalls += lat.ring(p, s).push_stalls();
+        rounds += lat.ring(p, s).push_stall_rounds();
+        stalled_ns += lat.ring(p, s).push_stalled_ns();
+      }
+      ps.ring_stalls.store(stalls, std::memory_order_relaxed);
+      ps.ring_stall_rounds.store(rounds, std::memory_order_relaxed);
+      ps.ring_stalled_ns.store(stalled_ns, std::memory_order_relaxed);
+      metrics_.queue_full_stalls.fetch_add(stalls, std::memory_order_relaxed);
+    }
+
+    const DegradationPolicy& deg = options_.degradation;
+    // Strict-mode stream failure: decided HERE, after the close+join
+    // sequence above, so registry/atexit teardown can never race live
+    // worker threads (the old mid-stream exit left all workers running).
+    if (deg.strict) {
+      for (uint32_t p = 0; p < P; ++p) {
+        const ProducerStatus& st = producer_status_[p];
+        if (!st.ok && st.transient) {
+          std::fprintf(stderr,
+                       "[streamkc] strict: stream error persisted after %u "
+                       "retries: %s\n",
+                       st.retries_used, st.message.c_str());
+          std::exit(1);
+        }
+      }
     }
 
     // End-of-stream space accounting: per-shard sketch footprints BEFORE the
@@ -433,17 +645,11 @@ class ShardedPipeline {
     return std::move(states[root]);
   }
 
-  const RuntimeMetrics& metrics() const { return metrics_; }
-
-  // Space breakdown of the last Run(): peak = sum of simultaneous per-shard
-  // peaks, current = merged state. Empty unless State is SpaceMetered.
-  const SpaceAccountant& space() const { return accountant_; }
-
- private:
   ShardedPipelineOptions options_;
   Factory factory_;
   RuntimeMetrics metrics_;
   SpaceAccountant accountant_;
+  std::vector<ProducerStatus> producer_status_;
 };
 
 }  // namespace streamkc

@@ -70,6 +70,41 @@ class SpscRing {
     not_empty_.notify_one();
   }
 
+  // Non-blocking push: returns false (and leaves `item` untouched) when the
+  // ring is full or closed instead of waiting. Used for the batch-recycling
+  // return lanes, where dropping an empty buffer on a full ring is cheaper
+  // than ever blocking a worker.
+  bool TryPush(T& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || size_ == buffer_.size()) return false;
+      buffer_[(head_ + size_) % buffer_.size()] = std::move(item);
+      ++size_;
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Non-blocking pop verdicts: an item was taken, the ring is (momentarily)
+  // empty but may still receive pushes, or it is closed AND drained.
+  enum class PopResult { kItem, kEmpty, kClosed };
+
+  // Non-blocking pop. A worker fed by several lanes must never block on one
+  // specific lane (two producers stalled on each other's full rings would
+  // deadlock against a worker parked on an empty third ring), so the lattice
+  // consumers poll with TryPop and sleep only when EVERY lane is kEmpty.
+  PopResult TryPop(T* out) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (size_ == 0) return closed_ ? PopResult::kClosed : PopResult::kEmpty;
+      *out = std::move(buffer_[head_]);
+      head_ = (head_ + 1) % buffer_.size();
+      --size_;
+    }
+    not_full_.notify_one();
+    return PopResult::kItem;
+  }
+
   // Blocks until an item is available or the ring is closed and drained.
   // Returns false only at end of stream (closed and empty).
   bool Pop(T* out) {

@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -95,6 +96,49 @@ class VectorEdgeStream : public EdgeStream {
   std::vector<Edge> edges_;
   size_t pos_ = 0;
 };
+
+// A non-owning stream over a contiguous span of an edge array — the
+// in-memory segment source for the multi-producer front-end (bench and
+// tests split one materialized stream into P spans without copying it).
+// The span must outlive the stream.
+class EdgeSpanStream : public EdgeStream {
+ public:
+  EdgeSpanStream(const Edge* data, size_t count) : data_(data), count_(count) {}
+
+  bool Next(Edge* edge) override {
+    if (pos_ >= count_) return false;
+    *edge = data_[pos_++];
+    return true;
+  }
+
+  size_t NextBatch(std::vector<Edge>* out, size_t max_edges) override {
+    size_t take = std::min(max_edges, count_ - pos_);
+    out->assign(data_ + pos_, data_ + pos_ + take);
+    pos_ += take;
+    return take;
+  }
+
+  void Reset() override { pos_ = 0; }
+  uint64_t SizeHint() const override { return count_; }
+
+ private:
+  const Edge* data_;
+  size_t count_;
+  size_t pos_ = 0;
+};
+
+// Opens segment `segment` of the even contiguous split of `edges` into
+// `num_segments` spans (the in-memory analogue of SegmentedTextStream's
+// newline-aligned file split). The union of the spans is exactly `edges`,
+// so the result plugs straight into ShardedPipeline::SegmentOpener.
+inline std::unique_ptr<EdgeStream> MakeEdgeSpanSegment(
+    const std::vector<Edge>& edges, uint32_t segment, uint32_t num_segments) {
+  uint64_t total = edges.size();
+  uint64_t begin = total * segment / num_segments;
+  uint64_t end = total * (segment + 1) / num_segments;
+  return std::make_unique<EdgeSpanStream>(edges.data() + begin,
+                                          static_cast<size_t>(end - begin));
+}
 
 enum class ArrivalOrder {
   kSetContiguous,      // all incidences of set 0, then set 1, ...

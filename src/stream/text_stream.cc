@@ -1,5 +1,6 @@
 #include "stream/text_stream.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
@@ -33,6 +34,105 @@ std::string ParseToken(const char** pp, const char* what,
   return std::string();
 }
 
+// Parses one content line into an edge. Returns "" on success, the defect
+// description otherwise; returns "skip" semantics via *is_skippable for
+// blank/comment lines. Shared by the whole-file and segmented readers so
+// the two can never drift on what counts as malformed.
+std::string ParseEdgeLine(const std::string& line, Edge* edge,
+                          bool* is_skippable) {
+  size_t pos = line.find_first_not_of(" \t\r");
+  if (pos == std::string::npos || line[pos] == '#') {
+    *is_skippable = true;
+    return std::string();
+  }
+  *is_skippable = false;
+  const char* p = line.c_str() + pos;
+  unsigned long long set = 0, element = 0;
+  std::string defect = ParseToken(&p, "set id", &set);
+  if (defect.empty()) defect = ParseToken(&p, "element id", &element);
+  if (defect.empty() && *SkipSpace(p) != '\0') defect = "trailing garbage";
+  if (!defect.empty()) return defect;
+  edge->set = set;
+  edge->element = element;
+  return std::string();
+}
+
+// One segment's reader: lines from byte range [begin, end) of the file.
+// Boundaries are newline-aligned by SegmentedTextStream, so tracking the
+// bytes each getline() consumed (line + its '\n') tells us exactly when the
+// segment is exhausted — no line is ever split or read twice.
+class TextSegmentEdgeStream : public EdgeStream {
+ public:
+  TextSegmentEdgeStream(const std::string& path, uint32_t segment,
+                        uint64_t begin, uint64_t end,
+                        TextEdgeStream::Config config)
+      : path_(path),
+        segment_(segment),
+        begin_(begin),
+        length_(end - begin),
+        config_(config) {
+    MetricsRegistry* reg = config_.registry != nullptr
+                               ? config_.registry
+                               : &MetricsRegistry::Global();
+    malformed_counter_ = reg->GetCounter("stream_malformed_lines_total");
+    parse_error_counter_ = reg->GetCounter("stream_parse_errors_total");
+    file_.open(path_, std::ios::binary);
+    CHECK(file_.is_open());
+    file_.seekg(static_cast<std::streamoff>(begin_));
+  }
+
+  bool Next(Edge* edge) override {
+    if (!error_.empty()) return false;
+    std::string line;
+    while (consumed_ < length_ && std::getline(file_, line)) {
+      // +1 for the newline getline swallowed; the file's final line may
+      // lack one, in which case we overcount by a harmless byte past the
+      // segment end.
+      consumed_ += line.size() + 1;
+      ++line_number_;
+      bool skippable = false;
+      std::string defect = ParseEdgeLine(line, edge, &skippable);
+      if (skippable) continue;
+      if (defect.empty()) return true;
+      ++malformed_lines_;
+      malformed_counter_->Increment();
+      if (config_.lenient) continue;
+      parse_error_counter_->Increment();
+      error_ = path_ + ":seg" + std::to_string(segment_) + "+" +
+               std::to_string(line_number_) + ": malformed edge line (" +
+               defect + "): \"" + line + "\"";
+      return false;
+    }
+    return false;
+  }
+
+  void Reset() override {
+    file_.clear();
+    file_.seekg(static_cast<std::streamoff>(begin_));
+    consumed_ = 0;
+    line_number_ = 0;
+    malformed_lines_ = 0;
+    error_.clear();
+  }
+
+  bool ok() const override { return error_.empty(); }
+  std::string StatusMessage() const override { return error_; }
+
+ private:
+  std::string path_;
+  uint32_t segment_;
+  uint64_t begin_;
+  uint64_t length_;
+  TextEdgeStream::Config config_;
+  std::ifstream file_;
+  uint64_t consumed_ = 0;
+  uint64_t line_number_ = 0;  // within the segment
+  uint64_t malformed_lines_ = 0;
+  std::string error_;
+  Counter* malformed_counter_ = nullptr;
+  Counter* parse_error_counter_ = nullptr;
+};
+
 }  // namespace
 
 TextEdgeStream::TextEdgeStream(const std::string& path)
@@ -63,26 +163,65 @@ bool TextEdgeStream::Next(Edge* edge) {
   std::string line;
   while (std::getline(file_, line)) {
     ++line_number_;
-    // Skip blanks and comments.
-    size_t pos = line.find_first_not_of(" \t\r");
-    if (pos == std::string::npos || line[pos] == '#') continue;
-
-    const char* p = line.c_str() + pos;
-    unsigned long long set = 0, element = 0;
-    std::string defect = ParseToken(&p, "set id", &set);
-    if (defect.empty()) defect = ParseToken(&p, "element id", &element);
-    if (defect.empty() && *SkipSpace(p) != '\0') {
-      defect = "trailing garbage";
-    }
-    if (!defect.empty()) {
-      if (HandleMalformed(line, defect)) continue;
-      return false;
-    }
-    edge->set = set;
-    edge->element = element;
-    return true;
+    bool skippable = false;
+    std::string defect = ParseEdgeLine(line, edge, &skippable);
+    if (skippable) continue;
+    if (defect.empty()) return true;
+    if (HandleMalformed(line, defect)) continue;
+    return false;
   }
   return false;
+}
+
+SegmentedTextStream::SegmentedTextStream(const std::string& path,
+                                         uint32_t num_segments)
+    : SegmentedTextStream(path, num_segments, Config()) {}
+
+SegmentedTextStream::SegmentedTextStream(const std::string& path,
+                                         uint32_t num_segments, Config config)
+    : path_(path), config_(config) {
+  CHECK_GE(num_segments, 1u);
+  std::ifstream file(path_, std::ios::binary);
+  CHECK(file.is_open());
+  file.seekg(0, std::ios::end);
+  const uint64_t size = static_cast<uint64_t>(file.tellg());
+  bounds_.resize(num_segments + 1);
+  bounds_[0] = 0;
+  bounds_[num_segments] = size;
+  char chunk[4096];
+  for (uint32_t i = 1; i < num_segments; ++i) {
+    // Candidate split at i·size/P, then slide forward to just past the next
+    // '\n' so no line straddles the boundary. A candidate landing inside
+    // the file's last (newline-less) line slides to end-of-file, leaving
+    // the trailing segments empty.
+    uint64_t pos = size * i / num_segments;
+    uint64_t aligned = size;
+    file.clear();
+    file.seekg(static_cast<std::streamoff>(pos));
+    bool found = false;
+    while (!found && pos < size) {
+      file.read(chunk, sizeof(chunk));
+      const std::streamsize got = file.gcount();
+      if (got <= 0) break;
+      for (std::streamsize j = 0; j < got; ++j) {
+        if (chunk[j] == '\n') {
+          aligned = pos + static_cast<uint64_t>(j) + 1;
+          found = true;
+          break;
+        }
+      }
+      if (!found) pos += static_cast<uint64_t>(got);
+    }
+    // Monotonic even when several candidates share one long line.
+    bounds_[i] = std::max(aligned, bounds_[i - 1]);
+  }
+}
+
+std::unique_ptr<EdgeStream> SegmentedTextStream::OpenSegment(
+    uint32_t i) const {
+  CHECK_LT(i, num_segments());
+  return std::make_unique<TextSegmentEdgeStream>(path_, i, bounds_[i],
+                                                 bounds_[i + 1], config_);
 }
 
 void TextEdgeStream::Reset() {

@@ -17,8 +17,11 @@
 #ifndef STREAMKC_STREAM_TEXT_STREAM_H_
 #define STREAMKC_STREAM_TEXT_STREAM_H_
 
+#include <cstdint>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "stream/edge_stream.h"
@@ -64,6 +67,51 @@ class TextEdgeStream : public EdgeStream {
   std::string error_;
   Counter* malformed_counter_ = nullptr;
   Counter* parse_error_counter_ = nullptr;
+};
+
+// Splits one text edge file into P newline-aligned byte ranges for the
+// multi-producer front-end: segment boundary i is the byte AFTER the first
+// '\n' at or past offset i·size/P, so every line lies wholly inside exactly
+// one segment and the union of the segments' edge multisets is exactly the
+// whole file's (the precondition ShardedPipeline::RunSegmented needs).
+// Lines longer than size/P merely make some segments empty — nothing is
+// ever split or double-read. The final line may lack a trailing newline.
+//
+// The class itself is a factory, not a stream: boundaries are computed once
+// at construction (one short forward scan per boundary), then OpenSegment(p)
+// hands each producer thread its own independently-owned stream over
+// [segment_begin(p), segment_end(p)). Parsing, strict/lenient semantics and
+// the malformed-line counters are shared with TextEdgeStream; strict errors
+// name the segment and the line within it.
+class SegmentedTextStream {
+ public:
+  using Config = TextEdgeStream::Config;
+
+  // CHECK-fails if the file cannot be opened (missing input is a caller
+  // bug) or num_segments == 0.
+  SegmentedTextStream(const std::string& path, uint32_t num_segments);
+  SegmentedTextStream(const std::string& path, uint32_t num_segments,
+                      Config config);
+
+  uint32_t num_segments() const {
+    return static_cast<uint32_t>(bounds_.size() - 1);
+  }
+  // Byte range [segment_begin(i), segment_end(i)) of segment i; ranges are
+  // adjacent, non-overlapping, and cover [0, file_size()).
+  uint64_t segment_begin(uint32_t i) const { return bounds_[i]; }
+  uint64_t segment_end(uint32_t i) const { return bounds_[i + 1]; }
+  uint64_t file_size() const { return bounds_.back(); }
+
+  // Opens a fresh stream over segment i. Thread-safe (each call opens its
+  // own file handle), so producers may call it concurrently.
+  std::unique_ptr<EdgeStream> OpenSegment(uint32_t i) const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  Config config_;
+  std::vector<uint64_t> bounds_;  // num_segments + 1 entries
 };
 
 // Writes `edges` in the text format (convenience for tests and examples).

@@ -237,7 +237,79 @@ TEST(FaultPipeline, EstimatorStatesCarryMergeFingerprints) {
   EXPECT_NE(CoverageSketchState(sc).MergeFingerprint(), sa.MergeFingerprint());
 }
 
+TEST(FaultPipeline, BackoffSaturatesAtTheCapUnderALongFaultBurst) {
+  // read-error=1 fails EVERY read: the producer burns its whole retry
+  // budget in one consecutive burst. With >64 retries the old uncapped
+  // `backoff_ns *= 2` overflowed uint64 (and long before that, slept for
+  // centuries); the saturating doubling must pin every backoff at
+  // max_backoff_ns instead — verified exactly through the backoff
+  // histogram, which records each sleep before it happens.
+  std::vector<Edge> edges = SyntheticEdges(4000, 41);
+  MetricsRegistry registry;
+  CoverageSketchState::Config cfg;
+  cfg.seed = 19;
+  ShardedPipelineOptions opts;
+  opts.num_shards = 2;
+  opts.batch_size = 128;
+  opts.registry = &registry;
+  opts.degradation.max_stream_retries = 100;  // > 64 consecutive failures
+  opts.degradation.initial_backoff_ns = 1;
+  opts.degradation.max_backoff_ns = 1024;
+  FaultInjector injector(FaultPlan::ParseOrDie("seed=1,read-error=1"),
+                         &registry);
+  opts.fault_injector = &injector;
+  ShardedPipeline<CoverageSketchState> pipe(
+      opts, [&](uint32_t) { return CoverageSketchState(cfg); });
+  VectorEdgeStream inner(edges);
+  FaultInjectingStream stream(&inner, &injector);
+  pipe.Run(stream);
+
+  EXPECT_EQ(pipe.metrics().stream_retries.load(), 100u);
+  EXPECT_EQ(pipe.metrics().edges_ingested.load(), 0u);
+  Histogram* h = registry.GetHistogram("runtime_retry_backoff_ns");
+  EXPECT_EQ(h->Count(), 100u);
+  // Backoffs observed: 1, 2, 4, …, 512 (ten doublings, sum 1023), then 90
+  // sleeps saturated at the 1024ns cap. An overflow or wrap would blow this
+  // exact sum apart.
+  EXPECT_EQ(h->Sum(), 1023u + 90u * 1024u);
+  // The producer surfaced the exhausted budget as a transient failure.
+  ASSERT_EQ(pipe.producer_status().size(), 1u);
+  EXPECT_FALSE(pipe.producer_status()[0].ok);
+  EXPECT_TRUE(pipe.producer_status()[0].transient);
+  EXPECT_EQ(pipe.producer_status()[0].retries_used, 100u);
+}
+
 using FaultPipelineDeathTest = ::testing::Test;
+
+TEST(FaultPipelineDeathTest, StrictStreamFailureExitsCleanlyAfterJoin) {
+  // Strict mode on a persistent stream error must exit(1) — but only AFTER
+  // the rings are closed and every worker joined. The old path called
+  // std::exit while workers were live and blocked in Pop(), racing
+  // registry/atexit teardown against running threads.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::vector<Edge> edges = SyntheticEdges(2000, 43);
+  MetricsRegistry registry;
+  CoverageSketchState::Config cfg;
+  ShardedPipelineOptions opts;
+  opts.num_shards = 4;
+  opts.registry = &registry;
+  opts.degradation.strict = true;
+  opts.degradation.max_stream_retries = 3;
+  opts.degradation.initial_backoff_ns = 1;
+  FaultInjector injector(FaultPlan::ParseOrDie("seed=1,read-error=1"),
+                         &registry);
+  opts.fault_injector = &injector;
+  EXPECT_EXIT(
+      {
+        ShardedPipeline<CoverageSketchState> pipe(
+            opts, [&](uint32_t) { return CoverageSketchState(cfg); });
+        VectorEdgeStream inner(edges);
+        FaultInjectingStream stream(&inner, &injector);
+        pipe.Run(stream);
+      },
+      ::testing::ExitedWithCode(1),
+      "strict: stream error persisted after 3 retries");
+}
 
 TEST(FaultPipelineDeathTest, StrictModeHardFailsOnQuarantine) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";

@@ -1,0 +1,241 @@
+// SegmentedTextStream splitter tests: the newline-aligned byte-range split
+// must (a) cover the file exactly with adjacent ranges, (b) never cut a
+// line — so the union of the segments' edges is exactly the whole file's
+// multiset for ANY segment count, including files with comments, blank
+// lines, malformed lines sitting on naive split points, and a final line
+// with no trailing newline. EdgeSpanStream (the in-memory analogue) gets
+// the same union check.
+
+#include "stream/text_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "stream/edge_stream.h"
+
+namespace streamkc {
+namespace {
+
+class SegmentedStreamTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const char* name) {
+    return ::testing::TempDir() + "/streamkc_seg_" + name + ".txt";
+  }
+
+  static std::vector<Edge> Drain(EdgeStream& s) {
+    std::vector<Edge> out;
+    Edge e;
+    while (s.Next(&e)) out.push_back(e);
+    return out;
+  }
+
+  // Edges of every segment concatenated in segment order.
+  static std::vector<Edge> DrainSegments(const SegmentedTextStream& seg) {
+    std::vector<Edge> all;
+    for (uint32_t i = 0; i < seg.num_segments(); ++i) {
+      auto s = seg.OpenSegment(i);
+      std::vector<Edge> part = Drain(*s);
+      EXPECT_TRUE(s->ok()) << s->StatusMessage();
+      all.insert(all.end(), part.begin(), part.end());
+    }
+    return all;
+  }
+};
+
+TEST_F(SegmentedStreamTest, RangesAreAdjacentNewlineAlignedAndCoverTheFile) {
+  std::string path = TempPath("ranges");
+  std::string content;
+  for (int i = 0; i < 200; ++i) {
+    content += std::to_string(i) + " " + std::to_string(i * 7) + "\n";
+  }
+  {
+    std::ofstream out(path);
+    out << content;
+  }
+  for (uint32_t p : {1u, 2u, 3u, 5u, 8u, 16u}) {
+    SegmentedTextStream seg(path, p);
+    ASSERT_EQ(seg.num_segments(), p);
+    EXPECT_EQ(seg.segment_begin(0), 0u);
+    EXPECT_EQ(seg.segment_end(p - 1), content.size());
+    for (uint32_t i = 0; i < p; ++i) {
+      EXPECT_LE(seg.segment_begin(i), seg.segment_end(i));
+      if (i > 0) {
+        EXPECT_EQ(seg.segment_begin(i), seg.segment_end(i - 1));
+        // Every interior boundary sits just past a newline.
+        uint64_t b = seg.segment_begin(i);
+        if (b > 0 && b < content.size()) {
+          EXPECT_EQ(content[b - 1], '\n') << "boundary " << i << " at " << b;
+        }
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(SegmentedStreamTest, UnionOfSegmentsEqualsWholeFileInOrder) {
+  std::string path = TempPath("union");
+  std::vector<Edge> edges;
+  for (uint64_t i = 0; i < 500; ++i) edges.push_back(Edge{i % 37, i * 13});
+  WriteEdgesToFile(path, edges);
+  for (uint32_t p : {1u, 2u, 4u, 7u, 32u}) {
+    SegmentedTextStream seg(path, p);
+    // Segments are contiguous in file order, so the concatenation preserves
+    // the exact sequence, not just the multiset.
+    EXPECT_EQ(DrainSegments(seg), edges) << "segments=" << p;
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(SegmentedStreamTest, CommentsBlanksAndNoTrailingNewline) {
+  std::string path = TempPath("dirty");
+  {
+    std::ofstream out(path);
+    out << "# header comment\n"
+        << "1 10\n"
+        << "\n"
+        << "  \t \n"
+        << "2 20\n"
+        << "# mid comment that is quite long to attract a boundary\n"
+        << "3 30\n"
+        << "4 40";  // final line without trailing newline
+  }
+  std::vector<Edge> expect{{1, 10}, {2, 20}, {3, 30}, {4, 40}};
+  for (uint32_t p = 1; p <= 10; ++p) {
+    SegmentedTextStream seg(path, p);
+    EXPECT_EQ(DrainSegments(seg), expect) << "segments=" << p;
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(SegmentedStreamTest, MalformedLineOnANaiveSplitPointStaysWhole) {
+  std::string path = TempPath("malformed");
+  // Place one malformed line so that naive byte splits (size·i/P) land
+  // inside it for several P; the aligned split must keep it in exactly one
+  // segment, where it is either skipped (lenient) or reported (strict)
+  // exactly once — never half-parsed as two different defects.
+  std::string content;
+  for (int i = 0; i < 20; ++i) {
+    content += std::to_string(i) + " " + std::to_string(i) + "\n";
+  }
+  content += "999 not_a_number_zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz\n";
+  for (int i = 20; i < 40; ++i) {
+    content += std::to_string(i) + " " + std::to_string(i) + "\n";
+  }
+  {
+    std::ofstream out(path);
+    out << content;
+  }
+  for (uint32_t p : {2u, 3u, 4u, 8u}) {
+    // Lenient: the bad line is skipped, all 40 good edges survive.
+    SegmentedTextStream::Config lenient;
+    lenient.lenient = true;
+    MetricsRegistry reg;
+    lenient.registry = &reg;
+    SegmentedTextStream seg(path, p, lenient);
+    std::vector<Edge> got = DrainSegments(seg);
+    EXPECT_EQ(got.size(), 40u) << "segments=" << p;
+    EXPECT_EQ(reg.GetCounter("stream_malformed_lines_total")->Value(), 1u);
+
+    // Strict: exactly one segment fails, pointing at the defect; the others
+    // drain cleanly.
+    SegmentedTextStream::Config strict;
+    strict.registry = &reg;
+    SegmentedTextStream sseg(path, p, strict);
+    uint32_t failed = 0;
+    for (uint32_t i = 0; i < p; ++i) {
+      auto s = sseg.OpenSegment(i);
+      Edge e;
+      while (s->Next(&e)) {
+      }
+      if (!s->ok()) {
+        ++failed;
+        EXPECT_NE(s->StatusMessage().find("malformed edge line"),
+                  std::string::npos);
+        EXPECT_NE(s->StatusMessage().find(":seg" + std::to_string(i)),
+                  std::string::npos);
+        EXPECT_FALSE(s->transient());  // data errors are not retryable
+      }
+    }
+    EXPECT_EQ(failed, 1u) << "segments=" << p;
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(SegmentedStreamTest, LineLongerThanASegmentLeavesTrailingSegmentsEmpty) {
+  std::string path = TempPath("longline");
+  // One comment line dwarfing the rest: several naive split points land
+  // inside it and all slide to the same aligned boundary, so some segments
+  // are empty — but nothing is lost or duplicated.
+  std::string content = "1 2\n# " + std::string(4000, 'x') + "\n3 4\n";
+  {
+    std::ofstream out(path);
+    out << content;
+  }
+  std::vector<Edge> expect{{1, 2}, {3, 4}};
+  for (uint32_t p : {2u, 4u, 8u, 16u}) {
+    SegmentedTextStream seg(path, p);
+    for (uint32_t i = 1; i < p; ++i) {
+      EXPECT_GE(seg.segment_begin(i), seg.segment_begin(i - 1));
+    }
+    EXPECT_EQ(DrainSegments(seg), expect) << "segments=" << p;
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(SegmentedStreamTest, MoreSegmentsThanLines) {
+  std::string path = TempPath("tiny");
+  {
+    std::ofstream out(path);
+    out << "7 8\n9 10\n";
+  }
+  SegmentedTextStream seg(path, 16);
+  std::vector<Edge> expect{{7, 8}, {9, 10}};
+  EXPECT_EQ(DrainSegments(seg), expect);
+  std::remove(path.c_str());
+}
+
+TEST_F(SegmentedStreamTest, SegmentStreamsResetIndependently) {
+  std::string path = TempPath("reset");
+  std::vector<Edge> edges;
+  for (uint64_t i = 0; i < 100; ++i) edges.push_back(Edge{i, i + 1});
+  WriteEdgesToFile(path, edges);
+  SegmentedTextStream seg(path, 4);
+  auto s = seg.OpenSegment(1);
+  std::vector<Edge> first = Drain(*s);
+  s->Reset();
+  EXPECT_EQ(Drain(*s), first);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeSpanStream, SpanSegmentsPartitionTheVector) {
+  std::vector<Edge> edges;
+  for (uint64_t i = 0; i < 1000; ++i) edges.push_back(Edge{i % 13, i});
+  for (uint32_t p : {1u, 2u, 3u, 8u}) {
+    std::vector<Edge> all;
+    for (uint32_t i = 0; i < p; ++i) {
+      auto s = MakeEdgeSpanSegment(edges, i, p);
+      Edge e;
+      std::vector<Edge> part;
+      while (s->Next(&e)) part.push_back(e);
+      all.insert(all.end(), part.begin(), part.end());
+    }
+    EXPECT_EQ(all, edges) << "segments=" << p;
+  }
+  // Bulk reads see the same tokens as per-edge reads.
+  auto s = MakeEdgeSpanSegment(edges, 1, 3);
+  std::vector<Edge> bulk, buf;
+  while (s->NextBatch(&buf, 97) > 0) bulk.insert(bulk.end(), buf.begin(), buf.end());
+  auto t = MakeEdgeSpanSegment(edges, 1, 3);
+  Edge e;
+  std::vector<Edge> single;
+  while (t->Next(&e)) single.push_back(e);
+  EXPECT_EQ(bulk, single);
+}
+
+}  // namespace
+}  // namespace streamkc

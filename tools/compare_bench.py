@@ -6,11 +6,14 @@ Usage: compare_bench.py BASELINE.json CURRENT.json [options]
 Two classes of drift, handled differently:
 
   * Shape drift — schema version bump, bench renamed, a config knob changed,
-    a metric from the baseline missing in the current run, or a determinism
-    flag that is no longer 1. These mean the two files are not measuring the
-    same thing, so the comparison is meaningless: always a hard failure
-    (exit 1). Extra metrics in the current run are fine (new instrumentation
-    lands before its baseline is refreshed) and only noted.
+    a metric from the baseline missing in the current run, a determinism
+    flag that is no longer 1, or a `_ok` self-gate (a pass/fail verdict the
+    bench computed against its own floor, e.g. producer_scaling_ok) that is
+    no longer 1. These mean the two files are not measuring the same thing
+    (or a bench-owned contract broke), so the comparison is meaningless:
+    always a hard failure (exit 1). Extra metrics in the current run are
+    fine (new instrumentation lands before its baseline is refreshed) and
+    only noted.
 
   * Perf drift — a throughput metric (key ending in `_eps` or `_qps`) below
     baseline * (1 - tolerance). Wall-clock noise on shared CI runners makes
@@ -104,6 +107,17 @@ def main():
             failures.append(
                 "determinism contract broken: current run reports "
                 f"deterministic={cur['metrics'].get('deterministic')}")
+
+    # Self-judging gates: any baseline metric ending in `_ok` is a verdict
+    # the bench computed against its own (e.g. hardware-aware) floor — 1
+    # means pass. Unlike raw throughput these are not noise-sensitive, so a
+    # 0 is always a hard failure (the producer-scaling floor rides this).
+    for key in sorted(base["metrics"]):
+        if key.endswith("_ok") and key in cur["metrics"]:
+            if cur["metrics"][key] != 1:
+                failures.append(
+                    f"self-gate '{key}' failed: current run reports "
+                    f"{cur['metrics'][key]} (bench-computed floor not met)")
 
     # --- perf gate (warn-only unless --hard-perf) ---
     if not failures:

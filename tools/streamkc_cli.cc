@@ -19,6 +19,13 @@
 // are folded with Merge() at end of stream. The result is deterministic and
 // matches the single-threaded answer on the same seed.
 //
+// --producers P (estimate/report with --threads >= 1) additionally splits
+// the input file into P newline-aligned segments and parses/routes them
+// from P producer threads (SegmentedTextStream + the pipeline's P×N ring
+// lattice) — the fix for ingest being bound by a single parser thread. The
+// merged answer is unchanged: routing is a pure per-edge function, so each
+// shard sees the same multiset regardless of P.
+//
 // --metrics-out FILE|- dumps the run's observability snapshot (runtime
 // counters, space breakdown, metrics registry); --metrics-format json
 // (default, a superset of the original RuntimeMetrics schema) or
@@ -86,6 +93,8 @@ struct Args {
   std::string family = "planted";
   std::string out;
   uint64_t threads = 0;  // 0 = classic in-line pass, N ≥ 1 = sharded runtime
+  uint64_t producers = 1;  // parallel ingest front-end width (needs --threads)
+  bool producers_set = false;
   size_t batch_size = 4096;
   std::string partition = "element";  // routing key: element | set
   std::string metrics_out;            // metrics dump sink ("-" = stdout)
@@ -110,7 +119,7 @@ struct Args {
                "  streamkc_cli stats FILE [--lenient]\n"
                "  streamkc_cli estimate FILE --m M --n N --k K"
                " (--alpha A | --budget-kb B) [--seed S]\n"
-               "           [--threads T] [--batch-size B]"
+               "           [--threads T] [--producers P] [--batch-size B]"
                " [--partition element|set] [--lenient]\n"
                "           [--metrics-out FILE|-]"
                " [--metrics-format json|prometheus]\n"
@@ -170,6 +179,10 @@ Args Parse(int argc, char** argv) {
       a.out = next();
     } else if (flag == "--threads") {
       a.threads = ParseU64(next());
+    } else if (flag == "--producers") {
+      a.producers = ParseU64(next());
+      a.producers_set = true;
+      if (a.producers == 0) Usage("--producers must be >= 1");
     } else if (flag == "--batch-size") {
       a.batch_size = ParseU64(next());
       if (a.batch_size == 0) Usage("--batch-size must be >= 1");
@@ -229,6 +242,14 @@ void ValidateFlags(const Args& a) {
   }
   if (!a.fault_plan.empty() && a.threads == 0) {
     Usage("--fault-plan needs --threads >= 1");
+  }
+  if (a.producers_set) {
+    if (a.command != "estimate" && a.command != "report") {
+      Usage("--producers only applies to estimate and report");
+    }
+    if (a.producers > 1 && a.threads == 0) {
+      Usage("--producers > 1 needs --threads >= 1");
+    }
   }
 }
 
@@ -401,14 +422,47 @@ State RunPass(const Args& a, MakeFn make, PassStats* stats) {
     po.degradation.strict = a.fault_strict;
     std::printf("fault plan         : %s%s\n", plan.ToSpec().c_str(),
                 a.fault_strict ? " (strict)" : "");
-    if (plan.HasStreamFaults()) {
+    // With multiple producers the fault wrapping happens per segment below;
+    // here only the single whole-file stream is wrapped.
+    if (plan.HasStreamFaults() && a.producers <= 1) {
       faulted = std::make_unique<FaultInjectingStream>(&stream, injector.get());
       src = faulted.get();
     }
   }
+  po.num_producers = static_cast<uint32_t>(a.producers);
   ShardedPipeline<State> pipe(po, [&](uint32_t) { return make(); });
-  State st = pipe.Run(*src);
-  CheckStream(stream);
+  State st = [&] {
+    if (po.num_producers <= 1) return pipe.Run(*src);
+    // Multi-producer front-end: split the file into newline-aligned
+    // segments, one independently-owned stream per producer thread. Fault
+    // wrapping is per segment, so injected stream faults stay deterministic
+    // for a given (file, P, plan).
+    SegmentedTextStream seg(a.file, po.num_producers, StreamConfig(a));
+    const FaultInjector* inj = injector.get();
+    return pipe.RunSegmented([&](uint32_t p) -> std::unique_ptr<EdgeStream> {
+      std::unique_ptr<EdgeStream> s = seg.OpenSegment(p);
+      if (inj != nullptr && inj->plan().HasStreamFaults()) {
+        s = WrapWithFaults(std::move(s), inj);
+      }
+      return s;
+    });
+  }();
+  if (po.num_producers <= 1) {
+    CheckStream(stream);
+  } else {
+    // Per-producer stream health: a parse error in any segment fails the
+    // run exactly like the single-producer CheckStream; an exhausted
+    // transient budget is a degradation (reported below), not an error.
+    for (const auto& ps : pipe.producer_status()) {
+      if (!ps.ok && !ps.transient) {
+        std::fprintf(stderr, "error: %s\n", ps.message.c_str());
+        std::exit(1);
+      }
+      if (!ps.ok && ps.transient && injector != nullptr) {
+        std::printf("fault: segment truncated: %s\n", ps.message.c_str());
+      }
+    }
+  }
   const RuntimeMetrics& m = pipe.metrics();
   stats->peak_bytes = std::max<size_t>(
       std::max<size_t>(m.TotalStateBytes(),
@@ -418,11 +472,14 @@ State RunPass(const Args& a, MakeFn make, PassStats* stats) {
       static_cast<uint32_t>(m.shards_quarantined.load(
           std::memory_order_relaxed));
   stats->quarantined_fraction = m.QuarantinedFraction();
-  std::printf("runtime            : %u shards (%s-partitioned), "
-              "%.2fM edges/s, %llu queue stalls\n",
-              m.num_shards(), a.partition.c_str(), m.EdgesPerSecond() / 1e6,
+  std::printf("runtime            : %u producers -> %u shards "
+              "(%s-partitioned), %.2fM edges/s, %llu queue stalls, "
+              "%llu batches recycled\n",
+              m.num_producers(), m.num_shards(), a.partition.c_str(),
+              m.EdgesPerSecond() / 1e6,
               (unsigned long long)m.queue_full_stalls.load(
-                  std::memory_order_relaxed));
+                  std::memory_order_relaxed),
+              (unsigned long long)m.TotalBatchesRecycled());
   if (injector != nullptr) {
     if (faulted != nullptr && !faulted->ok()) {
       // Transient budget exhausted: the pass was truncated, which is a

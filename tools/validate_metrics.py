@@ -104,6 +104,38 @@ def check_invariants(dump, errors):
                     f"inconsistent with shards_quarantined/num_shards "
                     f"{expect:.4f}")
 
+    producers = dump.get("producers")
+    if producers is not None:
+        if dump.get("num_producers", len(producers)) != len(producers):
+            errors.append(
+                f"$: num_producers {dump['num_producers']} != "
+                f"{len(producers)} producer rows")
+        for i, row in enumerate(producers):
+            if row.get("producer") != i:
+                errors.append(f"$.producers[{i}]: producer id "
+                              f"{row.get('producer')}")
+        if "edges_ingested" in dump:
+            # The producer rows partition the ingested stream: each edge is
+            # read by exactly one producer.
+            total = sum(row.get("edges", 0) for row in producers)
+            if total != dump["edges_ingested"]:
+                errors.append(
+                    f"$: producer edges sum {total} != "
+                    f"edges_ingested {dump['edges_ingested']}")
+        if "stream_retries" in dump:
+            retries = sum(row.get("stream_retries", 0) for row in producers)
+            if retries != dump["stream_retries"]:
+                errors.append(
+                    f"$: producer stream_retries sum {retries} != "
+                    f"stream_retries {dump['stream_retries']}")
+        if "batches_recycled" in dump:
+            recycled = sum(row.get("batches_recycled", 0)
+                           for row in producers)
+            if recycled != dump["batches_recycled"]:
+                errors.append(
+                    f"$: producer batches_recycled sum {recycled} != "
+                    f"batches_recycled {dump['batches_recycled']}")
+
     space = dump.get("space")
     if space is not None:
         if space["peak_total_bytes"] < space["current_total_bytes"]:
@@ -204,7 +236,8 @@ def main(argv):
             print(f"INVALID {e}", file=sys.stderr)
         return 1
     print(f"OK {args[0]}: {len(dump.get('registry', {}))} registry metrics, "
-          f"{len(dump.get('shards', []))} shard rows")
+          f"{len(dump.get('shards', []))} shard rows, "
+          f"{len(dump.get('producers', []))} producer rows")
     return 0
 
 
