@@ -70,10 +70,33 @@ if(Python3_Interpreter_FOUND)
     FIXTURES_REQUIRED bench_serving_json LABELS "tier1" TIMEOUT 60)
 endif()
 
-# Throughput micro-benchmarks use google-benchmark.
+# Throughput micro-benchmarks use google-benchmark, fronted by the
+# hash-kernel table (scalar vs avx2 MapFoldedBatch) which emits
+# BENCH_micro.json before the google-benchmark suite runs.
 add_executable(bench_micro ${CMAKE_SOURCE_DIR}/bench/bench_micro.cc)
 target_link_libraries(bench_micro PRIVATE
   streamkc_core streamkc_offline streamkc_sketch streamkc_setsys
-  streamkc_stream streamkc_hash streamkc_util benchmark::benchmark)
+  streamkc_stream streamkc_obs streamkc_hash streamkc_util
+  benchmark::benchmark)
 set_target_properties(bench_micro PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
+# Hash-kernel perf smoke: --benchmark_filter=^$ skips the google-benchmark
+# entries so only the kernel table runs (seconds, not minutes). The binary
+# itself hard-fails on a scalar/avx2 checksum mismatch or a speedup below
+# its floor; the comparator then hard-gates shape + hash_kernel_ok and
+# warns on per-kernel throughput drift.
+add_test(NAME bench_micro_perf_smoke
+  COMMAND bench_micro --bench-out ${CMAKE_BINARY_DIR}/BENCH_micro.json
+          --benchmark_filter=^$)
+set_tests_properties(bench_micro_perf_smoke PROPERTIES
+  ENVIRONMENT "STREAMKC_BENCH_SCALE=small"
+  FIXTURES_SETUP bench_micro_json LABELS "tier1" TIMEOUT 600)
+if(Python3_Interpreter_FOUND)
+  add_test(NAME bench_micro_compare
+    COMMAND ${Python3_EXECUTABLE} ${CMAKE_SOURCE_DIR}/tools/compare_bench.py
+            ${CMAKE_SOURCE_DIR}/bench/baselines/BENCH_micro.small.json
+            ${CMAKE_BINARY_DIR}/BENCH_micro.json)
+  set_tests_properties(bench_micro_compare PROPERTIES
+    FIXTURES_REQUIRED bench_micro_json LABELS "tier1" TIMEOUT 60)
+endif()

@@ -1,10 +1,23 @@
 // Experiment E12 (DESIGN.md): throughput micro-benchmarks (google-benchmark)
-// for every sketch primitive and the full pipeline's per-edge cost.
+// for every sketch primitive and the full pipeline's per-edge cost, plus the
+// hash-kernel table: MapFoldedBatch keys/s for each dispatchable kernel
+// (scalar, avx2) at representative degrees, emitted as BENCH_micro.json for
+// compare_bench.py. The table runs before the google-benchmark suite so
+// `--benchmark_filter=^$` yields a fast kernel-only pass for the tier-1
+// perf smoke.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
 #include "core/estimate_max_cover.h"
 #include "core/oracle.h"
+#include "hash/kernel_dispatch.h"
 #include "hash/kwise_hash.h"
 #include "hash/tabulation_hash.h"
 #include "setsys/generators.h"
@@ -13,6 +26,7 @@
 #include "sketch/f2_contributing.h"
 #include "sketch/f2_heavy_hitters.h"
 #include "sketch/l0_estimator.h"
+#include "util/random.h"
 
 namespace streamkc {
 namespace {
@@ -25,6 +39,28 @@ void BM_KWiseHash(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KWiseHash)->Arg(2)->Arg(4)->Arg(8)->Arg(48);
+
+// Batched Horner through the runtime-dispatched kernel (whatever
+// kernel_dispatch resolves: forced > STREAMKC_HASH_KERNEL > CPUID auto).
+// The committed-baseline numbers live in the hash-kernel table instead;
+// this entry exists for ad-hoc `--benchmark_filter=FoldedBatch` runs.
+void BM_KWiseHashFoldedBatch(benchmark::State& state) {
+  const size_t kBatch = 8192;
+  KWiseHash h(static_cast<uint32_t>(state.range(0)), 1);
+  Rng rng(7);
+  std::vector<uint64_t> in(kBatch), out(kBatch);
+  for (auto& v : in) {
+    v = rng.Next() & ((1ull << 61) - 1);
+    if (v >= kMersennePrime61) v -= kMersennePrime61;
+  }
+  for (auto _ : state) {
+    h.MapFoldedBatch(in.data(), out.data(), kBatch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kBatch));
+}
+BENCHMARK(BM_KWiseHashFoldedBatch)->Arg(2)->Arg(4)->Arg(48);
 
 void BM_TabulationHash(benchmark::State& state) {
   TabulationHash h(1);
@@ -139,7 +175,156 @@ void BM_EndToEndPlanted(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndPlanted)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Hash-kernel table: scalar vs avx2 MapFoldedBatch throughput per degree,
+// measured through the SHIPPED path (KWiseHash::MapFoldedBatch, batch
+// precondition scan included) with the kernel pinned via ForceHashKernel.
+//
+// Gating contract (compare_bench.py): the per-kernel `_eps` rows warn on
+// drift like every throughput metric; `hash_kernel_ok` is the self-judging
+// verdict — when the avx2 kernel is dispatchable it must beat scalar by the
+// committed floor (SIMD speedup is arithmetic, not thread scaling, so it
+// holds even on one core); when avx2 is not dispatchable (non-x86, or the
+// -mno-avx2 CI leg) the floor is vacuous and ok stays 1, with the `_eps`
+// rows reported as 0 so the baseline shape still matches.
+// ---------------------------------------------------------------------------
+
+// Best-of-3 wall-clock of `rounds` full-buffer MapFoldedBatch calls.
+double MeasureKeysPerSecond(const KWiseHash& h, const std::vector<uint64_t>& in,
+                            std::vector<uint64_t>* out, size_t rounds) {
+  double best = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (size_t r = 0; r < rounds; ++r) {
+      h.MapFoldedBatch(in.data(), out->data(), in.size());
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    double secs = std::chrono::duration<double>(t1 - t0).count();
+    double eps = static_cast<double>(rounds * in.size()) / std::max(secs, 1e-9);
+    best = std::max(best, eps);
+  }
+  return best;
+}
+
+uint64_t Checksum(const std::vector<uint64_t>& v) {
+  uint64_t x = 0;
+  for (uint64_t e : v) x ^= e + (x << 1);
+  return x;
+}
+
+int RunHashKernelTable(const std::string& bench_out) {
+  using bench::Fmt;
+  const bool small = bench::SmallScale();
+  const size_t kKeys = 8192;
+  const uint64_t base_total = small ? 4'000'000ull : 40'000'000ull;
+  const double kFloor = 1.5;
+  const bool avx2 = HashKernelAvailable(HashKernel::kAvx2);
+
+  bench::Banner(
+      "E12a: Mersenne hash kernels (MapFoldedBatch, runtime dispatch)",
+      "batched Horner over GF(2^61-1) is multiply-bound; the AVX2 limb "
+      "kernel must be bit-identical to scalar and >= 1.5x faster");
+
+  bench::BenchReport report("micro", small ? "small" : "full");
+  report.SetConfig("hash_keys", static_cast<double>(kKeys));
+  report.SetConfig("hash_base_total", static_cast<double>(base_total));
+  report.SetNote("hash-kernel table; _eps rows are 0 when avx2 is not "
+                 "dispatchable on the runner");
+
+  Rng rng(20260809);
+  std::vector<uint64_t> in(kKeys), out(kKeys);
+  for (auto& v : in) {
+    v = rng.Next() & ((1ull << 61) - 1);
+    if (v >= kMersennePrime61) v -= kMersennePrime61;
+  }
+
+  bench::Table table({"degree", "scalar keys/s", "avx2 keys/s", "speedup",
+                      "bit-identical"});
+  double max_speedup = 0;
+  for (uint32_t d : {2u, 4u, 48u}) {
+    KWiseHash h(d, 1234);
+    // Fixed per-degree work: Horner cost is (d-1) multiplies per key, so
+    // scale the key count by 2/d to keep each row's wall-clock comparable.
+    const size_t target =
+        std::max<uint64_t>(kKeys, base_total * 2 / std::max(d, 2u));
+    const size_t rounds = std::max<size_t>(1, target / kKeys);
+
+    ForceHashKernel(HashKernel::kScalar);
+    h.MapFoldedBatch(in.data(), out.data(), kKeys);  // warm up
+    double scalar_eps = MeasureKeysPerSecond(h, in, &out, rounds);
+    const uint64_t scalar_sum = Checksum(out);
+
+    double avx2_eps = 0;
+    bool identical = true;
+    if (avx2) {
+      ForceHashKernel(HashKernel::kAvx2);
+      h.MapFoldedBatch(in.data(), out.data(), kKeys);
+      avx2_eps = MeasureKeysPerSecond(h, in, &out, rounds);
+      identical = Checksum(out) == scalar_sum;
+    }
+    ResetHashKernel();
+
+    const double speedup = scalar_eps > 0 ? avx2_eps / scalar_eps : 0;
+    max_speedup = std::max(max_speedup, speedup);
+    table.AddRow({Fmt("%u", d), Fmt("%.2fM", scalar_eps / 1e6),
+                  avx2 ? Fmt("%.2fM", avx2_eps / 1e6) : "n/a",
+                  avx2 ? Fmt("%.2fx", speedup) : "n/a",
+                  identical ? "yes" : "NO"});
+    report.SetMetric(Fmt("hash_d%u_scalar_eps", d), scalar_eps);
+    report.SetMetric(Fmt("hash_d%u_avx2_eps", d), avx2_eps);
+    report.SetMetric(Fmt("hash_d%u_speedup", d), speedup);
+    if (!identical) {
+      std::printf("BIT-IDENTITY VIOLATION at degree %u\n", d);
+      return 1;
+    }
+  }
+  table.Print();
+
+  // Self-judging speedup gate, keyed on the best degree: low degrees are
+  // load/store-bound so the SIMD win concentrates where Horner dominates.
+  const bool ok = !avx2 || max_speedup >= kFloor;
+  std::printf(
+      "\nactive kernel (auto): %s; avx2 dispatchable: %s; best speedup "
+      "%.2fx (floor %.1fx) -> %s\n",
+      HashKernelName(ActiveHashKernel()), avx2 ? "yes" : "no", max_speedup,
+      kFloor, ok ? "ok" : "REGRESSION");
+  report.SetMetric("hash_kernel_avx2_available", avx2 ? 1 : 0);
+  report.SetMetric("hash_kernel_speedup", max_speedup);
+  report.SetMetric("hash_kernel_floor", kFloor);
+  report.SetMetric("hash_kernel_ok", ok ? 1 : 0);
+  if (!ok) {
+    std::printf("HASH KERNEL SPEEDUP BELOW FLOOR\n");
+    return 1;
+  }
+
+  report.Write(bench_out);
+  return 0;
+}
+
 }  // namespace
+
+int MicroMain(int argc, char** argv) {
+  std::string bench_out = bench::BenchOutPath(argc, argv);
+  int rc = RunHashKernelTable(bench_out);
+  if (rc != 0) return rc;
+
+  // Strip the harness-local flag before handing argv to google-benchmark
+  // (it rejects unrecognized flags).
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--bench-out") == 0 && i + 1 < argc) {
+      ++i;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bargc = static_cast<int>(args.size());
+  benchmark::Initialize(&bargc, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
 }  // namespace streamkc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return streamkc::MicroMain(argc, argv); }

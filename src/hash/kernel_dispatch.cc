@@ -1,0 +1,170 @@
+#include "hash/kernel_dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "hash/mersenne.h"
+#include "util/check.h"
+
+namespace streamkc {
+
+#if STREAMKC_HAVE_AVX2_KERNEL
+// Defined in kwise_hash_avx2.cc (the only TU compiled with -mavx2).
+void MapFoldedBatchAvx2(const uint64_t* coeffs, size_t d,
+                        const uint64_t* folded, uint64_t* out, size_t n);
+#endif
+
+// Portable baseline: evaluates kLanes inputs per Horner step so the
+// multiply chains are independent — the scalar loop is latency-bound on
+// MersenneMul (~6 cycles of dependent 64×64→128 multiplies per
+// coefficient), and eight parallel accumulator chains turn that latency
+// into throughput. This is the bit-exactness reference the AVX2 kernel is
+// differential-tested against.
+void MapFoldedBatchScalar(const uint64_t* coeffs, size_t d,
+                          const uint64_t* folded, uint64_t* out, size_t n) {
+  constexpr size_t kLanes = 8;
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    uint64_t v[kLanes];
+    uint64_t acc[kLanes];
+    for (size_t j = 0; j < kLanes; ++j) v[j] = folded[i + j];
+    for (size_t j = 0; j < kLanes; ++j) acc[j] = 0;
+    for (size_t t = d; t-- > 0;) {
+      const uint64_t ct = coeffs[t];
+      for (size_t j = 0; j < kLanes; ++j) {
+        acc[j] = MersenneAdd(MersenneMul(acc[j], v[j]), ct);
+      }
+    }
+    for (size_t j = 0; j < kLanes; ++j) out[i + j] = acc[j];
+  }
+  for (; i < n; ++i) {
+    const uint64_t v = folded[i];
+    uint64_t acc = 0;
+    for (size_t t = d; t-- > 0;) {
+      acc = MersenneAdd(MersenneMul(acc, v), coeffs[t]);
+    }
+    out[i] = acc;
+  }
+}
+
+namespace {
+
+// Cached selection. kUnresolved (-1) until first use or ForceHashKernel;
+// resolution is idempotent (same inputs → same kernel), so a benign race
+// between first users just resolves twice to the same value.
+constexpr int kUnresolved = -1;
+std::atomic<int> g_active{kUnresolved};
+std::atomic<const char*> g_source{"auto"};
+
+[[noreturn]] void DieInvalidEnv(const char* value, const std::string& why) {
+  internal_check::CheckFail(
+      __FILE__, __LINE__, "STREAMKC_HASH_KERNEL",
+      "(" + std::string(value) + "): " + why + " (valid: scalar, avx2)");
+}
+
+HashKernel ResolveFromEnvOrCpu() {
+  const char* env = std::getenv("STREAMKC_HASH_KERNEL");
+  if (env != nullptr && *env != '\0') {
+    HashKernel k;
+    if (!ParseHashKernel(env, &k)) {
+      DieInvalidEnv(env, "unknown hash kernel");
+    }
+    if (!HashKernelAvailable(k)) {
+      DieInvalidEnv(env,
+                    "kernel unavailable on this build/CPU — a silently "
+                    "ignored override would un-pin this run");
+    }
+    g_source.store("env", std::memory_order_relaxed);
+    return k;
+  }
+  g_source.store("auto", std::memory_order_relaxed);
+  return HashKernelAvailable(HashKernel::kAvx2) ? HashKernel::kAvx2
+                                                : HashKernel::kScalar;
+}
+
+HashKernel Resolve() {
+  int cur = g_active.load(std::memory_order_relaxed);
+  if (cur == kUnresolved) {
+    cur = static_cast<int>(ResolveFromEnvOrCpu());
+    g_active.store(cur, std::memory_order_relaxed);
+  }
+  return static_cast<HashKernel>(cur);
+}
+
+}  // namespace
+
+const char* HashKernelName(HashKernel kernel) {
+  return kernel == HashKernel::kAvx2 ? "avx2" : "scalar";
+}
+
+bool ParseHashKernel(const char* name, HashKernel* out) {
+  if (std::strcmp(name, "scalar") == 0) {
+    *out = HashKernel::kScalar;
+    return true;
+  }
+  if (std::strcmp(name, "avx2") == 0) {
+    *out = HashKernel::kAvx2;
+    return true;
+  }
+  return false;
+}
+
+bool CpuSupportsAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool HashKernelAvailable(HashKernel kernel) {
+  if (kernel == HashKernel::kScalar) return true;
+#if STREAMKC_HAVE_AVX2_KERNEL
+  return CpuSupportsAvx2();
+#else
+  return false;
+#endif
+}
+
+HashKernel ActiveHashKernel() { return Resolve(); }
+
+const char* HashKernelSource() {
+  Resolve();
+  return g_source.load(std::memory_order_relaxed);
+}
+
+void ForceHashKernel(HashKernel kernel) {
+  CHECK(HashKernelAvailable(kernel));
+  g_active.store(static_cast<int>(kernel), std::memory_order_relaxed);
+  g_source.store("forced", std::memory_order_relaxed);
+}
+
+void ResetHashKernel() {
+  g_active.store(kUnresolved, std::memory_order_relaxed);
+  g_source.store("auto", std::memory_order_relaxed);
+}
+
+MapFoldedBatchFn HashKernelFn(HashKernel kernel) {
+  CHECK(HashKernelAvailable(kernel));
+#if STREAMKC_HAVE_AVX2_KERNEL
+  if (kernel == HashKernel::kAvx2) return &MapFoldedBatchAvx2;
+#endif
+  return &MapFoldedBatchScalar;
+}
+
+void MapFoldedBatchActive(const uint64_t* coeffs, size_t d,
+                          const uint64_t* folded, uint64_t* out, size_t n) {
+#if STREAMKC_HAVE_AVX2_KERNEL
+  if (Resolve() == HashKernel::kAvx2) {
+    MapFoldedBatchAvx2(coeffs, d, folded, out, n);
+    return;
+  }
+#else
+  Resolve();  // env overrides must still fail fast on scalar-only builds
+#endif
+  MapFoldedBatchScalar(coeffs, d, folded, out, n);
+}
+
+}  // namespace streamkc

@@ -1,0 +1,91 @@
+// Runtime selection of the MapFoldedBatch hash kernel.
+//
+// The polynomial-over-GF(2^61-1) batch evaluation in KWiseHash is the
+// hottest loop in the system, and it has two implementations with one
+// contract: BIT-IDENTICAL output for every input.
+//
+//   * scalar — the 8-lane interleaved Horner loop (portable baseline).
+//   * avx2   — 32-bit limb decomposition of the 61-bit field multiply on
+//              AVX2 (4 lanes per vector, 2 vectors in flight per step;
+//              see kwise_hash_avx2.cc for the limb math).
+//
+// Selection order, resolved once and cached:
+//
+//   1. ForceHashKernel() — programmatic override (the CLI's --hash-kernel
+//      flag, tests pinning a path).
+//   2. STREAMKC_HASH_KERNEL=scalar|avx2 — environment override, so every
+//      test binary and CI job can pin either implementation without code
+//      changes. Any other value, or requesting a kernel this build/CPU
+//      cannot run, aborts with a readable message: a silently ignored
+//      override would un-pin a CI leg without anyone noticing.
+//   3. CPUID — avx2 when the kernel is compiled in and the CPU supports
+//      it, scalar otherwise.
+//
+// The AVX2 kernel lives in its own translation unit compiled with -mavx2
+// (nothing else in the build carries vector flags), so the dispatch check
+// here is what keeps the binary safe on non-AVX2 hardware.
+
+#ifndef STREAMKC_HASH_KERNEL_DISPATCH_H_
+#define STREAMKC_HASH_KERNEL_DISPATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace streamkc {
+
+enum class HashKernel { kScalar = 0, kAvx2 = 1 };
+
+// "scalar" / "avx2" — the spelling accepted by ParseHashKernel and printed
+// by the CLI's kernel row.
+const char* HashKernelName(HashKernel kernel);
+
+// Parses "scalar" or "avx2"; returns false (out untouched) on anything else.
+bool ParseHashKernel(const char* name, HashKernel* out);
+
+// True when the running CPU reports AVX2 (independent of whether the AVX2
+// kernel was compiled into this binary).
+bool CpuSupportsAvx2();
+
+// True when `kernel` can actually run here: scalar always; avx2 only when
+// the kernel TU was built (STREAMKC_ENABLE_AVX2, compiler support) AND the
+// CPU supports it.
+bool HashKernelAvailable(HashKernel kernel);
+
+// The kernel MapFoldedBatch currently dispatches to, resolving (and
+// caching) the selection on first use.
+HashKernel ActiveHashKernel();
+
+// Where the active selection came from: "forced" (ForceHashKernel),
+// "env" (STREAMKC_HASH_KERNEL) or "auto" (CPUID).
+const char* HashKernelSource();
+
+// Pins the active kernel, overriding the environment. CHECK-fails if the
+// kernel is unavailable — callers with a gentler error path (the CLI)
+// test HashKernelAvailable first.
+void ForceHashKernel(HashKernel kernel);
+
+// Drops any force and the cached resolution; the next use re-resolves from
+// the environment / CPUID. For tests and benches that flip kernels.
+void ResetHashKernel();
+
+// out[i] = polynomial c_0..c_{d-1} evaluated at folded[i] over GF(2^61-1),
+// Horner order, canonical representative in [0, p). Inputs must already be
+// folded (each < 2^61 - 1); `out` may alias `folded`. d >= 1.
+using MapFoldedBatchFn = void (*)(const uint64_t* coeffs, size_t d,
+                                  const uint64_t* folded, uint64_t* out,
+                                  size_t n);
+
+// Direct entry points, bypassing dispatch — the differential tests compare
+// these against each other. CHECK-fails for an unavailable kernel.
+MapFoldedBatchFn HashKernelFn(HashKernel kernel);
+
+// The dispatched entry KWiseHash::MapFoldedBatch calls: resolves the
+// active kernel on first use (thread-safe; resolution is idempotent) and
+// forwards. Precondition checking is the caller's job — this is the raw
+// kernel boundary.
+void MapFoldedBatchActive(const uint64_t* coeffs, size_t d,
+                          const uint64_t* folded, uint64_t* out, size_t n);
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_HASH_KERNEL_DISPATCH_H_

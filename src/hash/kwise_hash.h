@@ -19,10 +19,12 @@
 // into the field domain by MersenneFold (the fold is idempotent, so callers
 // can fold an id exactly once and evaluate it under arbitrarily many hash
 // functions — the ingest stack's hash-once discipline). MapFoldedBatch
-// evaluates one polynomial over a whole input block with interleaved Horner
-// chains: the independent accumulators hide the 128-bit multiply latency
-// that serializes the scalar loop, which is where the batched ingest path
-// gets its ILP.
+// evaluates one polynomial over a whole input block through the runtime-
+// dispatched kernel (hash/kernel_dispatch.h): the scalar kernel interleaves
+// eight Horner chains to hide the 128-bit multiply latency, the AVX2 kernel
+// vectorizes the field multiply via 32-bit limb decomposition. Both emit
+// canonical residues, so their outputs are bit-identical — the batched
+// ingest path's determinism contract does not depend on which one runs.
 
 #ifndef STREAMKC_HASH_KWISE_HASH_H_
 #define STREAMKC_HASH_KWISE_HASH_H_
@@ -31,6 +33,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "hash/kernel_dispatch.h"
 #include "hash/mersenne.h"
 #include "util/check.h"
 #include "util/random.h"
@@ -70,30 +73,23 @@ class KWiseHash : public SpaceAccounted {
     return acc;
   }
 
-  // out[i] = MapFolded(folded[i]) for i in [0, n). Evaluates kLanes inputs
-  // per Horner step so the multiply chains are independent: the scalar loop
-  // is latency-bound on MersenneMul (~6 cycles of dependent 64×64→128
-  // multiplies per coefficient), and eight parallel accumulator chains turn
-  // that latency into throughput. `out` may alias `folded`.
+  // out[i] = MapFolded(folded[i]) for i in [0, n), through the runtime-
+  // dispatched kernel (scalar interleaved Horner or AVX2 limb
+  // decomposition — bit-identical by contract). `out` may alias `folded`.
+  //
+  // The folded-input precondition is a hard CHECK here, enforced once per
+  // batch (a max-reduce scan, not a per-element branch in the Horner
+  // loop): an unfolded id would evaluate the polynomial at the wrong field
+  // point and silently decorrelate every estimate built on it, and the
+  // batch boundary is the last place the whole violation is visible at
+  // O(1) CHECK cost. Matches the MapRange zero-range precedent (PR 4).
   void MapFoldedBatch(const uint64_t* folded, uint64_t* out, size_t n) const {
-    constexpr size_t kLanes = 8;
-    const uint64_t* c = coeffs_.data();
-    const size_t d = coeffs_.size();
-    size_t i = 0;
-    for (; i + kLanes <= n; i += kLanes) {
-      uint64_t v[kLanes];
-      uint64_t acc[kLanes];
-      for (size_t j = 0; j < kLanes; ++j) v[j] = folded[i + j];
-      for (size_t j = 0; j < kLanes; ++j) acc[j] = 0;
-      for (size_t t = d; t-- > 0;) {
-        const uint64_t ct = c[t];
-        for (size_t j = 0; j < kLanes; ++j) {
-          acc[j] = MersenneAdd(MersenneMul(acc[j], v[j]), ct);
-        }
-      }
-      for (size_t j = 0; j < kLanes; ++j) out[i + j] = acc[j];
+    uint64_t max_v = 0;
+    for (size_t i = 0; i < n; ++i) {
+      max_v = folded[i] > max_v ? folded[i] : max_v;
     }
-    for (; i < n; ++i) out[i] = MapFolded(folded[i]);
+    CHECK_LT(max_v, kMersennePrime61);
+    MapFoldedBatchActive(coeffs_.data(), coeffs_.size(), folded, out, n);
   }
 
   // Uniform value in [0, range); range in [1, 2^61). range == 0 would make

@@ -1,0 +1,162 @@
+// AVX2 kernel for the batched Horner evaluation over GF(p), p = 2^61 - 1.
+//
+// AVX2 has no 64×64→128 vector multiply, so the field multiply is built
+// from _mm256_mul_epu32 (32×32→64) on a 32-bit limb decomposition. For
+// v in [0, p) and an accumulator a ≤ 2^62 (see the lazy-reduction
+// invariant below), write a = a0 + 2^32·a1 and v = v0 + 2^32·v1 with
+// a0, v0 < 2^32, a1 ≤ 2^30 and v1 < 2^29. Then
+//
+//   a·v = a0·v0 + 2^32·(a0·v1 + a1·v0) + 2^64·a1·v1
+//
+// with every partial product in range: a0·v0 < 2^64 (the only full-width
+// one), a0·v1 < 2^61, a1·v0 < 2^62, their sum mid < 2^63, and
+// a1·v1 < 2^59. Reduction uses 2^61 ≡ 1 (mod p), term by term:
+//
+//   a0·v0        ≡ (lo & p) + (lo >> 61)                 < 2^61 + 8
+//   2^32·mid     ≡ ((mid & (2^29-1)) << 32) + (mid >> 29)
+//                  (split mid at bit 29 so the << 32 lands exactly on 2^61)
+//   2^64·a1·v1   ≡ 8·(a1·v1)  (2^64 = 8·2^61 ≡ 8)             < 2^62
+//
+// The term sum s stays < 2^63 (no uint64 overflow, and bit 63 clear so
+// signed compares remain valid unsigned compares).
+//
+// Lazy reduction: the scalar kernel canonicalizes after every multiply AND
+// every coefficient add; doing that in vector code costs two conditional
+// subtracts per Horner step. Instead each step folds s just once —
+// (s & p) + (s >> 61) ≤ 2^61 + 2 — and adds the coefficient (< p) without
+// canonicalizing, giving acc' ≤ 2^62, which is exactly the bound the limb
+// decomposition above needs. Only the FINAL accumulator is canonicalized
+// (one more fold to ≤ 2^61 + 1, then a conditional subtract into [0, p)).
+// The canonical residue of the polynomial value is unique, so the output
+// is still bit-identical to the scalar kernel — the contract is on bytes
+// out, not on intermediate representations.
+// tests/hash_kernel_differential_test.cc enforces byte equality for every
+// batch size and adversarial input anyway.
+//
+// Four 4-lane accumulator vectors run per iteration (16 keys). Horner is a
+// serial dependency chain per key — roughly mul(5) + adds(~7) cycles of
+// latency per step against ~5 cycles of issue — so fewer chains leave the
+// multiplier idle (a 2-chain version of this kernel LOST to the 8-chain
+// interleaved scalar loop at d = 48). Four chains plus the per-block
+// v/v_hi registers still fit the 16 ymm registers.
+//
+// This is the ONLY translation unit compiled with -mavx2 (see
+// src/hash/CMakeLists.txt); callers must route through kernel_dispatch so
+// the CPUID check runs before any instruction here executes.
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "hash/mersenne.h"
+
+namespace streamkc {
+
+namespace {
+
+inline __m256i P61() {
+  return _mm256_set1_epi64x(static_cast<long long>(kMersennePrime61));
+}
+
+// One lazy Horner step on 4 lanes: acc·v + c (mod p, non-canonical).
+// Precondition acc ≤ 2^62; postcondition result ≤ 2^62.
+// v_hi = v >> 32 is loop-invariant per block and passed in precomputed.
+inline __m256i HornerStep(__m256i acc, __m256i v, __m256i v_hi, __m256i c) {
+  const __m256i p = P61();
+  const __m256i m29 = _mm256_set1_epi64x((1LL << 29) - 1);
+  const __m256i a_hi = _mm256_srli_epi64(acc, 32);
+  // _mm256_mul_epu32 reads the low 32 bits of each 64-bit lane, so the
+  // un-shifted operands ARE the low limbs.
+  const __m256i lo = _mm256_mul_epu32(acc, v);        // a0·v0   < 2^64
+  const __m256i m1 = _mm256_mul_epu32(acc, v_hi);     // a0·v1   < 2^61
+  const __m256i m2 = _mm256_mul_epu32(a_hi, v);       // a1·v0   < 2^62
+  const __m256i hi = _mm256_mul_epu32(a_hi, v_hi);    // a1·v1   < 2^59
+  const __m256i mid = _mm256_add_epi64(m1, m2);       //         < 2^63
+  __m256i s = _mm256_and_si256(lo, p);
+  s = _mm256_add_epi64(s, _mm256_srli_epi64(lo, 61));
+  s = _mm256_add_epi64(
+      s, _mm256_slli_epi64(_mm256_and_si256(mid, m29), 32));
+  s = _mm256_add_epi64(s, _mm256_srli_epi64(mid, 29));
+  s = _mm256_add_epi64(s, _mm256_slli_epi64(hi, 3));  // s < 2^63
+  // Single fold: ≤ 2^61 + 2; plus coefficient < p: ≤ 2^62. NOT canonical.
+  s = _mm256_add_epi64(_mm256_and_si256(s, p), _mm256_srli_epi64(s, 61));
+  return _mm256_add_epi64(s, c);
+}
+
+// Collapse a lazy accumulator (≤ 2^62) to THE canonical residue in [0, p).
+inline __m256i Canonicalize(__m256i acc) {
+  const __m256i p = P61();
+  const __m256i s =
+      _mm256_add_epi64(_mm256_and_si256(acc, p), _mm256_srli_epi64(acc, 61));
+  // s ≤ 2^61 + 1 < 2p; x > p-1 ⇔ x >= p, signed compare safe (< 2^63).
+  const __m256i ge = _mm256_cmpgt_epi64(
+      s, _mm256_set1_epi64x(static_cast<long long>(kMersennePrime61 - 1)));
+  return _mm256_sub_epi64(s, _mm256_and_si256(ge, p));
+}
+
+}  // namespace
+
+void MapFoldedBatchAvx2(const uint64_t* coeffs, size_t d,
+                        const uint64_t* folded, uint64_t* out, size_t n) {
+  // Unaligned loads/stores throughout — batch views land on arbitrary
+  // offsets, and `out` may alias `folded` (loads complete before stores).
+  // Accumulators start at the leading coefficient (skipping the 0·v + c
+  // step the naive recurrence would burn — for d = 2 that halves the
+  // multiply count).
+  size_t i = 0;
+  if (d > 0) {
+    const __m256i lead =
+        _mm256_set1_epi64x(static_cast<long long>(coeffs[d - 1]));
+    for (; i + 16 <= n; i += 16) {
+      const __m256i v0 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(folded + i));
+      const __m256i v1 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(folded + i + 4));
+      const __m256i v2 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(folded + i + 8));
+      const __m256i v3 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(folded + i + 12));
+      const __m256i h0 = _mm256_srli_epi64(v0, 32);
+      const __m256i h1 = _mm256_srli_epi64(v1, 32);
+      const __m256i h2 = _mm256_srli_epi64(v2, 32);
+      const __m256i h3 = _mm256_srli_epi64(v3, 32);
+      __m256i a0 = lead;
+      __m256i a1 = lead;
+      __m256i a2 = lead;
+      __m256i a3 = lead;
+      for (size_t t = d - 1; t-- > 0;) {
+        const __m256i c =
+            _mm256_set1_epi64x(static_cast<long long>(coeffs[t]));
+        a0 = HornerStep(a0, v0, h0, c);
+        a1 = HornerStep(a1, v1, h1, c);
+        a2 = HornerStep(a2, v2, h2, c);
+        a3 = HornerStep(a3, v3, h3, c);
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                          Canonicalize(a0));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 4),
+                          Canonicalize(a1));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 8),
+                          Canonicalize(a2));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 12),
+                          Canonicalize(a3));
+    }
+  }
+  // Remainder lanes (and the degenerate d = 0): scalar Horner, canonical
+  // at every step like the scalar kernel.
+  for (; i < n; ++i) {
+    const uint64_t v = folded[i];
+    uint64_t acc = 0;
+    for (size_t t = d; t-- > 0;) {
+      acc = MersenneAdd(MersenneMul(acc, v), coeffs[t]);
+    }
+    out[i] = acc;
+  }
+}
+
+}  // namespace streamkc
+
+#endif  // defined(__AVX2__)

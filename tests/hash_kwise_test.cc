@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <set>
 #include <vector>
 
+#include "hash/kernel_dispatch.h"
 #include "hash/mersenne.h"
 #include "util/random.h"
 
@@ -190,6 +192,149 @@ TEST(KWiseHash, FoldedBatchMatchesScalarMap) {
         EXPECT_EQ(range_out[i], h.MapRangeFolded(folded[i], 17));
       }
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-parameterized statistical checks: the k-wise uniformity /
+// independence properties above are proved for the polynomial family, so
+// they must hold through EITHER kernel — a vector kernel that stayed
+// deterministic but mapped to the wrong field points would pass bit-level
+// differential tests between its own runs while silently destroying
+// uniformity. Each case pins the kernel with the forced-path override and
+// drives the hashes through the batched (dispatched) entry.
+// ---------------------------------------------------------------------------
+
+class KWiseHashKernelTest : public ::testing::TestWithParam<HashKernel> {
+ protected:
+  void SetUp() override {
+    if (!HashKernelAvailable(GetParam())) {
+      GTEST_SKIP() << HashKernelName(GetParam())
+                   << " kernel unavailable on this host";
+    }
+    ForceHashKernel(GetParam());
+  }
+  void TearDown() override { ResetHashKernel(); }
+};
+
+TEST_P(KWiseHashKernelTest, MapRangeUniformityBatched) {
+  KWiseHash h(2, 7);
+  const int kBuckets = 16, kDraws = 64000;
+  std::vector<uint64_t> folded(kDraws);
+  for (int x = 0; x < kDraws; ++x) folded[x] = MersenneFold(x);
+  std::vector<uint64_t> out(kDraws);
+  h.MapRangeFoldedBatch(folded.data(), out.data(), kDraws, kBuckets);
+  std::vector<int> counts(kBuckets, 0);
+  for (uint64_t b : out) ++counts[b];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 6 * std::sqrt(kDraws / kBuckets));
+  }
+}
+
+TEST_P(KWiseHashKernelTest, SignBalancedBatched) {
+  KWiseHash h = KWiseHash::FourWise(77);
+  const int kDraws = 100000;
+  std::vector<uint64_t> folded(kDraws);
+  for (int x = 0; x < kDraws; ++x) folded[x] = MersenneFold(x);
+  std::vector<uint64_t> out(kDraws);
+  h.MapFoldedBatch(folded.data(), out.data(), kDraws);
+  int sum = 0;
+  for (uint64_t v : out) sum += (v & 1) ? +1 : -1;
+  EXPECT_LT(std::abs(sum), 6 * static_cast<int>(std::sqrt(kDraws)));
+}
+
+TEST_P(KWiseHashKernelTest, PairwiseCollisionRateBatched) {
+  // Pr[h(x) = h(y)] ≈ 1/range over the family; the 2-element batches ride
+  // the kernels' remainder lanes on every draw.
+  const uint64_t kRange = 64;
+  const int kPairs = 20000;
+  const uint64_t probe[2] = {MersenneFold(1), MersenneFold(2)};
+  int collisions = 0;
+  for (int t = 0; t < kPairs; ++t) {
+    KWiseHash h(2, 10000 + t);
+    uint64_t out[2];
+    h.MapRangeFoldedBatch(probe, out, 2, kRange);
+    collisions += (out[0] == out[1]);
+  }
+  double rate = collisions / static_cast<double>(kPairs);
+  EXPECT_NEAR(rate, 1.0 / kRange, 0.006);
+}
+
+TEST_P(KWiseHashKernelTest, FourWiseFourthMomentBatched) {
+  // E[(Σ s(x))⁴] = 3w² − 2w for 4-wise independent signs, via the batched
+  // sign extraction (full 8-lane blocks + remainder).
+  const int kWindow = 16;
+  const int kTrials = 4000;
+  std::vector<uint64_t> folded(kWindow);
+  for (int x = 0; x < kWindow; ++x) folded[x] = MersenneFold(x);
+  double fourth = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    KWiseHash h = KWiseHash::FourWise(7777 + t);
+    uint64_t out[kWindow];
+    h.MapFoldedBatch(folded.data(), out, kWindow);
+    double s = 0;
+    for (uint64_t v : out) s += (v & 1) ? +1.0 : -1.0;
+    fourth += s * s * s * s;
+  }
+  fourth /= kTrials;
+  double expected = 3.0 * kWindow * kWindow - 2.0 * kWindow;
+  EXPECT_NEAR(fourth, expected, 0.25 * expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, KWiseHashKernelTest,
+                         ::testing::Values(HashKernel::kScalar,
+                                           HashKernel::kAvx2),
+                         [](const auto& info) {
+                           return std::string(HashKernelName(info.param));
+                         });
+
+// An invalid STREAMKC_HASH_KERNEL must kill the process with a readable
+// message at resolution time — a CI leg whose override were silently
+// ignored would report green while testing the wrong kernel.
+TEST(HashKernelDeathTest, InvalidEnvOverrideFailsFast) {
+  EXPECT_DEATH(
+      {
+        setenv("STREAMKC_HASH_KERNEL", "avx512", 1);
+        ResetHashKernel();  // drop the cached resolution, re-read the env
+        ActiveHashKernel();
+      },
+      "STREAMKC_HASH_KERNEL");
+}
+
+TEST(HashKernelDeathTest, UnavailableEnvOverrideFailsFast) {
+  // Only testable where the avx2 kernel is NOT runnable (scalar-only build
+  // or non-AVX2 CPU): requesting it must die, not fall back.
+  if (HashKernelAvailable(HashKernel::kAvx2)) {
+    GTEST_SKIP() << "avx2 kernel available here; covered by the -mno-avx2 "
+                    "CI leg";
+  }
+  EXPECT_DEATH(
+      {
+        setenv("STREAMKC_HASH_KERNEL", "avx2", 1);
+        ResetHashKernel();
+        ActiveHashKernel();
+      },
+      "STREAMKC_HASH_KERNEL");
+}
+
+// The folded-input precondition is a hard CHECK at the batch boundary
+// (PR 4's MapRange precedent): an unfolded id evaluates the polynomial at
+// the wrong field point and silently decorrelates every estimate downstream
+// — worse than dying. Values ≥ p must abort in release builds too, for
+// every batch size class (remainder-only, exactly one block, block +
+// remainder) and through the range-mapped wrapper.
+TEST(KWiseHash, UnfoldedBatchInputAborts) {
+  KWiseHash h(4, 3);
+  for (size_t n : {1u, 8u, 13u}) {
+    std::vector<uint64_t> bad(n, 7);
+    bad[n - 1] = kMersennePrime61;  // smallest out-of-field value
+    std::vector<uint64_t> out(n);
+    EXPECT_DEATH(h.MapFoldedBatch(bad.data(), out.data(), n), "CHECK failed");
+    bad[n - 1] = ~0ULL;
+    EXPECT_DEATH(h.MapFoldedBatch(bad.data(), out.data(), n), "CHECK failed");
+    bad[n - 1] = kMersennePrime61;
+    EXPECT_DEATH(h.MapRangeFoldedBatch(bad.data(), out.data(), n, 16),
+                 "CHECK failed");
   }
 }
 

@@ -69,6 +69,7 @@
 #include "fault/fault_injector.h"
 #include "fault/fault_plan.h"
 #include "fault/faulty_stream.h"
+#include "hash/kernel_dispatch.h"
 #include "obs/metrics.h"
 #include "obs/space_accountant.h"
 #include "runtime/metrics_export.h"
@@ -102,6 +103,7 @@ struct Args {
   bool lenient = false;  // skip+count malformed input lines instead of failing
   std::string fault_plan;     // fault_plan.h spec; empty = no injection
   bool fault_strict = false;  // degradation aborts instead of quarantining
+  std::string hash_kernel;    // scalar | avx2; empty = env/CPUID dispatch
   // Serve-mode knobs (rejected outside the serve command).
   uint64_t snapshot_every = 65536;  // edges per snapshot segment
   uint64_t query_threads = 2;       // concurrent reader threads
@@ -125,6 +127,9 @@ struct Args {
                " [--metrics-format json|prometheus]\n"
                "           [--fault-plan SPEC] [--fault-strict]"
                "   (fault injection; needs --threads >= 1)\n"
+               "           [--hash-kernel scalar|avx2]"
+               "   (pin the field-hash kernel; default: CPUID dispatch,\n"
+               "            overridable via STREAMKC_HASH_KERNEL)\n"
                "  streamkc_cli report  FILE --m M --n N --k K --alpha A"
                " [--seed S] [--threads T ...]\n"
                "  streamkc_cli twopass FILE --m M --n N --k K --alpha A"
@@ -213,6 +218,16 @@ Args Parse(int argc, char** argv) {
       a.fault_plan = flag.substr(std::strlen("--fault-plan="));
     } else if (flag == "--fault-strict") {
       a.fault_strict = true;
+    } else if (flag == "--hash-kernel") {
+      a.hash_kernel = next();
+      HashKernel k;
+      if (!ParseHashKernel(a.hash_kernel.c_str(), &k)) {
+        Usage("--hash-kernel must be scalar or avx2");
+      }
+      if (!HashKernelAvailable(k)) {
+        Usage("--hash-kernel avx2 is not available (CPU lacks AVX2 or the "
+              "kernel was compiled out)");
+      }
     } else {
       Usage(("unknown flag " + flag).c_str());
     }
@@ -713,9 +728,31 @@ int CmdServe(const Args& a) {
   return final_ans.ok ? 0 : 1;
 }
 
+// Resolves the hash kernel before any estimator is built (precedence:
+// --hash-kernel > STREAMKC_HASH_KERNEL > CPUID auto), reports which kernel
+// the run will use — runs on different machines are only comparable if the
+// row matches — and publishes hash_kernel_avx2 (0/1) so metrics dumps
+// carry the same fact.
+void SetupHashKernel(const Args& a) {
+  if (!a.hash_kernel.empty()) {
+    HashKernel k;
+    if (ParseHashKernel(a.hash_kernel.c_str(), &k)) ForceHashKernel(k);
+  }
+  const HashKernel active = ActiveHashKernel();
+  std::printf("hash kernel        : %s (%s)\n", HashKernelName(active),
+              HashKernelSource());
+  MetricsRegistry::Global()
+      .GetGauge("hash_kernel_avx2")
+      ->Set(active == HashKernel::kAvx2 ? 1 : 0);
+}
+
 int Main(int argc, char** argv) {
   Args a = Parse(argc, argv);
   ValidateFlags(a);
+  if (a.command == "estimate" || a.command == "report" ||
+      a.command == "twopass" || a.command == "serve") {
+    SetupHashKernel(a);
+  }
   if (a.command == "generate") return CmdGenerate(a);
   if (a.command == "stats") return CmdStats(a);
   if (a.command == "estimate") return CmdEstimate(a);

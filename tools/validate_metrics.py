@@ -194,6 +194,12 @@ def check_invariants(dump, errors):
                 f"$: per-reason rejected counters sum {rejected} != "
                 f"serving.queries_rejected {serving['queries_rejected']}")
 
+    # hash_kernel_avx2 is a boolean fact about the run (which MapFoldedBatch
+    # kernel the dispatcher resolved), published as a gauge: 0 or 1 only.
+    kernel = dump.get("registry", {}).get("hash_kernel_avx2")
+    if kernel is not None and kernel not in (0, 1):
+        errors.append(f"$.registry.hash_kernel_avx2: {kernel} is not 0/1")
+
     for name, metric in dump.get("registry", {}).items():
         if isinstance(metric, dict):  # histogram
             bucket_sum = sum(count for _, count in metric["buckets"])
