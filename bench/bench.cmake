@@ -4,9 +4,9 @@
 function(streamkc_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
   target_link_libraries(${name} PRIVATE
-    streamkc_serve streamkc_runtime streamkc_core streamkc_offline
-    streamkc_sketch streamkc_setsys streamkc_stream streamkc_obs
-    streamkc_hash streamkc_util)
+    streamkc_dist streamkc_serve streamkc_runtime streamkc_core
+    streamkc_offline streamkc_sketch streamkc_setsys streamkc_stream
+    streamkc_obs streamkc_hash streamkc_util)
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endfunction()

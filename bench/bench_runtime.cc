@@ -7,7 +7,11 @@
 // merged), and verifies the deterministic-merge contract on every row.
 // A second table scales the multi-producer front-end (P∈{1,2,4,8} × 8
 // shards through the ring lattice) and gates the 8-producer speedup
-// against a hardware-aware floor (producer_scaling_ok).
+// against a hardware-aware floor (producer_scaling_ok). A third table
+// scales the multi-PROCESS reduction tree (src/dist, W∈{1,2,4} forked
+// workers; 8 at full scale) over the same edges, requires the tree-merged
+// state to serialize bit-identical to the in-line batched pass, and gates
+// the top-W speedup the same way (worker_scaling_ok).
 //
 // NOTE on reading the speedup column: shard workers are real OS threads, so
 // the curve only rises on hardware with that many physical cores. On a
@@ -19,11 +23,13 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "dist/process_tree.h"
 #include "runtime/edge_batch.h"
 #include "runtime/sharded_pipeline.h"
 #include "runtime/sketch_states.h"
@@ -213,6 +219,84 @@ int Main(int argc, char** argv) {
   report.SetMetric("producer_scaling_ok", scaling_ok ? 1 : 0);
   if (!scaling_ok) {
     std::printf("PRODUCER SCALING BELOW FLOOR\n");
+    return 1;
+  }
+
+  // Worker-process scaling: the multi-process reduction tree (src/dist) at
+  // W forked workers over a 16-segment span split of the same edges (the
+  // in-memory analogue of the CLI's file split; segments are shared
+  // copy-on-write after fork). The contract is stronger than the thread
+  // rows': the tree-merged state must serialize BIT-IDENTICAL to the
+  // in-line batched pass, not just estimate-equal — states cross a process
+  // boundary here, so representation drift would hide behind equal
+  // estimates.
+  std::printf("\n");
+  std::string inline_blob;
+  {
+    std::ostringstream os;
+    batched.Save(os);
+    inline_blob = os.str();
+  }
+  constexpr uint32_t kDistSegments = 16;
+  std::vector<uint32_t> worker_counts = {1, 2, 4};
+  if (!bench::SmallScale()) worker_counts.push_back(8);
+  Table wtable({"workers", "edges/s", "speedup", "shipped KiB", "depth",
+                "bit-identical"});
+  double workers_1_eps = 0;
+  double workers_max_eps = 0;
+  uint32_t workers_max = 0;
+  for (uint32_t workers : worker_counts) {
+    DistOptions opts;
+    opts.num_workers = workers;
+    opts.batch_size = kBatchSize;
+    ProcessReductionTree<CoverageSketchState> tree(
+        opts, [&](uint32_t) { return CoverageSketchState(cfg); });
+    CoverageSketchState merged = tree.Run(
+        kDistSegments,
+        [&](uint32_t s) { return MakeEdgeSpanSegment(edges, s, kDistSegments); });
+    const DistMetrics& dm = tree.metrics();
+    double eps = dm.EdgesPerSecond();
+    std::ostringstream os;
+    merged.Save(os);
+    bool identical = os.str() == inline_blob;
+    wtable.AddRow(
+        {Fmt("%u", workers), Fmt("%.2fM", eps / 1e6),
+         Fmt("%.2fx", eps / base_eps),
+         Fmt("%llu", (unsigned long long)(dm.TotalBytesShipped() >> 10)),
+         Fmt("%u", dm.tree.depth), identical ? "yes" : "NO"});
+    report.SetMetric(Fmt("workers_%u_eps", workers), eps);
+    if (workers == 1) workers_1_eps = eps;
+    if (workers >= workers_max) {
+      workers_max = workers;
+      workers_max_eps = eps;
+    }
+    if (!identical) {
+      std::printf("SERIALIZED-STATE DIVERGENCE at %u workers\n", workers);
+      return 1;
+    }
+  }
+  wtable.Print();
+  report.SetMetric("dist_deterministic", 1);
+
+  // Same hardware-aware gate shape as the producer table, with a lower
+  // ceiling: each worker pays fork + full-state serialization + the merge
+  // tree, so even on big hosts the curve sits under the thread curve. On
+  // <4-core hosts the floor degrades to not-collapsed.
+  const double worker_floor = hc >= 8 ? 2.5 : hc >= 4 ? 1.5 : hc >= 2 ? 0.8
+                                                                      : 0.3;
+  const double worker_scaling =
+      workers_1_eps > 0 ? workers_max_eps / workers_1_eps : 0.0;
+  const bool worker_ok = worker_scaling >= worker_floor;
+  std::printf(
+      "\n%u-worker scaling vs 1-worker (process tree): %.2fx "
+      "(floor %.1fx on %u hardware threads) -> %s\n",
+      workers_max, worker_scaling, worker_floor, hc,
+      worker_ok ? "ok" : "REGRESSION");
+  report.SetMetric("worker_scaling", worker_scaling);
+  report.SetMetric("worker_scaling_floor", worker_floor);
+  report.SetMetric("worker_scaling_ok", worker_ok ? 1 : 0);
+  if (!worker_ok) {
+    std::printf("WORKER SCALING BELOW FLOOR\n");
     return 1;
   }
 

@@ -1,0 +1,98 @@
+#include "dist/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "dist/frame.h"
+#include "util/check.h"
+#include "util/serialize.h"
+
+namespace streamkc {
+namespace {
+
+constexpr uint32_t kCkptMagic = 0x534b4331;  // "SKC1"
+constexpr uint32_t kCkptVersion = 1;
+
+}  // namespace
+
+std::string CheckpointPath(const std::string& dir, uint32_t worker) {
+  return dir + "/ckpt_w" + std::to_string(worker) + ".bin";
+}
+
+std::string EncodeCheckpoint(const Checkpoint& ckpt) {
+  std::ostringstream body;
+  WriteU32(body, ckpt.worker);
+  WriteU64(body, ckpt.segments_done);
+  ckpt.counters.Save(body);
+  WriteU64(body, ckpt.fingerprint);
+  WriteU64(body, ckpt.state_blob.size());
+  body.write(ckpt.state_blob.data(),
+             static_cast<std::streamsize>(ckpt.state_blob.size()));
+  const std::string body_bytes = body.str();
+
+  std::ostringstream os;
+  WriteHeader(os, kCkptMagic, kCkptVersion);
+  WriteU64(os, body_bytes.size());
+  WriteU32(os, Crc32(body_bytes.data(), body_bytes.size()));
+  os.write(body_bytes.data(),
+           static_cast<std::streamsize>(body_bytes.size()));
+  return os.str();
+}
+
+Checkpoint DecodeCheckpoint(const std::string& bytes) {
+  std::istringstream is(bytes);
+  CheckHeader(is, kCkptMagic, kCkptVersion);
+  const uint64_t body_len = ReadU64(is);
+  const uint32_t crc = ReadU32(is);
+  CHECK_LE(body_len, kMaxFramePayload);
+  std::string body(static_cast<size_t>(body_len), '\0');
+  is.read(body.data(), static_cast<std::streamsize>(body.size()));
+  CHECK(is.good());
+  // The whole blob is exactly header + body: trailing garbage is corruption
+  // too (a concatenated or overwritten file must not load).
+  CHECK(is.peek() == std::char_traits<char>::eof());
+  CHECK_EQ(Crc32(body.data(), body.size()), crc);
+
+  std::istringstream bs(body);
+  Checkpoint ckpt;
+  ckpt.worker = ReadU32(bs);
+  ckpt.segments_done = ReadU64(bs);
+  ckpt.counters = WorkerCounters::Load(bs);
+  ckpt.fingerprint = ReadU64(bs);
+  const uint64_t state_len = ReadU64(bs);
+  CHECK_LE(state_len, body_len);
+  ckpt.state_blob.resize(static_cast<size_t>(state_len));
+  bs.read(ckpt.state_blob.data(),
+          static_cast<std::streamsize>(ckpt.state_blob.size()));
+  CHECK(bs.good());
+  return ckpt;
+}
+
+void WriteCheckpointFile(const std::string& path, const Checkpoint& ckpt) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    CHECK(os.is_open());
+    const std::string bytes = EncodeCheckpoint(ckpt);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    os.flush();
+    CHECK(os.good());
+  }
+  CHECK_EQ(std::rename(tmp.c_str(), path.c_str()), 0);
+}
+
+bool CheckpointFileExists(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return is.is_open();
+}
+
+Checkpoint LoadCheckpointFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  CHECK(is.is_open());
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return DecodeCheckpoint(buf.str());
+}
+
+}  // namespace streamkc

@@ -1,0 +1,75 @@
+// Durable worker checkpoints: the restart half of the dist layer's
+// crash-recovery story.
+//
+// A worker writes one checkpoint file after every --checkpoint-every
+// committed segments. The blob records the committed segment prefix, the
+// counters for exactly that prefix, and the serialized estimator state —
+// so a respawned worker loads the file, re-opens the segments past
+// `segments_done`, and converges on the identical final state a
+// never-killed run produces (segments after the last checkpoint are simply
+// re-ingested from scratch; the dead incarnation's uncommitted work died
+// with its address space).
+//
+// Layout (little-endian, util/serialize.h helpers):
+//
+//   u32 magic    'SKC1'
+//   u32 version  1
+//   u64 body_len
+//   u32 crc      CRC-32 over the body bytes
+//   body:
+//     u32 worker
+//     u64 segments_done
+//     WorkerCounters
+//     u64 fingerprint   State::MergeFingerprint() at save time
+//     u64 state_len + state blob (the State's own Save format)
+//
+// Unlike the wire frame (where corruption quarantines a worker), a corrupt
+// checkpoint is a CHECK failure: the file is local, written by this very
+// binary, and loading a tampered or truncated blob would silently resurrect
+// a wrong prefix. The death-test battery in tests/dist_checkpoint_test.cc
+// pins truncation, bit flips, and version bumps to a clean abort.
+//
+// Writes are atomic: the blob lands in `<path>.tmp` and is rename(2)d over
+// `path`, so a crash mid-write leaves the previous checkpoint intact and a
+// reader never observes a half-written file.
+
+#ifndef STREAMKC_DIST_CHECKPOINT_H_
+#define STREAMKC_DIST_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "dist/worker_counters.h"
+
+namespace streamkc {
+
+struct Checkpoint {
+  uint32_t worker = 0;
+  uint64_t segments_done = 0;  // committed prefix of the owned segment list
+  WorkerCounters counters;     // counters for exactly that prefix
+  uint64_t fingerprint = 0;    // merge fingerprint of the saved state
+  std::string state_blob;      // State::Save bytes
+};
+
+// Canonical per-worker checkpoint file name under `dir`.
+std::string CheckpointPath(const std::string& dir, uint32_t worker);
+
+// Serializes `ckpt` (header + CRC + body) into a byte string.
+std::string EncodeCheckpoint(const Checkpoint& ckpt);
+
+// Parses a blob produced by EncodeCheckpoint. CHECK-fails on any
+// corruption: bad magic/version, truncated body, CRC mismatch.
+Checkpoint DecodeCheckpoint(const std::string& bytes);
+
+// Atomically (tmp + rename) writes `ckpt` to `path`; CHECK-fails on IO
+// errors (an unwritable checkpoint dir is a caller bug, not a degradation).
+void WriteCheckpointFile(const std::string& path, const Checkpoint& ckpt);
+
+bool CheckpointFileExists(const std::string& path);
+
+// Reads and decodes `path`; CHECK-fails if missing or corrupt.
+Checkpoint LoadCheckpointFile(const std::string& path);
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_DIST_CHECKPOINT_H_

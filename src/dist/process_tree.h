@@ -1,0 +1,548 @@
+// ProcessReductionTree: multi-process partitioned ingest with a tree merge.
+//
+// The coordinator fork()s W worker processes (no exec — the child runs the
+// templated worker loop directly, which keeps the harness CI-friendly: no
+// MPI, no re-entry protocol, and in-memory test corpora ride across the
+// fork for free). Each worker owns a contiguous block of the caller's
+// segments (worker w gets [S*w/W, S*(w+1)/W) — the SegmentedTextStream
+// byte-range convention), ingests them through the batched ProcessBatch
+// path, and ships ONE final frame up its pipe: the shipped WorkerCounters
+// block followed by the State's Save() blob, framed with length + CRC +
+// MergeFingerprint (dist/frame.h). The single-threaded coordinator
+// poll(2)s all pipes, reassembles frames, and reduces the surviving states
+// through the arity-configurable merge tree (dist/reduction_tree.h).
+//
+// Crash recovery: with a checkpoint_dir configured, workers write a
+// checksummed checkpoint (dist/checkpoint.h) every checkpoint_every
+// committed segments. A worker that dies mid-stream (crash, CHECK-abort,
+// or a FaultPlan kill-shard) is respawned — up to max_respawns times —
+// and the respawned incarnation loads the checkpoint, then re-ingests only
+// the segments past the committed prefix. Because the checkpoint holds
+// exactly the committed prefix and the dead incarnation's uncommitted work
+// died with its address space, every segment lands in the final state
+// exactly once: a kill-and-respawn run is byte-identical to a never-killed
+// one. Without a checkpoint the respawn re-ingests from scratch — slower,
+// same answer.
+//
+// FaultPlan integration (all seed-deterministic, replayable from the spec):
+//   kill-shard=W@B    worker W's FIRST incarnation _exit()s before its B-th
+//                     batch (mid-stream; respawned incarnations run clean,
+//                     so the recovery converges deterministically).
+//   corrupt-merge=W   worker W's reported fingerprint is corrupted at the
+//                     coordinator; the majority vote across workers detects
+//                     it and quarantines W out of the merge.
+//   corrupt-frame=W   worker W's frame bytes are corrupted in transport;
+//                     the CRC rejects the frame and W is quarantined (a
+//                     transport that corrupts deterministically would
+//                     corrupt every respawn too, so no respawn is spent).
+//   stream faults     apply inside the worker via the caller's opener
+//                     wrapping segments in FaultInjectingStream.
+//
+// Failure matrix (who detects, what happens):
+//   crash / kill      coordinator sees EOF without a frame -> respawn,
+//                     then quarantine once max_respawns is exhausted
+//   exit(kPermanentErrorExit) (e.g. parse error) -> quarantine immediately
+//                     (deterministic failures don't earn respawns)
+//   CRC-corrupt frame -> quarantine immediately
+//   fingerprint minority -> quarantine after the majority vote
+//   corrupt checkpoint -> the respawned worker CHECK-aborts, which is a
+//                     crash: respawn again (from scratch if the file stays
+//                     bad) until the budget quarantines the worker
+//
+// Requirements on State: Process/ProcessBatch, Merge, MergeFingerprint,
+// Save(ostream&), static Load(istream&) — the serialize.h sketch contract.
+
+#ifndef STREAMKC_DIST_PROCESS_TREE_H_
+#define STREAMKC_DIST_PROCESS_TREE_H_
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/checkpoint.h"
+#include "dist/dist_metrics.h"
+#include "dist/frame.h"
+#include "dist/reduction_tree.h"
+#include "dist/worker_counters.h"
+#include "fault/fault_injector.h"
+#include "runtime/edge_batch.h"
+#include "runtime/sharded_pipeline.h"
+#include "stream/edge_stream.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace streamkc {
+
+struct DistOptions {
+  uint32_t num_workers = 4;
+  uint32_t merge_arity = 4;
+  size_t batch_size = 4096;
+  // Checkpoint cadence in committed segments; 0 disables checkpointing
+  // (a respawned worker then re-ingests its whole block from scratch).
+  // When > 0, checkpoint_dir must name an existing writable directory.
+  uint32_t checkpoint_every = 0;
+  std::string checkpoint_dir;
+  // Respawn budget per worker before it is quarantined out of the merge.
+  uint32_t max_respawns = 2;
+  // Strict mode: any quarantine exits(1) after the reduction — the dist
+  // analogue of DegradationPolicy::strict (a successful respawn is
+  // recovery, not degradation, and does not trip strict mode).
+  bool strict = false;
+  // Bounded retry/backoff for transient stream errors inside workers.
+  DegradationPolicy degradation;
+  // Optional deterministic fault plan (kill/corrupt hooks above). The
+  // injector must outlive Run(); its counters land in the coordinator's
+  // registry (worker-side registries die with the worker).
+  const FaultInjector* fault_injector = nullptr;
+};
+
+// Exit codes the worker protocol reserves. Anything else (signals
+// included) is treated as a crash and earns a respawn.
+inline constexpr int kWorkerOkExit = 0;
+inline constexpr int kWorkerKilledExit = 6;          // injected kill fault
+inline constexpr int kWorkerPermanentErrorExit = 9;  // deterministic failure
+
+template <typename State>
+class ProcessReductionTree {
+ public:
+  // Opens segment i afresh; called in the CHILD after fork, so the lambda
+  // may capture parent memory (copy-on-write) and may wrap the stream in
+  // FaultInjectingStream for plans with stream faults.
+  using SegmentOpener = std::function<std::unique_ptr<EdgeStream>(uint32_t)>;
+  using Factory = std::function<State(uint32_t worker)>;
+
+  ProcessReductionTree(const DistOptions& options, Factory factory)
+      : options_(options), factory_(std::move(factory)) {
+    CHECK_GE(options_.num_workers, 1u);
+    CHECK_GE(options_.merge_arity, 2u);
+    CHECK_GE(options_.batch_size, size_t{1});
+    if (options_.checkpoint_every > 0) {
+      CHECK(!options_.checkpoint_dir.empty());
+    }
+  }
+
+  // Partitions [0, num_segments) across the workers, runs the fleet, and
+  // returns the tree-merged state. num_segments >= num_workers keeps every
+  // worker busy; fewer segments leave the tail workers idle (legal).
+  State Run(uint32_t num_segments, const SegmentOpener& open) {
+    CHECK_GE(num_segments, 1u);
+    Stopwatch wall;
+    metrics_ = DistMetrics();
+    metrics_.num_workers = options_.num_workers;
+    metrics_.merge_arity = options_.merge_arity;
+    metrics_.num_segments = num_segments;
+    metrics_.workers.resize(options_.num_workers);
+
+    std::vector<Slot> slots(options_.num_workers);
+    for (uint32_t w = 0; w < options_.num_workers; ++w) {
+      DistWorkerRow& row = metrics_.workers[w];
+      row.worker = w;
+      row.segments_assigned = SegmentEnd(w, num_segments) -
+                              SegmentBegin(w, num_segments);
+      Spawn(w, num_segments, open, &slots[w]);
+    }
+    PumpUntilResolved(&slots, num_segments, open);
+
+    // Majority vote over the reported fingerprints (the in-process
+    // pipeline's corruption detection, applied across process boundaries).
+    // corrupt-merge faults flip the reported value before the vote, so the
+    // vote — not a cross-check against the payload — must catch them.
+    std::vector<uint32_t> voters;
+    for (uint32_t w = 0; w < options_.num_workers; ++w) {
+      if (slots[w].state == Slot::kDone) voters.push_back(w);
+    }
+    if (!voters.empty()) {
+      uint64_t majority = 0;
+      size_t best = 0;
+      for (uint32_t v : voters) {
+        size_t count = 0;
+        for (uint32_t u : voters) {
+          if (slots[u].frame.fingerprint == slots[v].frame.fingerprint) {
+            ++count;
+          }
+        }
+        if (count > best) {
+          best = count;
+          majority = slots[v].frame.fingerprint;
+        }
+      }
+      for (uint32_t v : voters) {
+        if (slots[v].frame.fingerprint != majority) {
+          std::fprintf(stderr,
+                       "dist: worker %u merge fingerprint %016llx "
+                       "disagrees with majority %016llx; quarantined\n",
+                       v,
+                       (unsigned long long)slots[v].frame.fingerprint,
+                       (unsigned long long)majority);
+          metrics_.workers[v].fingerprint_corrupted = true;
+          Quarantine(v, &slots[v]);
+        }
+      }
+    }
+
+    // Deserialize survivors: counters block first, then the state blob.
+    std::vector<std::unique_ptr<State>> states(options_.num_workers);
+    for (uint32_t w = 0; w < options_.num_workers; ++w) {
+      if (slots[w].state != Slot::kDone) continue;
+      std::istringstream is(slots[w].frame.payload);
+      metrics_.workers[w].counters = WorkerCounters::Load(is);
+      states[w] = std::make_unique<State>(State::Load(is));
+      ++metrics_.frames_received;
+    }
+
+    const size_t root =
+        TreeMerge(&states, options_.merge_arity, &metrics_.tree);
+    metrics_.wall_ns = static_cast<uint64_t>(wall.ElapsedSeconds() * 1e9);
+    if (root == SIZE_MAX) {
+      std::fprintf(stderr,
+                   "dist: every worker quarantined; no state to merge\n");
+      std::exit(1);
+    }
+    if (options_.strict && metrics_.WorkersQuarantined() > 0) {
+      std::fprintf(stderr,
+                   "dist: strict mode: %u workers quarantined\n",
+                   metrics_.WorkersQuarantined());
+      std::exit(1);
+    }
+    return std::move(*states[root]);
+  }
+
+  const DistMetrics& metrics() const { return metrics_; }
+
+ private:
+  struct Slot {
+    enum { kRunning, kDone, kQuarantined } state = kRunning;
+    pid_t pid = -1;
+    int fd = -1;
+    uint32_t generation = 0;
+    FrameDecoder decoder;
+    Frame frame;
+    bool frame_ready = false;
+  };
+
+  uint32_t SegmentBegin(uint32_t w, uint32_t num_segments) const {
+    return static_cast<uint32_t>(uint64_t{num_segments} * w /
+                                 options_.num_workers);
+  }
+  uint32_t SegmentEnd(uint32_t w, uint32_t num_segments) const {
+    return static_cast<uint32_t>(uint64_t{num_segments} * (w + 1) /
+                                 options_.num_workers);
+  }
+
+  void Spawn(uint32_t w, uint32_t num_segments, const SegmentOpener& open,
+             Slot* slot) {
+    int fds[2];
+    CHECK_EQ(::pipe(fds), 0);
+    // Flush stdio before forking so buffered output is not duplicated into
+    // the child (the child bypasses exit handlers with _exit, but anything
+    // it prints itself would otherwise ride on stale parent buffers).
+    std::fflush(nullptr);
+    pid_t pid = ::fork();
+    CHECK_GE(pid, 0);
+    if (pid == 0) {
+      ::close(fds[0]);
+      WorkerMain(w, slot->generation, fds[1], num_segments, open);
+      ::_exit(kWorkerOkExit);  // not reached; WorkerMain exits itself
+    }
+    ::close(fds[1]);
+    slot->pid = pid;
+    slot->fd = fds[0];
+    slot->decoder = FrameDecoder();
+    slot->frame_ready = false;
+    slot->state = Slot::kRunning;
+  }
+
+  void Quarantine(uint32_t w, Slot* slot) {
+    slot->state = Slot::kQuarantined;
+    DistWorkerRow& row = metrics_.workers[w];
+    row.quarantined = true;
+    // A quarantined worker contributes nothing to the merged result, so
+    // its shipped counters (if any frame landed) must not enter the
+    // conservation sums — zero the row's counters block.
+    row.counters = WorkerCounters();
+  }
+
+  // Single-threaded event loop: drain pipes, reap exits, respawn or
+  // quarantine failures, until every worker is kDone or kQuarantined.
+  void PumpUntilResolved(std::vector<Slot>* slots, uint32_t num_segments,
+                         const SegmentOpener& open) {
+    const FaultInjector* inj = options_.fault_injector;
+    for (;;) {
+      std::vector<pollfd> pfds;
+      std::vector<uint32_t> owner;
+      for (uint32_t w = 0; w < slots->size(); ++w) {
+        Slot& s = (*slots)[w];
+        if (s.state == Slot::kRunning && s.fd >= 0) {
+          pfds.push_back(pollfd{s.fd, POLLIN, 0});
+          owner.push_back(w);
+        }
+      }
+      if (pfds.empty()) return;
+      int ready = ::poll(pfds.data(), pfds.size(), /*timeout_ms=*/1000);
+      if (ready < 0) {
+        CHECK_EQ(errno, EINTR);
+        continue;
+      }
+      for (size_t i = 0; i < pfds.size(); ++i) {
+        if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        const uint32_t w = owner[i];
+        Slot& s = (*slots)[w];
+        char buf[65536];
+        bool eof = false;
+        for (;;) {
+          ssize_t n = ::read(s.fd, buf, sizeof(buf));
+          if (n > 0) {
+            metrics_.workers[w].bytes_shipped += static_cast<uint64_t>(n);
+            s.decoder.Feed(buf, static_cast<size_t>(n));
+            if (static_cast<size_t>(n) < sizeof(buf)) break;
+            continue;
+          }
+          if (n == 0) {
+            eof = true;
+            break;
+          }
+          CHECK_EQ(errno, EINTR);
+        }
+        if (!eof) continue;
+        ::close(s.fd);
+        s.fd = -1;
+        ResolveExited(w, &s, num_segments, open, inj);
+      }
+    }
+  }
+
+  // Pipe EOF: reap the child and classify the outcome.
+  void ResolveExited(uint32_t w, Slot* s, uint32_t num_segments,
+                     const SegmentOpener& open, const FaultInjector* inj) {
+    int status = 0;
+    pid_t r;
+    do {
+      r = ::waitpid(s->pid, &status, 0);
+    } while (r < 0 && errno == EINTR);
+    CHECK_EQ(r, s->pid);
+    s->pid = -1;
+
+    // corrupt-frame transport fault: flip one bit of the received bytes
+    // before decoding (deterministic per worker; a transport this broken
+    // corrupts every retry too, so the failure goes straight to
+    // quarantine via the CRC below).
+    std::string err;
+    if (inj != nullptr && inj->CorruptsFrame(w) &&
+        s->decoder.buffered_bytes() > 0) {
+      s->decoder.CorruptForTest();
+      inj->Count(FaultInjector::kFaultFrameCorruption);
+    }
+    FrameDecoder::Status ds = s->decoder.Next(&s->frame, &err);
+    const bool clean_exit =
+        WIFEXITED(status) && WEXITSTATUS(status) == kWorkerOkExit;
+
+    if (ds == FrameDecoder::Status::kFrame && clean_exit) {
+      // corrupt-merge fault: the worker's fingerprint arrives flipped, so
+      // only the majority vote (not a payload cross-check) can catch it —
+      // the same detection path the in-process pipeline exercises.
+      if (inj != nullptr && inj->CorruptsMergeFingerprint(w)) {
+        s->frame.fingerprint ^= 0xDEADBEEFu;
+        inj->Count(FaultInjector::kFaultMergeCorruption);
+      }
+      s->state = Slot::kDone;
+      return;
+    }
+    if (ds == FrameDecoder::Status::kCorrupt) {
+      std::fprintf(stderr, "dist: worker %u frame rejected: %s\n", w,
+                   err.c_str());
+      ++metrics_.workers[w].crc_rejections;
+      Quarantine(w, s);
+      return;
+    }
+    if (WIFEXITED(status) &&
+        WEXITSTATUS(status) == kWorkerPermanentErrorExit) {
+      std::fprintf(stderr,
+                   "dist: worker %u failed permanently; quarantined\n", w);
+      Quarantine(w, s);
+      return;
+    }
+    // Crash (signal, abort, injected kill, or exit without a frame):
+    // respawn from the last checkpoint while budget remains.
+    if (inj != nullptr && WIFEXITED(status) &&
+        WEXITSTATUS(status) == kWorkerKilledExit) {
+      inj->Count(FaultInjector::kFaultWorkerDeath);
+    }
+    DistWorkerRow& row = metrics_.workers[w];
+    if (row.respawns >= options_.max_respawns) {
+      std::fprintf(stderr,
+                   "dist: worker %u crashed with respawn budget exhausted "
+                   "(%u used); quarantined\n",
+                   w, row.respawns);
+      Quarantine(w, s);
+      return;
+    }
+    ++row.respawns;
+    ++s->generation;
+    std::fprintf(stderr, "dist: worker %u crashed; respawning (%u/%u)\n", w,
+                 row.respawns, options_.max_respawns);
+    Spawn(w, num_segments, open, s);
+  }
+
+  // ---- Child side -------------------------------------------------------
+
+  [[noreturn]] void WorkerMain(uint32_t w, uint32_t generation, int out_fd,
+                               uint32_t num_segments,
+                               const SegmentOpener& open) {
+    const FaultInjector* inj = options_.fault_injector;
+    const uint32_t seg_begin = SegmentBegin(w, num_segments);
+    const uint32_t seg_end = SegmentEnd(w, num_segments);
+    const uint32_t owned = seg_end - seg_begin;
+
+    State state = factory_(w);
+    WorkerCounters counters;
+    uint64_t start_local = 0;  // owned-segment index to resume from
+
+    const std::string ckpt_path =
+        options_.checkpoint_every > 0
+            ? CheckpointPath(options_.checkpoint_dir, w)
+            : std::string();
+    if (generation > 0 && !ckpt_path.empty() &&
+        CheckpointFileExists(ckpt_path)) {
+      // Any corruption CHECK-aborts here — to the coordinator that is a
+      // crash, spending another respawn (see the failure matrix above).
+      Checkpoint ckpt = LoadCheckpointFile(ckpt_path);
+      CHECK_EQ(ckpt.worker, w);
+      CHECK_LE(ckpt.segments_done, uint64_t{owned});
+      std::istringstream is(ckpt.state_blob);
+      state = State::Load(is);
+      CHECK_EQ(state.MergeFingerprint(), ckpt.fingerprint);
+      counters = ckpt.counters;
+      start_local = ckpt.segments_done;
+      ++counters.checkpoints_loaded;
+    }
+
+    // Only the FIRST incarnation honors the kill fault: the plan names a
+    // deterministic death point, and an immortal sticky fault would kill
+    // every respawn at the same spot forever. batches_seen counts from
+    // this incarnation's start, so a generation-0 kill is a pure function
+    // of (plan, segment assignment, batch_size).
+    const bool killable = inj != nullptr && generation == 0;
+    uint64_t batches_seen = 0;
+
+    EdgeBatch batch(options_.batch_size);
+    for (uint64_t local = start_local; local < owned; ++local) {
+      std::unique_ptr<EdgeStream> stream =
+          open(seg_begin + static_cast<uint32_t>(local));
+      if (stream == nullptr || !stream->ok()) {
+        std::fprintf(stderr, "dist: worker %u cannot open segment %llu\n", w,
+                     (unsigned long long)(seg_begin + local));
+        ::_exit(kWorkerPermanentErrorExit);
+      }
+      if (!IngestSegment(w, stream.get(), &state, &counters, &batch,
+                         killable, &batches_seen)) {
+        ::_exit(kWorkerPermanentErrorExit);
+      }
+      ++counters.segments_done;
+      const uint64_t committed = local + 1;
+      if (!ckpt_path.empty() && committed < owned &&
+          committed % options_.checkpoint_every == 0) {
+        ++counters.checkpoints_written;
+        Checkpoint ckpt;
+        ckpt.worker = w;
+        ckpt.segments_done = committed;
+        ckpt.counters = counters;
+        ckpt.fingerprint = state.MergeFingerprint();
+        std::ostringstream os;
+        state.Save(os);
+        ckpt.state_blob = os.str();
+        WriteCheckpointFile(ckpt_path, ckpt);
+      }
+    }
+
+    Frame frame;
+    frame.fingerprint = state.MergeFingerprint();
+    std::ostringstream payload;
+    counters.Save(payload);
+    state.Save(payload);
+    frame.payload = payload.str();
+    if (!WriteFrameToFd(out_fd, frame)) ::_exit(kWorkerPermanentErrorExit);
+    ::close(out_fd);
+    ::_exit(kWorkerOkExit);
+  }
+
+  // Batched ingest of one segment with bounded retry on transient errors.
+  // Returns false on a non-transient stream error (parse failure).
+  bool IngestSegment(uint32_t w, EdgeStream* stream, State* state,
+                     WorkerCounters* counters, EdgeBatch* batch,
+                     bool killable, uint64_t* batches_seen) {
+    const FaultInjector* inj = options_.fault_injector;
+    const DegradationPolicy& pol = options_.degradation;
+    uint32_t retries = 0;
+    uint64_t backoff = pol.initial_backoff_ns;
+    for (;;) {
+      batch->Clear();
+      Edge e;
+      bool at_end = false;
+      while (batch->size() < options_.batch_size) {
+        if (stream->Next(&e)) {
+          batch->edges.push_back(e);
+          retries = 0;
+          backoff = pol.initial_backoff_ns;
+          continue;
+        }
+        if (stream->ok()) {
+          at_end = true;
+          break;
+        }
+        if (!stream->transient()) {
+          std::fprintf(stderr, "dist: worker %u stream error: %s\n", w,
+                       stream->StatusMessage().c_str());
+          return false;
+        }
+        if (retries >= pol.max_stream_retries) {
+          // Retry budget exhausted: truncate the segment (the in-flight
+          // batch still commits) — the pipeline's degradation semantics.
+          counters->truncated_segments += 1;
+          at_end = true;
+          break;
+        }
+        ++retries;
+        counters->stream_retries += 1;
+        std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
+        backoff = std::min(backoff * 2, pol.max_backoff_ns);
+      }
+      if (!batch->empty()) {
+        if (killable && inj->WorkerDiesAt(w, *batches_seen)) {
+          std::fprintf(stderr,
+                       "dist: worker %u killed by fault plan at batch "
+                       "%llu\n",
+                       w, (unsigned long long)*batches_seen);
+          ::_exit(kWorkerKilledExit);
+        }
+        ++*batches_seen;
+        batch->Prefold();
+        state->ProcessBatch(batch->View());
+        counters->edges_ingested += batch->size();
+        counters->edges_processed += batch->size();
+        counters->batches += 1;
+      }
+      if (at_end) return true;
+    }
+  }
+
+  DistOptions options_;
+  Factory factory_;
+  DistMetrics metrics_;
+};
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_DIST_PROCESS_TREE_H_

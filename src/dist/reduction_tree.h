@@ -1,0 +1,87 @@
+// Tree-shaped merge reduction over collected worker states.
+//
+// The in-process pipeline folds shard states flat (state[0].Merge(state[i])
+// in index order): O(W) sequential merges through one accumulator. At
+// multi-process scale the coordinator replaces that with a bottom-up tree
+// of configurable arity: each level groups the surviving states into runs
+// of `arity` consecutive (by worker index) members and merges each run into
+// its lowest index, halving-or-better the population per level until one
+// root remains. Depth is ceil(log_arity(W)) — the shape a multi-node
+// deployment would execute across hosts, exercised here in one process so
+// its invariants are test-pinned before the transport gets interesting.
+//
+// Determinism: grouping is purely positional (ascending surviving indices),
+// and every Merge in this codebase is commutative & associative over
+// seed-coordinated states, so the root state is byte-identical to the flat
+// fold and to the inline pass — the differential battery's anchor.
+
+#ifndef STREAMKC_DIST_REDUCTION_TREE_H_
+#define STREAMKC_DIST_REDUCTION_TREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace streamkc {
+
+struct MergeTreeStats {
+  uint32_t depth = 0;     // levels executed (0 when <= 1 state survives)
+  uint64_t merges = 0;    // pairwise Merge() calls across all levels
+  uint64_t merge_ns = 0;  // wall time inside Merge() calls
+};
+
+// Expected depth of the reduction for `leaves` surviving states: the
+// validator cross-checks the recorded depth against this closed form.
+inline uint32_t MergeTreeDepth(size_t leaves, uint32_t arity) {
+  CHECK_GE(arity, 2u);
+  uint32_t depth = 0;
+  while (leaves > 1) {
+    leaves = (leaves + arity - 1) / arity;
+    ++depth;
+  }
+  return depth;
+}
+
+// Merges the non-null entries of `states` into a single root, returning its
+// index (the lowest surviving index), or SIZE_MAX when every entry is null.
+// Consumed entries are reset to null; `stats` (optional) accumulates.
+template <typename State>
+size_t TreeMerge(std::vector<std::unique_ptr<State>>* states, uint32_t arity,
+                 MergeTreeStats* stats) {
+  CHECK_GE(arity, 2u);
+  std::vector<size_t> alive;
+  for (size_t i = 0; i < states->size(); ++i) {
+    if ((*states)[i] != nullptr) alive.push_back(i);
+  }
+  if (alive.empty()) return SIZE_MAX;
+
+  Stopwatch sw;
+  while (alive.size() > 1) {
+    std::vector<size_t> next;
+    for (size_t g = 0; g < alive.size(); g += arity) {
+      const size_t root = alive[g];
+      for (size_t j = g + 1; j < alive.size() && j < g + arity; ++j) {
+        sw.Restart();
+        (*states)[root]->Merge(*(*states)[alive[j]]);
+        if (stats != nullptr) {
+          stats->merge_ns +=
+              static_cast<uint64_t>(sw.ElapsedSeconds() * 1e9);
+          ++stats->merges;
+        }
+        (*states)[alive[j]].reset();
+      }
+      next.push_back(root);
+    }
+    alive.swap(next);
+    if (stats != nullptr) ++stats->depth;
+  }
+  return alive.front();
+}
+
+}  // namespace streamkc
+
+#endif  // STREAMKC_DIST_REDUCTION_TREE_H_

@@ -24,6 +24,7 @@ FaultInjector::FaultInjector(const FaultPlan& plan, MetricsRegistry* registry)
   slow_shard_count_ = counter(kFaultSlowShard);
   worker_death_count_ = counter(kFaultWorkerDeath);
   merge_corruption_count_ = counter(kFaultMergeCorruption);
+  frame_corruption_count_ = counter(kFaultFrameCorruption);
   stream_error_count_ = counter(kFaultStreamError);
   duplicate_count_ = counter(kFaultDuplicate);
   reorder_count_ = counter(kFaultReorder);
@@ -63,12 +64,19 @@ bool FaultInjector::CorruptsMergeFingerprint(uint32_t shard) const {
   return shard == plan_.corrupt_merge_shard;
 }
 
+bool FaultInjector::CorruptsFrame(uint32_t shard) const {
+  return shard == plan_.corrupt_frame_shard;
+}
+
 Counter* FaultInjector::CounterFor(const char* kind) const {
   if (std::strcmp(kind, kFaultPushDelay) == 0) return push_delay_count_;
   if (std::strcmp(kind, kFaultSlowShard) == 0) return slow_shard_count_;
   if (std::strcmp(kind, kFaultWorkerDeath) == 0) return worker_death_count_;
   if (std::strcmp(kind, kFaultMergeCorruption) == 0) {
     return merge_corruption_count_;
+  }
+  if (std::strcmp(kind, kFaultFrameCorruption) == 0) {
+    return frame_corruption_count_;
   }
   if (std::strcmp(kind, kFaultStreamError) == 0) return stream_error_count_;
   if (std::strcmp(kind, kFaultDuplicate) == 0) return duplicate_count_;

@@ -48,6 +48,10 @@ class FaultInjector {
   // corrupted (the detection path under test).
   bool CorruptsMergeFingerprint(uint32_t shard) const;
 
+  // Dist-coordinator-side: true when worker `shard`'s state frame should be
+  // corrupted in transport (the CRC rejection path under test).
+  bool CorruptsFrame(uint32_t shard) const;
+
   // Deterministic Bernoulli(p) for (tag, sequence n) — shared with
   // FaultInjectingStream so every fault site draws from the same scheme.
   bool Decide(uint64_t tag, uint64_t n, double p) const;
@@ -60,6 +64,7 @@ class FaultInjector {
   static constexpr const char* kFaultSlowShard = "slow-shard";
   static constexpr const char* kFaultWorkerDeath = "worker-death";
   static constexpr const char* kFaultMergeCorruption = "merge-corruption";
+  static constexpr const char* kFaultFrameCorruption = "frame-corruption";
   static constexpr const char* kFaultStreamError = "stream-error";
   static constexpr const char* kFaultDuplicate = "duplicate";
   static constexpr const char* kFaultReorder = "reorder";
@@ -75,6 +80,7 @@ class FaultInjector {
   Counter* slow_shard_count_;
   Counter* worker_death_count_;
   Counter* merge_corruption_count_;
+  Counter* frame_corruption_count_;
   Counter* stream_error_count_;
   Counter* duplicate_count_;
   Counter* reorder_count_;

@@ -85,6 +85,9 @@ std::string FaultPlan::ToSpec() const {
   if (corrupt_merge_shard != kNoShard) {
     s += ",corrupt-merge=" + std::to_string(corrupt_merge_shard);
   }
+  if (corrupt_frame_shard != kNoShard) {
+    s += ",corrupt-frame=" + std::to_string(corrupt_frame_shard);
+  }
   return s;
 }
 
@@ -148,6 +151,11 @@ bool FaultPlan::Parse(const std::string& spec, FaultPlan* plan,
         return fail(clause, "shard id required");
       }
       plan->corrupt_merge_shard = static_cast<uint32_t>(u);
+    } else if (key == "corrupt-frame") {
+      if (!ParseU64(value, &u) || u >= kNoShard) {
+        return fail(clause, "shard id required");
+      }
+      plan->corrupt_frame_shard = static_cast<uint32_t>(u);
     } else {
       return fail(clause, "unknown key");
     }

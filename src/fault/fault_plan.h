@@ -26,6 +26,9 @@
 //   corrupt-merge=S     shard S's merge fingerprint arrives corrupted; the
 //                       coordinator must detect it and quarantine the shard
 //                       instead of folding garbage into the estimate.
+//   corrupt-frame=S     multi-process runs only: worker S's state frame is
+//                       corrupted in transport; the dist coordinator's CRC
+//                       must reject the frame and quarantine the worker.
 //
 // Example:
 //   --fault-plan=seed=7,read-error=0.001,dup=0.02,kill-shard=1@8
@@ -64,6 +67,8 @@ struct FaultPlan {
   uint32_t kill_shard = kNoShard;
   uint64_t kill_after_batches = 0;
   uint32_t corrupt_merge_shard = kNoShard;
+  // Dist faults (applied by ProcessReductionTree's coordinator).
+  uint32_t corrupt_frame_shard = kNoShard;
 
   bool HasStreamFaults() const {
     return read_error_rate > 0 || duplicate_rate > 0 || reorder_window > 0 ||
@@ -71,7 +76,8 @@ struct FaultPlan {
   }
   bool HasRuntimeFaults() const {
     return push_delay_rate > 0 || slow_shard != kNoShard ||
-           kill_shard != kNoShard || corrupt_merge_shard != kNoShard;
+           kill_shard != kNoShard || corrupt_merge_shard != kNoShard ||
+           corrupt_frame_shard != kNoShard;
   }
   bool Any() const { return HasStreamFaults() || HasRuntimeFaults(); }
 

@@ -10,6 +10,8 @@
 #define STREAMKC_RUNTIME_SKETCH_STATES_H_
 
 #include <cstdint>
+#include <istream>
+#include <ostream>
 
 #include "obs/space_accountant.h"
 #include "sketch/ams_f2.h"
@@ -17,6 +19,7 @@
 #include "sketch/l0_estimator.h"
 #include "stream/edge.h"
 #include "util/random.h"
+#include "util/serialize.h"
 
 namespace streamkc {
 
@@ -74,6 +77,42 @@ struct CoverageSketchState : SpaceMetered {
     fp = SplitMix64(fp ^ config_.hll_precision);
     fp = SplitMix64(fp ^ (uint64_t{config_.ams_rows} << 32 | config_.ams_cols));
     return fp;
+  }
+
+  // Serialization: config header then the three component blobs (each
+  // carries its own magic/version, so a truncation anywhere dies inside the
+  // component with a precise CHECK). The canonical-state invariant the dist
+  // differential battery relies on: because each component's Merge yields
+  // the same bytes as inline ingest of the union stream, Save() of a merged
+  // state is bit-identical to Save() of the inline state.
+  static constexpr uint32_t kMagic = 0x534b4353;  // "SKCS"
+  static constexpr uint32_t kVersion = 1;
+
+  void Save(std::ostream& os) const {
+    WriteHeader(os, kMagic, kVersion);
+    WriteU32(os, config_.l0_num_mins);
+    WriteU32(os, config_.hll_precision);
+    WriteU32(os, config_.ams_rows);
+    WriteU32(os, config_.ams_cols);
+    WriteU64(os, config_.seed);
+    covered_l0.Save(os);
+    covered_hll.Save(os);
+    element_f2.Save(os);
+  }
+
+  static CoverageSketchState Load(std::istream& is) {
+    CheckHeader(is, kMagic, kVersion);
+    Config config;
+    config.l0_num_mins = ReadU32(is);
+    config.hll_precision = ReadU32(is);
+    config.ams_rows = ReadU32(is);
+    config.ams_cols = ReadU32(is);
+    config.seed = ReadU64(is);
+    CoverageSketchState state(config);
+    state.covered_l0 = L0Estimator::Load(is);
+    state.covered_hll = HyperLogLog::Load(is);
+    state.element_f2 = AmsF2Sketch::Load(is);
+    return state;
   }
 
   size_t MemoryBytes() const override {

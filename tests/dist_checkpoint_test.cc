@@ -1,0 +1,197 @@
+// Checkpoint blob lockdown (src/dist/checkpoint.h): round-trip fidelity,
+// death on every corruption class (truncation, bit flips in every region,
+// version/magic bumps, trailing garbage), atomic tmp+rename publication,
+// cadence bookkeeping, and the end-to-end recovery property — a run that
+// resumes from a checkpoint finishes byte-identical to one never killed.
+//
+// Corruption is a death test on purpose: DecodeCheckpoint CHECK-aborts, and
+// in the live system that abort IS the recovery signal (the coordinator
+// sees a crashed worker and spends a respawn; see process_tree.h's failure
+// matrix).
+
+#include "dist/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "dist/frame.h"
+#include "runtime/sketch_states.h"
+#include "test_util.h"
+
+namespace streamkc {
+namespace {
+
+Checkpoint MakeCheckpoint() {
+  CoverageSketchState state{CoverageSketchState::Config{}};
+  for (const Edge& e : SyntheticEdges(5000, /*seed=*/42)) state.Process(e);
+  Checkpoint ckpt;
+  ckpt.worker = 3;
+  ckpt.segments_done = 7;
+  ckpt.counters.edges_ingested = 5000;
+  ckpt.counters.edges_processed = 5000;
+  ckpt.counters.batches = 2;
+  ckpt.counters.segments_done = 7;
+  ckpt.counters.checkpoints_written = 1;
+  ckpt.fingerprint = state.MergeFingerprint();
+  std::ostringstream os;
+  state.Save(os);
+  ckpt.state_blob = os.str();
+  return ckpt;
+}
+
+TEST(DistCheckpoint, RoundTripsEveryField) {
+  Checkpoint ckpt = MakeCheckpoint();
+  Checkpoint back = DecodeCheckpoint(EncodeCheckpoint(ckpt));
+  EXPECT_EQ(back.worker, ckpt.worker);
+  EXPECT_EQ(back.segments_done, ckpt.segments_done);
+  EXPECT_EQ(back.counters.edges_ingested, ckpt.counters.edges_ingested);
+  EXPECT_EQ(back.counters.batches, ckpt.counters.batches);
+  EXPECT_EQ(back.counters.checkpoints_written,
+            ckpt.counters.checkpoints_written);
+  EXPECT_EQ(back.fingerprint, ckpt.fingerprint);
+  EXPECT_EQ(back.state_blob, ckpt.state_blob);
+  // The carried state blob itself reloads into a working sketch.
+  std::istringstream is(back.state_blob);
+  CoverageSketchState state = CoverageSketchState::Load(is);
+  EXPECT_EQ(state.MergeFingerprint(), ckpt.fingerprint);
+}
+
+TEST(DistCheckpoint, FileRoundTripAndExistenceProbe) {
+  ScopedTempDir dir;
+  std::string path = CheckpointPath(dir.path(), 3);
+  EXPECT_EQ(path, dir.path() + "/ckpt_w3.bin");
+  EXPECT_FALSE(CheckpointFileExists(path));
+  Checkpoint ckpt = MakeCheckpoint();
+  WriteCheckpointFile(path, ckpt);
+  EXPECT_TRUE(CheckpointFileExists(path));
+  EXPECT_EQ(DecodeCheckpoint(EncodeCheckpoint(ckpt)).state_blob,
+            LoadCheckpointFile(path).state_blob);
+  // Publication is atomic: no .tmp file survives a successful write.
+  EXPECT_FALSE(CheckpointFileExists(path + ".tmp"));
+}
+
+TEST(DistCheckpointDeathTest, TruncatedBlobDiesAtEveryLength) {
+  const std::string bytes = EncodeCheckpoint(MakeCheckpoint());
+  // Probe a spread of cut points: inside the header, inside the CRC, and
+  // inside the body (every length would be minutes of forking; the classes
+  // are what matters).
+  for (size_t cut : {size_t{0}, size_t{3}, size_t{7}, size_t{11},
+                     size_t{19}, bytes.size() / 2, bytes.size() - 1}) {
+    EXPECT_DEATH(DecodeCheckpoint(bytes.substr(0, cut)), "CHECK failed")
+        << "cut=" << cut;
+  }
+}
+
+TEST(DistCheckpointDeathTest, BitFlipAnywhereDies) {
+  const std::string bytes = EncodeCheckpoint(MakeCheckpoint());
+  // One flip per region: magic, version, body_len, crc, each body field
+  // area, and deep inside the sketch blob.
+  for (size_t pos : {size_t{0}, size_t{5}, size_t{9}, size_t{17},
+                     size_t{21}, size_t{30}, size_t{45},
+                     bytes.size() / 2, bytes.size() - 1}) {
+    std::string bad = bytes;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x40);
+    EXPECT_DEATH(DecodeCheckpoint(bad), "CHECK failed") << "pos=" << pos;
+  }
+}
+
+TEST(DistCheckpointDeathTest, VersionBumpAndWrongMagicDie) {
+  Checkpoint ckpt = MakeCheckpoint();
+  std::string bytes = EncodeCheckpoint(ckpt);
+  std::string bumped = bytes;
+  bumped[4] = static_cast<char>(bumped[4] + 1);  // version LSB
+  EXPECT_DEATH(DecodeCheckpoint(bumped), "CHECK failed");
+  std::string wrong_magic = bytes;
+  wrong_magic[0] = 'X';
+  EXPECT_DEATH(DecodeCheckpoint(wrong_magic), "CHECK failed");
+}
+
+TEST(DistCheckpointDeathTest, TrailingGarbageDies) {
+  // A concatenated or partially overwritten file must not load even though
+  // its prefix is a valid checkpoint.
+  std::string bytes = EncodeCheckpoint(MakeCheckpoint());
+  EXPECT_DEATH(DecodeCheckpoint(bytes + "x"), "CHECK failed");
+  EXPECT_DEATH(DecodeCheckpoint(bytes + bytes), "CHECK failed");
+}
+
+TEST(DistCheckpointDeathTest, MissingFileDies) {
+  ScopedTempDir dir;
+  EXPECT_DEATH(LoadCheckpointFile(CheckpointPath(dir.path(), 0)),
+               "CHECK failed");
+}
+
+TEST(DistCheckpoint, ResumeFromCheckpointEqualsNeverKilledRun) {
+  // The recovery identity behind the kill-respawn differential: ingesting
+  // segments [0, C) into a checkpoint, reloading it, and ingesting [C, S)
+  // yields the same serialized state as one uninterrupted pass.
+  std::vector<Edge> edges = SyntheticEdges(12000, /*seed=*/9);
+  constexpr uint32_t kSegments = 6;
+  constexpr uint32_t kCut = 2;  // checkpoint after this many segments
+
+  CoverageSketchState::Config config;
+  auto ingest = [&](CoverageSketchState* state, uint32_t from, uint32_t to) {
+    for (uint32_t seg = from; seg < to; ++seg) {
+      auto stream = MakeEdgeSpanSegment(edges, seg, kSegments);
+      Edge e;
+      while (stream->Next(&e)) state->Process(e);
+    }
+  };
+
+  CoverageSketchState uninterrupted(config);
+  ingest(&uninterrupted, 0, kSegments);
+  std::ostringstream ref;
+  uninterrupted.Save(ref);
+
+  ScopedTempDir dir;
+  std::string path = CheckpointPath(dir.path(), 0);
+  {
+    CoverageSketchState first(config);
+    ingest(&first, 0, kCut);
+    Checkpoint ckpt;
+    ckpt.worker = 0;
+    ckpt.segments_done = kCut;
+    ckpt.fingerprint = first.MergeFingerprint();
+    std::ostringstream os;
+    first.Save(os);
+    ckpt.state_blob = os.str();
+    WriteCheckpointFile(path, ckpt);
+    // `first` is abandoned here: the simulated crash. Everything past the
+    // checkpoint dies with it.
+    ingest(&first, kCut, kCut + 1);
+  }
+  Checkpoint loaded = LoadCheckpointFile(path);
+  std::istringstream is(loaded.state_blob);
+  CoverageSketchState resumed = CoverageSketchState::Load(is);
+  ingest(&resumed, static_cast<uint32_t>(loaded.segments_done), kSegments);
+  std::ostringstream got;
+  resumed.Save(got);
+  EXPECT_EQ(got.str(), ref.str());
+}
+
+TEST(DistCheckpoint, CadenceRespectsSegmentBoundaries) {
+  // Through the real harness: checkpoint_every=N writes checkpoints only at
+  // committed-segment multiples of N, never after the final segment (the
+  // frame supersedes it), and a kill-free run loads none.
+  ScopedWorkerHarness harness(SyntheticEdges(8000, /*seed=*/10),
+                              /*num_segments=*/8);
+  DistOptions opt;
+  opt.num_workers = 2;  // 4 segments per worker
+  opt.checkpoint_every = 2;
+  opt.checkpoint_dir = harness.CheckpointDir();
+  ScopedWorkerHarness::Result dist = harness.RunDist(opt);
+  for (const DistWorkerRow& w : dist.metrics.workers) {
+    // Segments 2 of 4 committed -> one checkpoint (committed=4 is final).
+    EXPECT_EQ(w.counters.checkpoints_written, 1u) << "worker=" << w.worker;
+    EXPECT_EQ(w.counters.checkpoints_loaded, 0u);
+    Checkpoint ckpt =
+        LoadCheckpointFile(CheckpointPath(harness.CheckpointDir(), w.worker));
+    EXPECT_EQ(ckpt.worker, w.worker);
+    EXPECT_EQ(ckpt.segments_done, 2u);
+  }
+}
+
+}  // namespace
+}  // namespace streamkc

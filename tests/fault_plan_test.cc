@@ -24,7 +24,7 @@ TEST(FaultPlan, ParsesEveryClauseAndRoundTrips) {
   const std::string spec =
       "seed=7,read-error=0.001,dup=0.02,reorder=64,garbage=0.005,"
       "push-delay=0.01:20000,slow-shard=2:5000,kill-shard=1@8,"
-      "corrupt-merge=3";
+      "corrupt-merge=3,corrupt-frame=2";
   FaultPlan plan;
   std::string error;
   ASSERT_TRUE(FaultPlan::Parse(spec, &plan, &error)) << error;
@@ -40,6 +40,7 @@ TEST(FaultPlan, ParsesEveryClauseAndRoundTrips) {
   EXPECT_EQ(plan.kill_shard, 1u);
   EXPECT_EQ(plan.kill_after_batches, 8u);
   EXPECT_EQ(plan.corrupt_merge_shard, 3u);
+  EXPECT_EQ(plan.corrupt_frame_shard, 2u);
   EXPECT_TRUE(plan.HasStreamFaults());
   EXPECT_TRUE(plan.HasRuntimeFaults());
   // The canonical spec re-parses to the same plan (the replay handle).
@@ -70,6 +71,8 @@ TEST(FaultPlan, StrictParserNamesTheOffendingClause) {
   EXPECT_FALSE(FaultPlan::Parse("push-delay=0.5", &plan, &error));  // no :NS
   EXPECT_FALSE(FaultPlan::Parse("kill-shard=1:8", &plan, &error));  // wants @
   EXPECT_FALSE(FaultPlan::Parse("seed", &plan, &error));  // no '='
+  EXPECT_FALSE(FaultPlan::Parse("corrupt-frame=x", &plan, &error));
+  EXPECT_NE(error.find("corrupt-frame=x"), std::string::npos);
 }
 
 TEST(FaultInjector, DecideIsDeterministicAndRespectsEdgeRates) {

@@ -11,21 +11,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <cstdio>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include "stream/edge_stream.h"
+#include "test_util.h"
 
 namespace streamkc {
 namespace {
 
 class SegmentedStreamTest : public ::testing::Test {
  protected:
-  std::string TempPath(const char* name) {
-    return ::testing::TempDir() + "/streamkc_seg_" + name + ".txt";
-  }
+  ScopedTempDir dir_;  // owns every file a test writes
 
   static std::vector<Edge> Drain(EdgeStream& s) {
     std::vector<Edge> out;
@@ -48,15 +45,11 @@ class SegmentedStreamTest : public ::testing::Test {
 };
 
 TEST_F(SegmentedStreamTest, RangesAreAdjacentNewlineAlignedAndCoverTheFile) {
-  std::string path = TempPath("ranges");
   std::string content;
   for (int i = 0; i < 200; ++i) {
     content += std::to_string(i) + " " + std::to_string(i * 7) + "\n";
   }
-  {
-    std::ofstream out(path);
-    out << content;
-  }
+  std::string path = dir_.WriteFile("ranges.txt", content);
   for (uint32_t p : {1u, 2u, 3u, 5u, 8u, 16u}) {
     SegmentedTextStream seg(path, p);
     ASSERT_EQ(seg.num_segments(), p);
@@ -74,11 +67,10 @@ TEST_F(SegmentedStreamTest, RangesAreAdjacentNewlineAlignedAndCoverTheFile) {
       }
     }
   }
-  std::remove(path.c_str());
 }
 
 TEST_F(SegmentedStreamTest, UnionOfSegmentsEqualsWholeFileInOrder) {
-  std::string path = TempPath("union");
+  std::string path = dir_.path() + "/union.txt";
   std::vector<Edge> edges;
   for (uint64_t i = 0; i < 500; ++i) edges.push_back(Edge{i % 37, i * 13});
   WriteEdgesToFile(path, edges);
@@ -88,32 +80,27 @@ TEST_F(SegmentedStreamTest, UnionOfSegmentsEqualsWholeFileInOrder) {
     // the exact sequence, not just the multiset.
     EXPECT_EQ(DrainSegments(seg), edges) << "segments=" << p;
   }
-  std::remove(path.c_str());
 }
 
 TEST_F(SegmentedStreamTest, CommentsBlanksAndNoTrailingNewline) {
-  std::string path = TempPath("dirty");
-  {
-    std::ofstream out(path);
-    out << "# header comment\n"
-        << "1 10\n"
-        << "\n"
-        << "  \t \n"
-        << "2 20\n"
-        << "# mid comment that is quite long to attract a boundary\n"
-        << "3 30\n"
-        << "4 40";  // final line without trailing newline
-  }
+  std::string path = dir_.WriteFile(
+      "dirty.txt",
+      "# header comment\n"
+      "1 10\n"
+      "\n"
+      "  \t \n"
+      "2 20\n"
+      "# mid comment that is quite long to attract a boundary\n"
+      "3 30\n"
+      "4 40");  // final line without trailing newline
   std::vector<Edge> expect{{1, 10}, {2, 20}, {3, 30}, {4, 40}};
   for (uint32_t p = 1; p <= 10; ++p) {
     SegmentedTextStream seg(path, p);
     EXPECT_EQ(DrainSegments(seg), expect) << "segments=" << p;
   }
-  std::remove(path.c_str());
 }
 
 TEST_F(SegmentedStreamTest, MalformedLineOnANaiveSplitPointStaysWhole) {
-  std::string path = TempPath("malformed");
   // Place one malformed line so that naive byte splits (size·i/P) land
   // inside it for several P; the aligned split must keep it in exactly one
   // segment, where it is either skipped (lenient) or reported (strict)
@@ -126,10 +113,7 @@ TEST_F(SegmentedStreamTest, MalformedLineOnANaiveSplitPointStaysWhole) {
   for (int i = 20; i < 40; ++i) {
     content += std::to_string(i) + " " + std::to_string(i) + "\n";
   }
-  {
-    std::ofstream out(path);
-    out << content;
-  }
+  std::string path = dir_.WriteFile("malformed.txt", content);
   for (uint32_t p : {2u, 3u, 4u, 8u}) {
     // Lenient: the bad line is skipped, all 40 good edges survive.
     SegmentedTextStream::Config lenient;
@@ -163,19 +147,14 @@ TEST_F(SegmentedStreamTest, MalformedLineOnANaiveSplitPointStaysWhole) {
     }
     EXPECT_EQ(failed, 1u) << "segments=" << p;
   }
-  std::remove(path.c_str());
 }
 
 TEST_F(SegmentedStreamTest, LineLongerThanASegmentLeavesTrailingSegmentsEmpty) {
-  std::string path = TempPath("longline");
   // One comment line dwarfing the rest: several naive split points land
   // inside it and all slide to the same aligned boundary, so some segments
   // are empty — but nothing is lost or duplicated.
-  std::string content = "1 2\n# " + std::string(4000, 'x') + "\n3 4\n";
-  {
-    std::ofstream out(path);
-    out << content;
-  }
+  std::string path = dir_.WriteFile(
+      "longline.txt", "1 2\n# " + std::string(4000, 'x') + "\n3 4\n");
   std::vector<Edge> expect{{1, 2}, {3, 4}};
   for (uint32_t p : {2u, 4u, 8u, 16u}) {
     SegmentedTextStream seg(path, p);
@@ -184,23 +163,17 @@ TEST_F(SegmentedStreamTest, LineLongerThanASegmentLeavesTrailingSegmentsEmpty) {
     }
     EXPECT_EQ(DrainSegments(seg), expect) << "segments=" << p;
   }
-  std::remove(path.c_str());
 }
 
 TEST_F(SegmentedStreamTest, MoreSegmentsThanLines) {
-  std::string path = TempPath("tiny");
-  {
-    std::ofstream out(path);
-    out << "7 8\n9 10\n";
-  }
+  std::string path = dir_.WriteFile("tiny.txt", "7 8\n9 10\n");
   SegmentedTextStream seg(path, 16);
   std::vector<Edge> expect{{7, 8}, {9, 10}};
   EXPECT_EQ(DrainSegments(seg), expect);
-  std::remove(path.c_str());
 }
 
 TEST_F(SegmentedStreamTest, SegmentStreamsResetIndependently) {
-  std::string path = TempPath("reset");
+  std::string path = dir_.path() + "/reset.txt";
   std::vector<Edge> edges;
   for (uint64_t i = 0; i < 100; ++i) edges.push_back(Edge{i, i + 1});
   WriteEdgesToFile(path, edges);
@@ -209,7 +182,6 @@ TEST_F(SegmentedStreamTest, SegmentStreamsResetIndependently) {
   std::vector<Edge> first = Drain(*s);
   s->Reset();
   EXPECT_EQ(Drain(*s), first);
-  std::remove(path.c_str());
 }
 
 TEST(EdgeSpanStream, SpanSegmentsPartitionTheVector) {

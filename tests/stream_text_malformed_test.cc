@@ -7,11 +7,10 @@
 
 #include <gtest/gtest.h>
 
-#include <cstdio>
-#include <fstream>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "test_util.h"
 
 namespace streamkc {
 namespace {
@@ -19,22 +18,10 @@ namespace {
 class MalformedInputTest : public ::testing::Test {
  protected:
   std::string WriteFile(const char* name, const std::string& content) {
-    std::string path = ::testing::TempDir() + "/streamkc_mal_" + name + ".txt";
-    std::ofstream out(path);
-    out << content;
-    return path;
+    return dir_.WriteFile(std::string(name) + ".txt", content);
   }
 
-  void TearDown() override {
-    for (const std::string& p : paths_) std::remove(p.c_str());
-  }
-
-  std::string Track(std::string path) {
-    paths_.push_back(path);
-    return path;
-  }
-
-  std::vector<std::string> paths_;
+  ScopedTempDir dir_;
 };
 
 // One line per defect class, interleaved with good lines and skippable
@@ -57,7 +44,7 @@ constexpr int kGoodLines = 3;  // 1 10, 2 20, 4 40
 constexpr int kBadLines = 7;
 
 TEST_F(MalformedInputTest, StrictStopsAtFirstDefectWithContext) {
-  std::string path = Track(WriteFile("strict", kCorpus));
+  std::string path = WriteFile("strict", kCorpus);
   TextEdgeStream stream(path);
   Edge e;
   ASSERT_TRUE(stream.Next(&e));
@@ -73,7 +60,7 @@ TEST_F(MalformedInputTest, StrictStopsAtFirstDefectWithContext) {
 }
 
 TEST_F(MalformedInputTest, LenientSkipsAndCountsEveryDefect) {
-  std::string path = Track(WriteFile("lenient", kCorpus));
+  std::string path = WriteFile("lenient", kCorpus);
   MetricsRegistry registry;
   TextEdgeStream::Config cfg;
   cfg.lenient = true;
@@ -95,7 +82,7 @@ TEST_F(MalformedInputTest, LenientSkipsAndCountsEveryDefect) {
 }
 
 TEST_F(MalformedInputTest, StrictCountsOneParseErrorInRegistry) {
-  std::string path = Track(WriteFile("strict_reg", "bad line\n"));
+  std::string path = WriteFile("strict_reg", "bad line\n");
   MetricsRegistry registry;
   TextEdgeStream::Config cfg;
   cfg.registry = &registry;
@@ -109,7 +96,7 @@ TEST_F(MalformedInputTest, StrictCountsOneParseErrorInRegistry) {
 TEST_F(MalformedInputTest, NegativeTokenNeverWrapsToHugeId) {
   // The original parser fed "-1 7" through strtoull, yielding set id
   // 18446744073709551615. No emitted edge may carry a wrapped id.
-  std::string path = Track(WriteFile("wrap", "-1 7\n3 4\n"));
+  std::string path = WriteFile("wrap", "-1 7\n3 4\n");
   TextEdgeStream::Config cfg;
   cfg.lenient = true;
   TextEdgeStream stream(path, cfg);
@@ -123,7 +110,7 @@ TEST_F(MalformedInputTest, NegativeTokenNeverWrapsToHugeId) {
 
 TEST_F(MalformedInputTest, OverflowIsRejectedNotTruncated) {
   std::string path =
-      Track(WriteFile("erange", "18446744073709551616 1\n"));  // 2^64
+      WriteFile("erange", "18446744073709551616 1\n");  // 2^64
   TextEdgeStream stream(path);
   Edge e;
   EXPECT_FALSE(stream.Next(&e));
@@ -132,7 +119,7 @@ TEST_F(MalformedInputTest, OverflowIsRejectedNotTruncated) {
 }
 
 TEST_F(MalformedInputTest, ResetClearsTheErrorState) {
-  std::string path = Track(WriteFile("reset", "oops\n1 2\n"));
+  std::string path = WriteFile("reset", "oops\n1 2\n");
   TextEdgeStream stream(path);
   Edge e;
   EXPECT_FALSE(stream.Next(&e));
@@ -153,7 +140,7 @@ TEST_F(MalformedInputTest, LenientStreamFeedsAnAlgorithmToCompletion) {
     content += std::to_string(i % 10) + " " + std::to_string(i) + "\n";
     if (i % 7 == 0) content += "corrupt " + std::to_string(i) + "\n";
   }
-  std::string path = Track(WriteFile("e2e", content));
+  std::string path = WriteFile("e2e", content);
   TextEdgeStream::Config cfg;
   cfg.lenient = true;
   TextEdgeStream stream(path, cfg);

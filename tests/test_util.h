@@ -3,16 +3,28 @@
 #ifndef STREAMKC_TESTS_TEST_UTIL_H_
 #define STREAMKC_TESTS_TEST_UTIL_H_
 
+#include <dirent.h>
+#include <unistd.h>
+
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/streaming_interface.h"
+#include "dist/process_tree.h"
+#include "fault/faulty_stream.h"
 #include "offline/greedy.h"
+#include "runtime/sketch_states.h"
 #include "setsys/generators.h"
 #include "setsys/set_system.h"
 #include "stream/edge.h"
+#include "stream/text_stream.h"
+#include "util/check.h"
 #include "util/random.h"
 
 namespace streamkc {
@@ -69,6 +81,157 @@ inline std::vector<Edge> InstanceEdges(const GeneratedInstance& inst,
   ApplyArrivalOrder(edges, ArrivalOrder::kRandom, order_seed);
   return edges;
 }
+
+// RAII temporary directory under TMPDIR (flat: tests create files, not
+// subtrees); contents and the directory are removed on destruction.
+class ScopedTempDir {
+ public:
+  ScopedTempDir() {
+    const char* base = std::getenv("TMPDIR");
+    std::string tmpl = std::string(base != nullptr && *base != '\0'
+                                       ? base
+                                       : "/tmp") +
+                       "/streamkc_test_XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    CHECK(::mkdtemp(buf.data()) != nullptr);
+    path_ = buf.data();
+  }
+  ~ScopedTempDir() {
+    DIR* d = ::opendir(path_.c_str());
+    if (d != nullptr) {
+      while (dirent* ent = ::readdir(d)) {
+        std::string name = ent->d_name;
+        if (name == "." || name == "..") continue;
+        std::remove((path_ + "/" + name).c_str());
+      }
+      ::closedir(d);
+    }
+    ::rmdir(path_.c_str());
+  }
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  // Writes `content` to `<dir>/<name>` and returns the full path.
+  std::string WriteFile(const std::string& name,
+                        const std::string& content) const {
+    std::string p = path_ + "/" + name;
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    CHECK(out.is_open());
+    out << content;
+    CHECK(out.good());
+    return p;
+  }
+
+ private:
+  std::string path_;
+};
+
+// A temp edge corpus on disk plus its segmented split — the shared fixture
+// for every test that exercises file-backed segment ingest.
+class ScopedTempCorpus {
+ public:
+  ScopedTempCorpus(const std::vector<Edge>& edges, uint32_t num_segments,
+                   SegmentedTextStream::Config config = {})
+      : path_(dir_.path() + "/corpus.txt") {
+    WriteEdgesToFile(path_, edges);
+    segmented_ = std::make_unique<SegmentedTextStream>(path_, num_segments,
+                                                       config);
+  }
+
+  const std::string& path() const { return path_; }
+  const ScopedTempDir& dir() const { return dir_; }
+  SegmentedTextStream& segmented() { return *segmented_; }
+
+ private:
+  ScopedTempDir dir_;
+  std::string path_;
+  std::unique_ptr<SegmentedTextStream> segmented_;
+};
+
+// Spawn/pipe fixture for the multi-process reduction tree: a temp corpus,
+// a checkpoint directory beside it, and inline/distributed runs over the
+// same segment split, each returning the SERIALIZED final state — the
+// bit-identical currency of the differential battery.
+class ScopedWorkerHarness {
+ public:
+  struct Result {
+    std::string state_blob;    // CoverageSketchState::Save bytes
+    uint64_t fingerprint = 0;  // MergeFingerprint of the final state
+    DistMetrics metrics;       // empty for inline runs
+  };
+
+  ScopedWorkerHarness(const std::vector<Edge>& edges, uint32_t num_segments)
+      : corpus_(edges, num_segments), num_segments_(num_segments) {}
+
+  std::string CheckpointDir() const {
+    return corpus_.dir().path();  // flat dir: checkpoints sit by the corpus
+  }
+
+  // Opens segment i of the corpus, wrapped with stream faults when
+  // `injector` carries any (called in the worker child post-fork).
+  ProcessReductionTree<CoverageSketchState>::SegmentOpener MakeOpener(
+      const FaultInjector* injector = nullptr) {
+    return [this, injector](uint32_t segment) {
+      std::unique_ptr<EdgeStream> s = corpus_.segmented().OpenSegment(segment);
+      if (injector != nullptr && injector->plan().HasStreamFaults()) {
+        s = WrapWithFaults(std::move(s), injector);
+      }
+      return s;
+    };
+  }
+
+  Result RunDist(const DistOptions& options,
+                 CoverageSketchState::Config config = {}) {
+    ProcessReductionTree<CoverageSketchState> tree(
+        options, [config](uint32_t) { return CoverageSketchState(config); });
+    CoverageSketchState state =
+        tree.Run(num_segments_, MakeOpener(options.fault_injector));
+    Result r;
+    r.fingerprint = state.MergeFingerprint();
+    std::ostringstream os;
+    state.Save(os);
+    r.state_blob = os.str();
+    r.metrics = tree.metrics();
+    return r;
+  }
+
+  // Single-process reference pass: same segments, same batched ingest path.
+  Result RunInline(size_t batch_size = 4096,
+                   CoverageSketchState::Config config = {}) {
+    CoverageSketchState state(config);
+    EdgeBatch batch(batch_size);
+    for (uint32_t seg = 0; seg < num_segments_; ++seg) {
+      auto stream = corpus_.segmented().OpenSegment(seg);
+      bool more = true;
+      while (more) {
+        batch.Clear();
+        Edge e;
+        while (batch.size() < batch_size && stream->Next(&e)) {
+          batch.edges.push_back(e);
+        }
+        more = batch.size() == batch_size;
+        if (!batch.empty()) {
+          batch.Prefold();
+          state.ProcessBatch(batch.View());
+        }
+      }
+      CHECK(stream->ok());
+    }
+    Result r;
+    r.fingerprint = state.MergeFingerprint();
+    std::ostringstream os;
+    state.Save(os);
+    r.state_blob = os.str();
+    return r;
+  }
+
+ private:
+  ScopedTempCorpus corpus_;
+  uint32_t num_segments_;
+};
 
 // Environment-scaled test knob: sweeps read their trial/seed counts from
 // env vars so the default ctest run stays fast while the stress

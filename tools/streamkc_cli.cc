@@ -50,6 +50,18 @@
 // through the sharded runtime (and is required for --fault-plan, exactly as
 // in estimate/report). --metrics-out gains a "serving" section.
 //
+// `sketch` is the multi-process mode (src/dist): --workers W forks W
+// worker processes, each ingesting a disjoint block of the file's
+// newline-aligned segments into a CoverageSketchState and shipping its
+// serialized state over a pipe (CRC-framed); the coordinator reduces the
+// states through a merge tree of --merge-arity. The merged result is
+// byte-identical to --workers 0 (the inline pass). --checkpoint-every N
+// (with --checkpoint-dir) makes workers checkpoint every N committed
+// segments, so a worker killed mid-stream (crash or kill-shard fault)
+// respawns and resumes instead of re-ingesting its block. --fault-plan
+// gains kill-shard/corrupt-merge/corrupt-frame semantics at process scope;
+// --metrics-out gains a "dist" section.
+//
 // Malformed input lines stop the run with a file:line error by default;
 // --lenient skips and counts them instead.
 
@@ -66,6 +78,7 @@
 #include "core/estimate_max_cover.h"
 #include "core/report_max_cover.h"
 #include "core/two_pass.h"
+#include "dist/process_tree.h"
 #include "fault/fault_injector.h"
 #include "fault/fault_plan.h"
 #include "fault/faulty_stream.h"
@@ -74,6 +87,7 @@
 #include "obs/space_accountant.h"
 #include "runtime/metrics_export.h"
 #include "runtime/sharded_pipeline.h"
+#include "runtime/sketch_states.h"
 #include "serve/query_engine.h"
 #include "serve/serving_runtime.h"
 #include "serve/snapshot_store.h"
@@ -110,6 +124,16 @@ struct Args {
   bool snapshot_every_set = false;
   bool query_threads_set = false;
   bool metrics_format_set = false;
+  // Sketch-mode (multi-process) knobs; rejected outside the sketch command.
+  uint64_t workers = 0;          // 0 = inline pass, W >= 1 = W processes
+  uint64_t merge_arity = 4;      // reduction-tree fan-in
+  uint64_t checkpoint_every = 0; // committed segments per checkpoint; 0 = off
+  std::string checkpoint_dir;
+  uint64_t segments = 0;         // file segments; 0 = 4 per worker
+  bool workers_set = false;
+  bool merge_arity_set = false;
+  bool checkpoint_every_set = false;
+  bool segments_set = false;
 };
 
 [[noreturn]] void Usage(const char* msg) {
@@ -141,7 +165,15 @@ struct Args {
                "           [--partition element|set] [--lenient]"
                " [--metrics-out FILE|-]\n"
                "           [--metrics-format json|prometheus]"
-               " [--fault-plan SPEC] [--fault-strict]\n");
+               " [--fault-plan SPEC] [--fault-strict]\n"
+               "  streamkc_cli sketch  FILE [--seed S] [--workers W]"
+               " [--merge-arity A] [--segments G]\n"
+               "           [--checkpoint-every N --checkpoint-dir DIR]"
+               " [--batch-size B] [--lenient]\n"
+               "           [--metrics-out FILE|-]"
+               " [--metrics-format json|prometheus]\n"
+               "           [--fault-plan SPEC] [--fault-strict]"
+               "   (multi-process reduction tree; --workers 0 = inline)\n");
   std::exit(2);
 }
 
@@ -210,6 +242,22 @@ Args Parse(int argc, char** argv) {
     } else if (flag == "--query-threads") {
       a.query_threads = ParseU64(next());
       a.query_threads_set = true;
+    } else if (flag == "--workers") {
+      a.workers = ParseU64(next());
+      a.workers_set = true;
+    } else if (flag == "--merge-arity") {
+      a.merge_arity = ParseU64(next());
+      a.merge_arity_set = true;
+      if (a.merge_arity < 2) Usage("--merge-arity must be >= 2");
+    } else if (flag == "--checkpoint-every") {
+      a.checkpoint_every = ParseU64(next());
+      a.checkpoint_every_set = true;
+    } else if (flag == "--checkpoint-dir") {
+      a.checkpoint_dir = next();
+    } else if (flag == "--segments") {
+      a.segments = ParseU64(next());
+      a.segments_set = true;
+      if (a.segments == 0) Usage("--segments must be >= 1");
     } else if (flag == "--lenient") {
       a.lenient = true;
     } else if (flag == "--fault-plan") {
@@ -249,13 +297,40 @@ void ValidateFlags(const Args& a) {
       Usage("--query-threads only applies to the serve command");
     }
   }
+  if (a.command == "sketch") {
+    if (a.threads != 0) Usage("sketch parallelizes with --workers, not --threads");
+    if (a.producers_set) {
+      Usage("sketch parallelizes with --workers, not --producers");
+    }
+    if (a.checkpoint_every > 0 && a.checkpoint_dir.empty()) {
+      Usage("--checkpoint-every needs --checkpoint-dir");
+    }
+    if (!a.checkpoint_dir.empty() && a.checkpoint_every == 0) {
+      Usage("--checkpoint-dir needs --checkpoint-every >= 1");
+    }
+    if (!a.fault_plan.empty() && a.workers == 0) {
+      Usage("--fault-plan needs --workers >= 1 in sketch mode");
+    }
+    if (a.segments_set && a.workers > 0 && a.segments < a.workers) {
+      Usage("--segments must be >= --workers");
+    }
+  } else {
+    if (a.workers_set) Usage("--workers only applies to the sketch command");
+    if (a.merge_arity_set) {
+      Usage("--merge-arity only applies to the sketch command");
+    }
+    if (a.checkpoint_every_set || !a.checkpoint_dir.empty()) {
+      Usage("--checkpoint-every/--checkpoint-dir only apply to sketch");
+    }
+    if (a.segments_set) Usage("--segments only applies to the sketch command");
+  }
   if (a.metrics_format_set && a.metrics_out.empty()) {
     Usage("--metrics-format needs --metrics-out");
   }
   if (a.fault_strict && a.fault_plan.empty()) {
     Usage("--fault-strict needs --fault-plan");
   }
-  if (!a.fault_plan.empty() && a.threads == 0) {
+  if (!a.fault_plan.empty() && a.threads == 0 && a.command != "sketch") {
     Usage("--fault-plan needs --threads >= 1");
   }
   if (a.producers_set) {
@@ -373,19 +448,21 @@ void WriteDump(const std::string& content, const std::string& path) {
 }
 
 // Renders the selected --metrics-format and writes it to --metrics-out.
-// `runtime` is nullptr for in-line (threads == 0) passes; `serving_json`,
-// when non-empty, becomes the dump's "serving" section (serve mode).
+// `runtime` is nullptr for in-line (threads == 0) passes; `extra_json`,
+// when non-empty, becomes the dump's `extra_name` section ("serving" for
+// serve mode, "dist" for multi-process sketch runs).
 void DumpMetrics(const Args& a, const RuntimeMetrics* runtime,
                  const SpaceAccountant* space,
-                 const std::string& serving_json = std::string()) {
+                 const std::string& extra_name = std::string(),
+                 const std::string& extra_json = std::string()) {
   if (a.metrics_out.empty()) return;
   MetricsRegistry& reg = MetricsRegistry::Global();
   std::string content =
       a.metrics_format == "prometheus"
           ? ComposeMetricsPrometheus(runtime, reg)
           : ComposeMetricsJson(runtime, space, reg,
-                               serving_json.empty() ? "" : "serving",
-                               serving_json);
+                               extra_json.empty() ? "" : extra_name.c_str(),
+                               extra_json);
   WriteDump(content, a.metrics_out);
 }
 
@@ -724,8 +801,113 @@ int CmdServe(const Args& a) {
       (unsigned long long)sum.segments, (unsigned long long)sum.edges,
       sum.quarantined_fraction, (unsigned long long)total_served,
       (unsigned long long)total_rejected, (unsigned long long)a.query_threads);
-  DumpMetrics(a, nullptr, nullptr, serving_json);
+  DumpMetrics(a, nullptr, nullptr, "serving", serving_json);
   return final_ans.ok ? 0 : 1;
+}
+
+// Multi-process coverage-sketch pass: forks --workers processes over the
+// file's segment split and tree-merges their serialized states. With
+// --workers 0 the same state ingests inline — the differential reference
+// (identical bytes, printed as the same fingerprint + estimates).
+int CmdSketch(const Args& a) {
+  if (a.file.empty()) Usage("sketch needs a FILE");
+  CoverageSketchState::Config config;
+  config.seed = a.seed;
+
+  if (a.workers == 0) {
+    TextEdgeStream stream(a.file, StreamConfig(a));
+    CoverageSketchState state(config);
+    Stopwatch sw;
+    Edge e;
+    uint64_t edges = 0;
+    while (stream.Next(&e)) {
+      state.Process(e);
+      ++edges;
+    }
+    CheckStream(stream);
+    std::printf("sketch             : inline pass, %llu edges in %.2fs\n",
+                (unsigned long long)edges, sw.ElapsedSeconds());
+    std::printf("distinct covered   : %.0f (L0), %.0f (HLL)\n",
+                state.covered_l0.Estimate(), state.covered_hll.Estimate());
+    std::printf("element F2         : %.0f\n", state.element_f2.Estimate());
+    std::printf("merge fingerprint  : %016llx\n",
+                (unsigned long long)state.MergeFingerprint());
+    std::printf("sketch memory      : %zu KiB\n", state.MemoryBytes() >> 10);
+    SpaceAccountant acct(&MetricsRegistry::Global());
+    acct.Sample(state);
+    DumpMetrics(a, nullptr, &acct);
+    return 0;
+  }
+
+  const uint32_t num_segments = static_cast<uint32_t>(
+      a.segments != 0 ? a.segments : a.workers * 4);
+  SegmentedTextStream seg(a.file, num_segments, StreamConfig(a));
+
+  DistOptions opt;
+  opt.num_workers = static_cast<uint32_t>(a.workers);
+  opt.merge_arity = static_cast<uint32_t>(a.merge_arity);
+  opt.batch_size = a.batch_size;
+  opt.checkpoint_every = static_cast<uint32_t>(a.checkpoint_every);
+  opt.checkpoint_dir = a.checkpoint_dir;
+  opt.strict = a.fault_strict;
+  std::unique_ptr<FaultInjector> injector;
+  if (!a.fault_plan.empty()) {
+    FaultPlan plan;
+    std::string err;
+    if (!FaultPlan::Parse(a.fault_plan, &plan, &err)) Usage(err.c_str());
+    injector =
+        std::make_unique<FaultInjector>(plan, &MetricsRegistry::Global());
+    opt.fault_injector = injector.get();
+    std::printf("fault plan         : %s%s\n", plan.ToSpec().c_str(),
+                a.fault_strict ? " (strict)" : "");
+  }
+
+  ProcessReductionTree<CoverageSketchState> tree(
+      opt, [config](uint32_t) { return CoverageSketchState(config); });
+  const FaultInjector* inj = injector.get();
+  Stopwatch sw;
+  CoverageSketchState state =
+      tree.Run(num_segments, [&](uint32_t s) -> std::unique_ptr<EdgeStream> {
+        std::unique_ptr<EdgeStream> stream = seg.OpenSegment(s);
+        if (inj != nullptr && inj->plan().HasStreamFaults()) {
+          stream = WrapWithFaults(std::move(stream), inj);
+        }
+        return stream;
+      });
+  const DistMetrics& dm = tree.metrics();
+  std::printf("sketch             : %u workers -> %u segments "
+              "(arity-%u merge tree, depth %u), %.2fM edges/s\n",
+              dm.num_workers, dm.num_segments, dm.merge_arity, dm.tree.depth,
+              dm.EdgesPerSecond() / 1e6);
+  std::printf("dist               : %llu edges across %llu frames, "
+              "%llu bytes shipped in %.2fs\n",
+              (unsigned long long)dm.TotalEdgesProcessed(),
+              (unsigned long long)dm.frames_received,
+              (unsigned long long)dm.TotalBytesShipped(), sw.ElapsedSeconds());
+  if (opt.checkpoint_every > 0) {
+    std::printf("checkpoints        : %llu written, %llu loaded "
+                "(every %u segments in %s)\n",
+                (unsigned long long)dm.TotalCheckpointsWritten(),
+                (unsigned long long)dm.TotalCheckpointsLoaded(),
+                opt.checkpoint_every, opt.checkpoint_dir.c_str());
+  }
+  if (injector != nullptr || dm.TotalRespawns() > 0 ||
+      dm.WorkersQuarantined() > 0) {
+    std::printf("recovery           : %u respawns, %u crc rejections, "
+                "%u fingerprint corruptions, %u/%u workers quarantined\n",
+                dm.TotalRespawns(), dm.TotalCrcRejections(),
+                dm.FingerprintCorruptions(), dm.WorkersQuarantined(),
+                dm.num_workers);
+  }
+  std::printf("distinct covered   : %.0f (L0), %.0f (HLL)\n",
+              state.covered_l0.Estimate(), state.covered_hll.Estimate());
+  std::printf("element F2         : %.0f\n", state.element_f2.Estimate());
+  std::printf("merge fingerprint  : %016llx\n",
+              (unsigned long long)state.MergeFingerprint());
+  std::printf("sketch memory      : %zu KiB\n", state.MemoryBytes() >> 10);
+  dm.PublishTo(&MetricsRegistry::Global());
+  DumpMetrics(a, nullptr, nullptr, "dist", dm.ToJson());
+  return 0;
 }
 
 // Resolves the hash kernel before any estimator is built (precedence:
@@ -750,7 +932,8 @@ int Main(int argc, char** argv) {
   Args a = Parse(argc, argv);
   ValidateFlags(a);
   if (a.command == "estimate" || a.command == "report" ||
-      a.command == "twopass" || a.command == "serve") {
+      a.command == "twopass" || a.command == "serve" ||
+      a.command == "sketch") {
     SetupHashKernel(a);
   }
   if (a.command == "generate") return CmdGenerate(a);
@@ -759,6 +942,7 @@ int Main(int argc, char** argv) {
   if (a.command == "report") return CmdReport(a);
   if (a.command == "twopass") return CmdTwoPass(a);
   if (a.command == "serve") return CmdServe(a);
+  if (a.command == "sketch") return CmdSketch(a);
   Usage(("unknown command " + a.command).c_str());
 }
 

@@ -194,6 +194,101 @@ def check_invariants(dump, errors):
                 f"$: per-reason rejected counters sum {rejected} != "
                 f"serving.queries_rejected {serving['queries_rejected']}")
 
+    dist = dump.get("dist")
+    if dist is not None:
+        workers = dist["workers"]
+        if dist["num_workers"] != len(workers):
+            errors.append(
+                f"$.dist: num_workers {dist['num_workers']} != "
+                f"{len(workers)} worker rows")
+        for i, row in enumerate(workers):
+            if row.get("worker") != i:
+                errors.append(f"$.dist.workers[{i}]: worker id "
+                              f"{row.get('worker')}")
+            # Cross-process conservation, per worker: every edge a worker
+            # ingested was either processed into its state or discarded by
+            # degradation — nothing leaks across the pipe boundary.
+            ingested = row["edges_ingested"]
+            accounted = row["edges_processed"] + row["edges_discarded"]
+            if ingested != accounted:
+                errors.append(
+                    f"$.dist.workers[{i}]: edges_ingested {ingested} != "
+                    f"processed+discarded {accounted}")
+            if row["quarantined"]:
+                # A quarantined worker contributed nothing to the merge, so
+                # its row must count nothing (its partial work died with it).
+                if row["edges_ingested"] or row["edges_processed"]:
+                    errors.append(
+                        f"$.dist.workers[{i}]: quarantined but carries "
+                        f"nonzero edge counters")
+            if row["segments_done"] > row["segments_assigned"]:
+                errors.append(
+                    f"$.dist.workers[{i}]: segments_done "
+                    f"{row['segments_done']} > assigned "
+                    f"{row['segments_assigned']}")
+        # Totals are exactly the row sums: the coordinator ledger has no
+        # source of counts other than what workers shipped.
+        for total_key, row_key in (
+                ("edges_ingested", "edges_ingested"),
+                ("edges_processed", "edges_processed"),
+                ("edges_discarded", "edges_discarded"),
+                ("stream_retries", "stream_retries"),
+                ("bytes_shipped", "bytes_shipped"),
+                ("checkpoints_written", "checkpoints_written"),
+                ("checkpoints_loaded", "checkpoints_loaded"),
+                ("workers_respawned", "respawns"),
+                ("crc_rejections", "crc_rejections")):
+            row_sum = sum(row[row_key] for row in workers)
+            if dist[total_key] != row_sum:
+                errors.append(
+                    f"$.dist.{total_key}: {dist[total_key]} != "
+                    f"worker row sum {row_sum}")
+        quarantined = sum(1 for row in workers if row["quarantined"])
+        if dist["workers_quarantined"] != quarantined:
+            errors.append(
+                f"$.dist.workers_quarantined: {dist['workers_quarantined']} "
+                f"!= {quarantined} quarantined rows")
+        assigned = sum(row["segments_assigned"] for row in workers)
+        if dist["num_segments"] != assigned:
+            errors.append(
+                f"$.dist.num_segments: {dist['num_segments']} != "
+                f"sum of segments_assigned {assigned}")
+        # The merge tree's depth is fully determined by its leaf count (the
+        # non-quarantined workers) and arity: ceil(log_arity(leaves)).
+        leaves = len(workers) - quarantined
+        depth, span = 0, 1
+        while span < leaves:
+            span *= dist["merge_arity"]
+            depth += 1
+        if leaves > 0 and dist["merge_depth"] != depth:
+            errors.append(
+                f"$.dist.merge_depth: {dist['merge_depth']} != "
+                f"ceil(log_{dist['merge_arity']}({leaves})) = {depth}")
+        # PublishTo mirrors the section into the registry; the dump must be
+        # one coherent snapshot, not two.
+        reg = dump.get("registry", {})
+        for gauge, want in (
+                ("dist_num_workers", dist["num_workers"]),
+                ("dist_edges_processed_total", dist["edges_processed"]),
+                ("dist_bytes_shipped_total", dist["bytes_shipped"]),
+                ("dist_workers_respawned_total", dist["workers_respawned"]),
+                ("dist_workers_quarantined", dist["workers_quarantined"]),
+                ("dist_checkpoints_written_total",
+                 dist["checkpoints_written"]),
+                ("dist_merge_depth", dist["merge_depth"])):
+            have = reg.get(gauge, want)
+            if have != want:
+                errors.append(
+                    f"$.registry.{gauge}: {have} != dist section {want}")
+        for row in workers:
+            gauge = (f'dist_worker_edges_total'
+                     f'{{worker="{row["worker"]}"}}')
+            have = reg.get(gauge, row["edges_processed"])
+            if have != row["edges_processed"]:
+                errors.append(
+                    f"$.registry.{gauge}: {have} != worker row "
+                    f"{row['edges_processed']}")
+
     # hash_kernel_avx2 is a boolean fact about the run (which MapFoldedBatch
     # kernel the dispatcher resolved), published as a gauge: 0 or 1 only.
     kernel = dump.get("registry", {}).get("hash_kernel_avx2")
