@@ -300,6 +300,43 @@ int Main(int argc, char** argv) {
     return 1;
   }
 
+  // Socket transport overhead: the same tree at the max worker count with
+  // frames shipped over loopback TCP instead of pipes. The result must
+  // stay bit-identical (the transport is below the protocol, so the bytes
+  // cannot change); the eps ratio prices the accept/dial/hello round trip
+  // and is reported as a metric, not gated — loopback latency on hosted
+  // runners is far too noisy for a floor.
+  {
+    DistOptions opts;
+    opts.num_workers = workers_max;
+    opts.batch_size = kBatchSize;
+    opts.transport.kind = TransportKind::kTcp;
+    ProcessReductionTree<CoverageSketchState> tree(
+        opts, [&](uint32_t) { return CoverageSketchState(cfg); });
+    CoverageSketchState merged = tree.Run(
+        kDistSegments,
+        [&](uint32_t s) { return MakeEdgeSpanSegment(edges, s, kDistSegments); });
+    const DistMetrics& dm = tree.metrics();
+    std::ostringstream os;
+    merged.Save(os);
+    if (os.str() != inline_blob) {
+      std::printf("SERIALIZED-STATE DIVERGENCE over tcp transport\n");
+      return 1;
+    }
+    const double tcp_eps = dm.EdgesPerSecond();
+    std::printf(
+        "\ntcp transport at %u workers: %.2fM edges/s (%.2fx of pipe), "
+        "%llu connections, %llu poll wakeups, bit-identical\n",
+        workers_max, tcp_eps / 1e6,
+        workers_max_eps > 0 ? tcp_eps / workers_max_eps : 0.0,
+        (unsigned long long)dm.connections_accepted,
+        (unsigned long long)dm.poll_wakeups);
+    report.SetMetric("tcp_transport_eps", tcp_eps);
+    report.SetMetric("tcp_transport_vs_pipe",
+                     workers_max_eps > 0 ? tcp_eps / workers_max_eps : 0.0);
+    report.SetMetric("tcp_transport_deterministic", 1);
+  }
+
   bench::DumpMetricsJson(metrics_out);
   report.Write(bench_out);
   return 0;

@@ -23,15 +23,20 @@
 //     u64 fingerprint   State::MergeFingerprint() at save time
 //     u64 state_len + state blob (the State's own Save format)
 //
-// Unlike the wire frame (where corruption quarantines a worker), a corrupt
-// checkpoint is a CHECK failure: the file is local, written by this very
-// binary, and loading a tampered or truncated blob would silently resurrect
-// a wrong prefix. The death-test battery in tests/dist_checkpoint_test.cc
-// pins truncation, bit flips, and version bumps to a clean abort.
+// Durability: the blob lands in `<path>.tmp`, is fsync(2)ed, rename(2)d
+// over `path`, and the directory is fsync(2)ed after the rename. The
+// rename alone makes the write atomic against a crash of THIS process; the
+// two fsyncs make it atomic against a crash of the HOST — without them the
+// filesystem may persist the rename before the data blocks, and the
+// machine comes back up with a zero-length or torn file at the final path.
 //
-// Writes are atomic: the blob lands in `<path>.tmp` and is rename(2)d over
-// `path`, so a crash mid-write leaves the previous checkpoint intact and a
-// reader never observes a half-written file.
+// Corruption policy: the Try* loaders reject a bad blob (returning false
+// with a reason) instead of aborting, because the dist respawn path must
+// survive a torn checkpoint — the respawned worker discards it and
+// re-ingests from scratch. DecodeCheckpoint/LoadCheckpointFile keep the
+// CHECK-hard contract for callers where a bad blob is unambiguously a bug;
+// the death-test battery in tests/dist_checkpoint_test.cc pins truncation,
+// bit flips, and version bumps to a clean abort there.
 
 #ifndef STREAMKC_DIST_CHECKPOINT_H_
 #define STREAMKC_DIST_CHECKPOINT_H_
@@ -57,17 +62,31 @@ std::string CheckpointPath(const std::string& dir, uint32_t worker);
 // Serializes `ckpt` (header + CRC + body) into a byte string.
 std::string EncodeCheckpoint(const Checkpoint& ckpt);
 
-// Parses a blob produced by EncodeCheckpoint. CHECK-fails on any
-// corruption: bad magic/version, truncated body, CRC mismatch.
+// Parses a blob produced by EncodeCheckpoint. Returns false (with a
+// one-line reason in *error if non-null) on any corruption: bad
+// magic/version, truncated or oversized body, CRC mismatch, trailing
+// garbage, inconsistent state length.
+bool TryDecodeCheckpoint(const std::string& bytes, Checkpoint* out,
+                         std::string* error);
+
+// CHECK-hard wrapper over TryDecodeCheckpoint for callers where a bad blob
+// is a caller bug rather than a recoverable event.
 Checkpoint DecodeCheckpoint(const std::string& bytes);
 
-// Atomically (tmp + rename) writes `ckpt` to `path`; CHECK-fails on IO
-// errors (an unwritable checkpoint dir is a caller bug, not a degradation).
+// Durably (tmp + fsync + rename + directory fsync) writes `ckpt` to
+// `path`; CHECK-fails on IO errors (an unwritable checkpoint dir is a
+// caller bug, not a degradation).
 void WriteCheckpointFile(const std::string& path, const Checkpoint& ckpt);
 
 bool CheckpointFileExists(const std::string& path);
 
-// Reads and decodes `path`; CHECK-fails if missing or corrupt.
+// Reads and decodes `path`; returns false (with a reason) if the file is
+// missing, unreadable, or corrupt. This is the loader the respawn path
+// uses: a torn checkpoint means "re-ingest from scratch", not "abort".
+bool TryLoadCheckpointFile(const std::string& path, Checkpoint* out,
+                           std::string* error = nullptr);
+
+// CHECK-hard wrapper: aborts if missing or corrupt.
 Checkpoint LoadCheckpointFile(const std::string& path);
 
 }  // namespace streamkc

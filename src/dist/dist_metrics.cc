@@ -47,6 +47,18 @@ uint64_t DistMetrics::TotalCheckpointsLoaded() const {
   return total;
 }
 
+uint64_t DistMetrics::TotalCheckpointsRejected() const {
+  uint64_t total = 0;
+  for (const auto& w : workers) total += w.counters.checkpoints_rejected;
+  return total;
+}
+
+uint64_t DistMetrics::TotalConnectRetries() const {
+  uint64_t total = 0;
+  for (const auto& w : workers) total += w.counters.connect_retries;
+  return total;
+}
+
 uint32_t DistMetrics::TotalRespawns() const {
   uint32_t total = 0;
   for (const auto& w : workers) total += w.respawns;
@@ -72,15 +84,19 @@ uint32_t DistMetrics::FingerprintCorruptions() const {
 }
 
 std::string DistMetrics::ToJson() const {
-  char buf[1536];
+  char buf[2048];
   std::string out;
-  out.reserve(1024 + 384 * workers.size());
+  out.reserve(1024 + 512 * workers.size());
   std::snprintf(
       buf, sizeof(buf),
       "{\n"
       "    \"num_workers\": %u,\n"
       "    \"merge_arity\": %u,\n"
       "    \"num_segments\": %u,\n"
+      "    \"transport\": \"%s\",\n"
+      "    \"poll_wakeups\": %" PRIu64 ",\n"
+      "    \"connections_accepted\": %" PRIu64 ",\n"
+      "    \"socket_drops\": %" PRIu64 ",\n"
       "    \"edges_ingested\": %" PRIu64 ",\n"
       "    \"edges_processed\": %" PRIu64 ",\n"
       "    \"edges_discarded\": %" PRIu64 ",\n"
@@ -93,17 +109,21 @@ std::string DistMetrics::ToJson() const {
       "    \"workers_quarantined\": %u,\n"
       "    \"checkpoints_written\": %" PRIu64 ",\n"
       "    \"checkpoints_loaded\": %" PRIu64 ",\n"
+      "    \"checkpoints_rejected\": %" PRIu64 ",\n"
+      "    \"connect_retries\": %" PRIu64 ",\n"
       "    \"merge_depth\": %u,\n"
       "    \"merges\": %" PRIu64 ",\n"
       "    \"merge_ns\": %" PRIu64 ",\n"
       "    \"wall_ns\": %" PRIu64 ",\n"
       "    \"edges_per_second\": %.0f,\n"
       "    \"workers\": [",
-      num_workers, merge_arity, num_segments, TotalEdgesIngested(),
+      num_workers, merge_arity, num_segments, transport.c_str(),
+      poll_wakeups, connections_accepted, socket_drops, TotalEdgesIngested(),
       TotalEdgesProcessed(), TotalEdgesDiscarded(), TotalStreamRetries(),
       TotalBytesShipped(), frames_received, TotalCrcRejections(),
       FingerprintCorruptions(), TotalRespawns(), WorkersQuarantined(),
-      TotalCheckpointsWritten(), TotalCheckpointsLoaded(), tree.depth,
+      TotalCheckpointsWritten(), TotalCheckpointsLoaded(),
+      TotalCheckpointsRejected(), TotalConnectRetries(), tree.depth,
       tree.merges, tree.merge_ns, wall_ns, EdgesPerSecond());
   out += buf;
   for (size_t i = 0; i < workers.size(); ++i) {
@@ -116,7 +136,9 @@ std::string DistMetrics::ToJson() const {
         ", \"truncated_segments\": %" PRIu64
         ", \"segments_assigned\": %u, \"segments_done\": %" PRIu64
         ", \"checkpoints_written\": %" PRIu64
-        ", \"checkpoints_loaded\": %" PRIu64 ", \"bytes_shipped\": %" PRIu64
+        ", \"checkpoints_loaded\": %" PRIu64
+        ", \"checkpoints_rejected\": %" PRIu64
+        ", \"connect_retries\": %" PRIu64 ", \"bytes_shipped\": %" PRIu64
         ", \"respawns\": %u, \"crc_rejections\": %u, \"quarantined\": %d"
         ", \"fingerprint_corrupted\": %d}",
         i == 0 ? "" : ",", w.worker, w.counters.edges_ingested,
@@ -124,7 +146,8 @@ std::string DistMetrics::ToJson() const {
         w.counters.batches, w.counters.stream_retries,
         w.counters.truncated_segments, w.segments_assigned,
         w.counters.segments_done, w.counters.checkpoints_written,
-        w.counters.checkpoints_loaded, w.bytes_shipped, w.respawns,
+        w.counters.checkpoints_loaded, w.counters.checkpoints_rejected,
+        w.counters.connect_retries, w.bytes_shipped, w.respawns,
         w.crc_rejections, w.quarantined ? 1 : 0,
         w.fingerprint_corrupted ? 1 : 0);
     out += buf;
@@ -152,6 +175,11 @@ void DistMetrics::PublishTo(MetricsRegistry* registry) const {
   set("dist_workers_quarantined", WorkersQuarantined());
   set("dist_checkpoints_written_total", TotalCheckpointsWritten());
   set("dist_checkpoints_loaded_total", TotalCheckpointsLoaded());
+  set("dist_checkpoints_rejected_total", TotalCheckpointsRejected());
+  set("dist_connect_retries_total", TotalConnectRetries());
+  set("dist_poll_wakeups_total", poll_wakeups);
+  set("dist_connections_accepted_total", connections_accepted);
+  set("dist_socket_drops_total", socket_drops);
   set("dist_merge_depth", tree.depth);
   set("dist_merges_total", tree.merges);
   set("dist_merge_ns", tree.merge_ns);

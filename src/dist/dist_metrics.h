@@ -43,6 +43,10 @@ struct DistMetrics {
   uint32_t num_segments = 0;
   uint64_t frames_received = 0;  // valid final frames decoded
   uint64_t wall_ns = 0;
+  std::string transport = "pipe";     // how frames traveled (pipe | tcp)
+  uint64_t poll_wakeups = 0;          // coordinator poll(2) returns
+  uint64_t connections_accepted = 0;  // TCP hellos bound to slots (0: pipe)
+  uint64_t socket_drops = 0;          // connections dropped by fault plan
   MergeTreeStats tree;
   std::vector<DistWorkerRow> workers;
 
@@ -55,6 +59,8 @@ struct DistMetrics {
   uint64_t TotalBytesShipped() const;
   uint64_t TotalCheckpointsWritten() const;
   uint64_t TotalCheckpointsLoaded() const;
+  uint64_t TotalCheckpointsRejected() const;
+  uint64_t TotalConnectRetries() const;
   uint32_t TotalRespawns() const;
   uint32_t TotalCrcRejections() const;
   uint32_t WorkersQuarantined() const;

@@ -6,10 +6,15 @@
 // fork for free). Each worker owns a contiguous block of the caller's
 // segments (worker w gets [S*w/W, S*(w+1)/W) — the SegmentedTextStream
 // byte-range convention), ingests them through the batched ProcessBatch
-// path, and ships ONE final frame up its pipe: the shipped WorkerCounters
-// block followed by the State's Save() blob, framed with length + CRC +
-// MergeFingerprint (dist/frame.h). The single-threaded coordinator
-// poll(2)s all pipes, reassembles frames, and reduces the surviving states
+// path, and ships ONE final frame to the coordinator: the shipped
+// WorkerCounters block followed by the State's Save() blob, framed with
+// length + CRC + MergeFingerprint (dist/frame.h). HOW the frame travels is
+// the Transport's business (dist/transport.h): over a per-worker pipe, or
+// over TCP where the worker dials the coordinator when its frame is ready
+// (`DistOptions::transport`). The single-threaded coordinator poll(2)s the
+// per-worker fds plus whatever reactor fds the transport owns (listen
+// socket, half-open connections, SIGCHLD self-pipe), reassembles frames
+// with a per-connection FrameDecoder, and reduces the surviving states
 // through the arity-configurable merge tree (dist/reduction_tree.h).
 //
 // Crash recovery: with a checkpoint_dir configured, workers write a
@@ -21,8 +26,9 @@
 // exactly the committed prefix and the dead incarnation's uncommitted work
 // died with its address space, every segment lands in the final state
 // exactly once: a kill-and-respawn run is byte-identical to a never-killed
-// one. Without a checkpoint the respawn re-ingests from scratch — slower,
-// same answer.
+// one. Without a checkpoint — or when the checkpoint file itself is torn
+// (host crash mid-write) and the loader rejects it — the respawn
+// re-ingests from scratch: slower, same answer.
 //
 // FaultPlan integration (all seed-deterministic, replayable from the spec):
 //   kill-shard=W@B    worker W's FIRST incarnation _exit()s before its B-th
@@ -35,19 +41,33 @@
 //                     the CRC rejects the frame and W is quarantined (a
 //                     transport that corrupts deterministically would
 //                     corrupt every respawn too, so no respawn is spent).
+//   socket-drop=W     TCP only: the coordinator drops worker W's first
+//                     connection before acking its hello; the worker
+//                     redials with the DegradationPolicy backoff and the
+//                     run converges byte-identically (with the retry
+//                     budget at zero the worker gives up permanently and
+//                     is quarantined, not crashed).
 //   stream faults     apply inside the worker via the caller's opener
 //                     wrapping segments in FaultInjectingStream.
 //
 // Failure matrix (who detects, what happens):
-//   crash / kill      coordinator sees EOF without a frame -> respawn,
-//                     then quarantine once max_respawns is exhausted
-//   exit(kPermanentErrorExit) (e.g. parse error) -> quarantine immediately
-//                     (deterministic failures don't earn respawns)
+//   crash / kill      coordinator sees EOF without a frame (pipe), a torn
+//                     connection, or a SIGCHLD-sweep waitpid (TCP, worker
+//                     died before dialing) -> respawn, then quarantine
+//                     once max_respawns is exhausted
+//   exit(kPermanentErrorExit) (e.g. parse error, transport retry budget
+//                     exhausted) -> quarantine immediately (deterministic
+//                     failures don't earn respawns)
+//   SIGPIPE           never: workers ignore it (dist/transport.h), so a
+//                     dead coordinator surfaces as a write error -> the
+//                     permanent-error path above, not a signal death
 //   CRC-corrupt frame -> quarantine immediately
 //   fingerprint minority -> quarantine after the majority vote
-//   corrupt checkpoint -> the respawned worker CHECK-aborts, which is a
-//                     crash: respawn again (from scratch if the file stays
-//                     bad) until the budget quarantines the worker
+//   corrupt checkpoint -> the respawned worker REJECTS the blob, counts
+//                     checkpoints_rejected, and re-ingests its block from
+//                     scratch — it still converges (the pre-fix CHECK-abort
+//                     turned one torn file into a respawn loop that
+//                     quarantined the worker forever)
 //
 // Requirements on State: Process/ProcessBatch, Merge, MergeFingerprint,
 // Save(ostream&), static Load(istream&) — the serialize.h sketch contract.
@@ -76,6 +96,7 @@
 #include "dist/dist_metrics.h"
 #include "dist/frame.h"
 #include "dist/reduction_tree.h"
+#include "dist/transport.h"
 #include "dist/worker_counters.h"
 #include "fault/fault_injector.h"
 #include "runtime/edge_batch.h"
@@ -101,9 +122,18 @@ struct DistOptions {
   // analogue of DegradationPolicy::strict (a successful respawn is
   // recovery, not degradation, and does not trip strict mode).
   bool strict = false;
-  // Bounded retry/backoff for transient stream errors inside workers.
+  // Bounded retry/backoff for transient stream errors inside workers, and
+  // for transient transport failures (refused/dropped TCP connections)
+  // when shipping the final frame.
   DegradationPolicy degradation;
-  // Optional deterministic fault plan (kill/corrupt hooks above). The
+  // How worker frames travel to the coordinator (pipe or tcp + addresses).
+  TransportConfig transport;
+  // Coordinator poll(2) timeout: 0 = auto (infinite — every worker exit is
+  // observable through the poll set, so an idle tree takes zero wakeups),
+  // > 0 = fixed milliseconds, -1 = explicit infinite. See
+  // ResolvePollTimeoutMs in dist/transport.h.
+  int poll_timeout_ms = 0;
+  // Optional deterministic fault plan (kill/corrupt/drop hooks above). The
   // injector must outlive Run(); its counters land in the coordinator's
   // registry (worker-side registries die with the worker).
   const FaultInjector* fault_injector = nullptr;
@@ -146,15 +176,41 @@ class ProcessReductionTree {
     metrics_.num_segments = num_segments;
     metrics_.workers.resize(options_.num_workers);
 
+    transport_ = MakeTransport(options_.transport);
+    metrics_.transport = transport_->name();
+    {
+      std::string terr;
+      if (!transport_->StartRun(&terr)) {
+        std::fprintf(stderr, "dist: transport start failed: %s\n",
+                     terr.c_str());
+        CHECK(false);
+      }
+    }
+    if (options_.fault_injector != nullptr) {
+      const FaultInjector* inj = options_.fault_injector;
+      transport_->set_drop_hook([inj](uint32_t w, uint64_t nth) {
+        // Only the FIRST connection is dropped: like kill-shard, the plan
+        // names one deterministic fault point and the retry converges.
+        if (nth > 0 || !inj->DropsSocket(w)) return false;
+        inj->Count(FaultInjector::kFaultSocketDrop);
+        return true;
+      });
+    }
+
     std::vector<Slot> slots(options_.num_workers);
     for (uint32_t w = 0; w < options_.num_workers; ++w) {
       DistWorkerRow& row = metrics_.workers[w];
       row.worker = w;
       row.segments_assigned = SegmentEnd(w, num_segments) -
                               SegmentBegin(w, num_segments);
-      Spawn(w, num_segments, open, &slots[w]);
+      Spawn(w, num_segments, open, &slots);
     }
     PumpUntilResolved(&slots, num_segments, open);
+
+    const Transport::Stats tstats = transport_->stats();
+    metrics_.connections_accepted = tstats.connections_accepted;
+    metrics_.socket_drops = tstats.socket_drops;
+    transport_.reset();  // close the listen socket, restore SIGCHLD
 
     // Majority vote over the reported fingerprints (the in-process
     // pipeline's corruption detection, applied across process boundaries).
@@ -243,9 +299,9 @@ class ProcessReductionTree {
   }
 
   void Spawn(uint32_t w, uint32_t num_segments, const SegmentOpener& open,
-             Slot* slot) {
-    int fds[2];
-    CHECK_EQ(::pipe(fds), 0);
+             std::vector<Slot>* slots) {
+    Slot* slot = &(*slots)[w];
+    Transport::Channel ch = transport_->MakeChannel(w, slot->generation);
     // Flush stdio before forking so buffered output is not duplicated into
     // the child (the child bypasses exit handlers with _exit, but anything
     // it prints itself would otherwise ride on stale parent buffers).
@@ -253,13 +309,19 @@ class ProcessReductionTree {
     pid_t pid = ::fork();
     CHECK_GE(pid, 0);
     if (pid == 0) {
-      ::close(fds[0]);
-      WorkerMain(w, slot->generation, fds[1], num_segments, open);
-      ::_exit(kWorkerOkExit);  // not reached; WorkerMain exits itself
+      // Drop every coordinator-side fd this child inherited: the
+      // transport's reactor fds, and other workers' slot fds — a child
+      // holding a copy of another worker's socket or pipe would hold that
+      // worker's EOF hostage for this child's whole lifetime.
+      transport_->OnChildFork(ch);
+      for (Slot& other : *slots) {
+        if (other.fd >= 0) ::close(other.fd);
+      }
+      WorkerMain(w, slot->generation, ch, num_segments, open);
     }
-    ::close(fds[1]);
+    transport_->OnParentFork(&ch);
     slot->pid = pid;
-    slot->fd = fds[0];
+    slot->fd = ch.coord_fd;  // pipe read end; -1 for TCP until the dial-in
     slot->decoder = FrameDecoder();
     slot->frame_ready = false;
     slot->state = Slot::kRunning;
@@ -275,31 +337,52 @@ class ProcessReductionTree {
     row.counters = WorkerCounters();
   }
 
-  // Single-threaded event loop: drain pipes, reap exits, respawn or
-  // quarantine failures, until every worker is kDone or kQuarantined.
+  // Single-threaded event loop: drain slot fds, pump the transport's
+  // reactor fds (accepts, hellos, SIGCHLD self-pipe), reap exits, respawn
+  // or quarantine failures, until every worker is kDone or kQuarantined.
   void PumpUntilResolved(std::vector<Slot>* slots, uint32_t num_segments,
                          const SegmentOpener& open) {
     const FaultInjector* inj = options_.fault_injector;
+    const bool sweep_exits = transport_->NeedsExitSweep();
     for (;;) {
+      bool any_running = false;
       std::vector<pollfd> pfds;
       std::vector<uint32_t> owner;
       for (uint32_t w = 0; w < slots->size(); ++w) {
         Slot& s = (*slots)[w];
-        if (s.state == Slot::kRunning && s.fd >= 0) {
+        if (s.state != Slot::kRunning) continue;
+        any_running = true;
+        if (s.fd >= 0) {
           pfds.push_back(pollfd{s.fd, POLLIN, 0});
           owner.push_back(w);
         }
       }
-      if (pfds.empty()) return;
-      int ready = ::poll(pfds.data(), pfds.size(), /*timeout_ms=*/1000);
+      if (!any_running) return;
+      const size_t slot_fds = pfds.size();
+      transport_->AppendPollFds(&pfds);
+      // Every running worker is observable: through its slot fd (pipe) or
+      // through the transport's self-pipe/listen fds (TCP) — which is why
+      // the auto timeout below can be infinite.
+      CHECK(!pfds.empty());
+      int ready = ::poll(pfds.data(), pfds.size(),
+                         ResolvePollTimeoutMs(options_.poll_timeout_ms,
+                                              /*deadline_pending=*/false));
+      ++metrics_.poll_wakeups;
       if (ready < 0) {
         CHECK_EQ(errno, EINTR);
         continue;
       }
-      for (size_t i = 0; i < pfds.size(); ++i) {
+      // Transport events first: a fresh connection binds to its slot (with
+      // a fresh per-connection FrameDecoder) before any draining.
+      std::vector<Transport::Ready> bound;
+      const bool sweep = transport_->HandlePollFds(
+          pfds.data() + slot_fds, pfds.size() - slot_fds, &bound);
+      for (const Transport::Ready& r : bound) BindConnection(slots, r);
+      for (size_t i = 0; i < slot_fds; ++i) {
         if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
         const uint32_t w = owner[i];
         Slot& s = (*slots)[w];
+        if (s.state != Slot::kRunning || s.fd != pfds[i].fd) continue;
         char buf[65536];
         bool eof = false;
         for (;;) {
@@ -317,16 +400,44 @@ class ProcessReductionTree {
           CHECK_EQ(errno, EINTR);
         }
         if (!eof) continue;
-        ::close(s.fd);
-        s.fd = -1;
-        ResolveExited(w, &s, num_segments, open, inj);
+        if (sweep_exits) {
+          ResolveConnectionEof(w, &s, num_segments, open, inj, slots);
+        } else {
+          ::close(s.fd);
+          s.fd = -1;
+          ResolveExited(w, &s, num_segments, open, inj, slots);
+        }
       }
+      if (sweep) SweepExits(slots, num_segments, open, inj);
     }
   }
 
-  // Pipe EOF: reap the child and classify the outcome.
+  // A completed TCP handshake: bind the connection into its worker's slot.
+  void BindConnection(std::vector<Slot>* slots, const Transport::Ready& r) {
+    if (r.worker >= slots->size()) {
+      std::fprintf(stderr, "dist: connection for unknown worker %u dropped\n",
+                   r.worker);
+      ::close(r.fd);
+      return;
+    }
+    Slot& s = (*slots)[r.worker];
+    if (s.state != Slot::kRunning || s.fd >= 0 ||
+        r.generation != s.generation) {
+      std::fprintf(stderr,
+                   "dist: stale connection for worker %u (gen %u) dropped\n",
+                   r.worker, r.generation);
+      ::close(r.fd);
+      return;
+    }
+    s.fd = r.fd;
+    s.decoder = FrameDecoder();  // per-connection reassembly state
+    s.frame_ready = false;
+  }
+
+  // Pipe EOF: the worker exited. Reap it, then decode and classify.
   void ResolveExited(uint32_t w, Slot* s, uint32_t num_segments,
-                     const SegmentOpener& open, const FaultInjector* inj) {
+                     const SegmentOpener& open, const FaultInjector* inj,
+                     std::vector<Slot>* slots) {
     int status = 0;
     pid_t r;
     do {
@@ -346,6 +457,80 @@ class ProcessReductionTree {
       inj->Count(FaultInjector::kFaultFrameCorruption);
     }
     FrameDecoder::Status ds = s->decoder.Next(&s->frame, &err);
+    ClassifyOutcome(w, s, status, ds, err, num_segments, open, inj, slots);
+  }
+
+  // TCP connection EOF: decode what landed, fin-ack a complete frame (the
+  // worker is blocked waiting for it), then reap and classify.
+  void ResolveConnectionEof(uint32_t w, Slot* s, uint32_t num_segments,
+                            const SegmentOpener& open,
+                            const FaultInjector* inj,
+                            std::vector<Slot>* slots) {
+    std::string err;
+    if (inj != nullptr && inj->CorruptsFrame(w) &&
+        s->decoder.buffered_bytes() > 0) {
+      s->decoder.CorruptForTest();
+      inj->Count(FaultInjector::kFaultFrameCorruption);
+    }
+    FrameDecoder::Status ds = s->decoder.Next(&s->frame, &err);
+    if (ds == FrameDecoder::Status::kNeedMore) {
+      // Torn connection, no complete frame: the worker either died
+      // mid-send (reap it right here) or will redial with a fresh
+      // connection; either way this one is spent.
+      transport_->FinishShipFd(s->fd, /*acked=*/false);
+      s->fd = -1;
+      s->decoder = FrameDecoder();
+      int status = 0;
+      pid_t r = ::waitpid(s->pid, &status, WNOHANG);
+      if (r == s->pid) {
+        s->pid = -1;
+        ClassifyOutcome(w, s, status, FrameDecoder::Status::kNeedMore, err,
+                        num_segments, open, inj, slots);
+      }
+      return;
+    }
+    // Complete frame (valid or CRC-rejected — rejection is a verdict, not
+    // a transport failure): fin-ack so the worker exits, then classify
+    // exactly as the pipe path does.
+    transport_->FinishShipFd(s->fd, /*acked=*/true);
+    s->fd = -1;
+    int status = 0;
+    pid_t r;
+    do {
+      r = ::waitpid(s->pid, &status, 0);
+    } while (r < 0 && errno == EINTR);
+    CHECK_EQ(r, s->pid);
+    s->pid = -1;
+    ClassifyOutcome(w, s, status, ds, err, num_segments, open, inj, slots);
+  }
+
+  // SIGCHLD fired (TCP): reap workers that died with no connection bound
+  // (crashed before — or between — dials). A slot with a live fd resolves
+  // through that fd's EOF instead: a dead worker's socket always EOFs, and
+  // the sweep must not steal a frame that is sitting in its decoder.
+  void SweepExits(std::vector<Slot>* slots, uint32_t num_segments,
+                  const SegmentOpener& open, const FaultInjector* inj) {
+    for (uint32_t w = 0; w < slots->size(); ++w) {
+      Slot& s = (*slots)[w];
+      if (s.state != Slot::kRunning || s.fd >= 0 || s.pid <= 0) continue;
+      int status = 0;
+      pid_t r = ::waitpid(s.pid, &status, WNOHANG);
+      if (r == 0) continue;  // alive: ingesting, dialing, or backing off
+      CHECK_EQ(r, s.pid);
+      s.pid = -1;
+      std::string err;
+      ClassifyOutcome(w, &s, status, FrameDecoder::Status::kNeedMore, err,
+                      num_segments, open, inj, slots);
+    }
+  }
+
+  // Shared verdict for a reaped worker, given its exit status and what the
+  // decoder made of its bytes — identical across transports, which is what
+  // keeps the crash/quarantine matrix differential-testable over both.
+  void ClassifyOutcome(uint32_t w, Slot* s, int status,
+                       FrameDecoder::Status ds, const std::string& err,
+                       uint32_t num_segments, const SegmentOpener& open,
+                       const FaultInjector* inj, std::vector<Slot>* slots) {
     const bool clean_exit =
         WIFEXITED(status) && WEXITSTATUS(status) == kWorkerOkExit;
 
@@ -393,14 +578,19 @@ class ProcessReductionTree {
     ++s->generation;
     std::fprintf(stderr, "dist: worker %u crashed; respawning (%u/%u)\n", w,
                  row.respawns, options_.max_respawns);
-    Spawn(w, num_segments, open, s);
+    Spawn(w, num_segments, open, slots);
   }
 
   // ---- Child side -------------------------------------------------------
 
-  [[noreturn]] void WorkerMain(uint32_t w, uint32_t generation, int out_fd,
+  [[noreturn]] void WorkerMain(uint32_t w, uint32_t generation,
+                               const Transport::Channel& ch,
                                uint32_t num_segments,
                                const SegmentOpener& open) {
+    // First thing, before any fd can break: a dead coordinator must
+    // surface as a write error on the ship path, never a SIGPIPE death
+    // (which would read as a crash and burn respawns on a hopeless retry).
+    IgnoreSigPipe();
     const FaultInjector* inj = options_.fault_injector;
     const uint32_t seg_begin = SegmentBegin(w, num_segments);
     const uint32_t seg_end = SegmentEnd(w, num_segments);
@@ -416,17 +606,27 @@ class ProcessReductionTree {
             : std::string();
     if (generation > 0 && !ckpt_path.empty() &&
         CheckpointFileExists(ckpt_path)) {
-      // Any corruption CHECK-aborts here — to the coordinator that is a
-      // crash, spending another respawn (see the failure matrix above).
-      Checkpoint ckpt = LoadCheckpointFile(ckpt_path);
-      CHECK_EQ(ckpt.worker, w);
-      CHECK_LE(ckpt.segments_done, uint64_t{owned});
-      std::istringstream is(ckpt.state_blob);
-      state = State::Load(is);
-      CHECK_EQ(state.MergeFingerprint(), ckpt.fingerprint);
-      counters = ckpt.counters;
-      start_local = ckpt.segments_done;
-      ++counters.checkpoints_loaded;
+      Checkpoint ckpt;
+      if (TryLoadCheckpointFile(ckpt_path, &ckpt) && ckpt.worker == w &&
+          ckpt.segments_done <= uint64_t{owned}) {
+        std::istringstream is(ckpt.state_blob);
+        state = State::Load(is);
+        CHECK_EQ(state.MergeFingerprint(), ckpt.fingerprint);
+        counters = ckpt.counters;
+        start_local = ckpt.segments_done;
+        ++counters.checkpoints_loaded;
+      } else {
+        // Torn or foreign blob (host crash mid-write beat the fsync, or a
+        // stale file from another topology): reject it and re-ingest the
+        // whole block from scratch — slower, same answer. CHECK-aborting
+        // here would turn one bad file into a respawn loop that can never
+        // converge.
+        std::fprintf(stderr,
+                     "dist: worker %u checkpoint rejected; re-ingesting "
+                     "from scratch\n",
+                     w);
+        ++counters.checkpoints_rejected;
+      }
     }
 
     // Only the FIRST incarnation honors the kill fault: the plan names a
@@ -467,15 +667,26 @@ class ProcessReductionTree {
       }
     }
 
-    Frame frame;
-    frame.fingerprint = state.MergeFingerprint();
-    std::ostringstream payload;
-    counters.Save(payload);
-    state.Save(payload);
-    frame.payload = payload.str();
-    if (!WriteFrameToFd(out_fd, frame)) ::_exit(kWorkerPermanentErrorExit);
-    ::close(out_fd);
-    ::_exit(kWorkerOkExit);
+    const uint64_t fingerprint = state.MergeFingerprint();
+    std::ostringstream state_os;
+    state.Save(state_os);
+    const std::string state_blob = state_os.str();
+    // The payload is re-serialized per ship attempt: a TCP retry bumps
+    // connect_retries, and the shipped counters must describe the attempt
+    // that actually landed. The state bytes are identical every time.
+    const bool shipped = transport_->ShipFinalFrame(
+        ch, w, generation, options_.degradation, &counters,
+        [&](const WorkerCounters& c) {
+          Frame frame;
+          frame.fingerprint = fingerprint;
+          std::ostringstream payload;
+          c.Save(payload);
+          payload.write(state_blob.data(),
+                        static_cast<std::streamsize>(state_blob.size()));
+          frame.payload = payload.str();
+          return frame;
+        });
+    ::_exit(shipped ? kWorkerOkExit : kWorkerPermanentErrorExit);
   }
 
   // Batched ingest of one segment with bounded retry on transient errors.
@@ -541,6 +752,7 @@ class ProcessReductionTree {
   DistOptions options_;
   Factory factory_;
   DistMetrics metrics_;
+  std::unique_ptr<Transport> transport_;
 };
 
 }  // namespace streamkc

@@ -37,6 +37,12 @@ struct WorkerCounters {
   uint64_t segments_done = 0;       // fully ingested (committed) segments
   uint64_t checkpoints_written = 0;
   uint64_t checkpoints_loaded = 0;
+  uint64_t checkpoints_rejected = 0;  // torn/foreign blobs discarded on load
+  uint64_t connect_retries = 0;  // transport dials retried (TCP ship path)
+
+  // Exact Save() footprint; the checkpoint Try-decoder validates body
+  // lengths against this before handing the bytes to Load.
+  static constexpr size_t kSerializedBytes = 11 * sizeof(uint64_t);
 
   void Save(std::ostream& os) const {
     WriteU64(os, edges_ingested);
@@ -48,6 +54,8 @@ struct WorkerCounters {
     WriteU64(os, segments_done);
     WriteU64(os, checkpoints_written);
     WriteU64(os, checkpoints_loaded);
+    WriteU64(os, checkpoints_rejected);
+    WriteU64(os, connect_retries);
   }
 
   static WorkerCounters Load(std::istream& is) {
@@ -61,6 +69,8 @@ struct WorkerCounters {
     c.segments_done = ReadU64(is);
     c.checkpoints_written = ReadU64(is);
     c.checkpoints_loaded = ReadU64(is);
+    c.checkpoints_rejected = ReadU64(is);
+    c.connect_retries = ReadU64(is);
     return c;
   }
 };

@@ -4,10 +4,13 @@
 // cadence bookkeeping, and the end-to-end recovery property — a run that
 // resumes from a checkpoint finishes byte-identical to one never killed.
 //
-// Corruption is a death test on purpose: DecodeCheckpoint CHECK-aborts, and
-// in the live system that abort IS the recovery signal (the coordinator
-// sees a crashed worker and spends a respawn; see process_tree.h's failure
-// matrix).
+// Corruption has two audiences. DecodeCheckpoint/LoadCheckpointFile stay
+// CHECK-hard (the death tests below) for callers that must never consume a
+// bad blob silently. The worker recovery path instead uses the Try*
+// variants: a torn file (host crash mid-write that beat the fsync) is
+// REJECTED and the block re-ingested from scratch — CHECK-aborting there
+// would turn one bad file into a respawn loop that can never converge (see
+// process_tree.h's failure matrix and the TornFile tests below).
 
 #include "dist/checkpoint.h"
 
@@ -18,6 +21,8 @@
 #include <string>
 
 #include "dist/frame.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
 #include "runtime/sketch_states.h"
 #include "test_util.h"
 
@@ -169,6 +174,83 @@ TEST(DistCheckpoint, ResumeFromCheckpointEqualsNeverKilledRun) {
   std::ostringstream got;
   resumed.Save(got);
   EXPECT_EQ(got.str(), ref.str());
+}
+
+TEST(DistCheckpoint, TryDecodeRejectsEveryCorruptionClassWithoutDying) {
+  // The non-fatal twin of the death tests above: same corruption classes,
+  // but the Try decoder reports them as a verdict the worker can act on.
+  const std::string bytes = EncodeCheckpoint(MakeCheckpoint());
+  Checkpoint out;
+  std::string error;
+  ASSERT_TRUE(TryDecodeCheckpoint(bytes, &out, &error)) << error;
+  EXPECT_FALSE(TryDecodeCheckpoint("", &out, &error));
+  for (size_t cut : {size_t{0}, size_t{3}, size_t{7}, size_t{11},
+                     size_t{19}, bytes.size() / 2, bytes.size() - 1}) {
+    error.clear();
+    EXPECT_FALSE(TryDecodeCheckpoint(bytes.substr(0, cut), &out, &error))
+        << "cut=" << cut;
+    EXPECT_FALSE(error.empty()) << "cut=" << cut;
+  }
+  for (size_t pos : {size_t{0}, size_t{5}, size_t{9}, size_t{17},
+                     size_t{21}, size_t{30}, size_t{45},
+                     bytes.size() / 2, bytes.size() - 1}) {
+    std::string bad = bytes;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x40);
+    EXPECT_FALSE(TryDecodeCheckpoint(bad, &out, &error)) << "pos=" << pos;
+  }
+  EXPECT_FALSE(TryDecodeCheckpoint(bytes + "x", &out, &error));
+  EXPECT_FALSE(TryDecodeCheckpoint(bytes + bytes, &out, &error));
+}
+
+TEST(DistCheckpoint, TryLoadRejectsMissingAndTornFilesWithoutDying) {
+  ScopedTempDir dir;
+  const std::string path = CheckpointPath(dir.path(), 0);
+  Checkpoint out;
+  std::string error;
+  EXPECT_FALSE(TryLoadCheckpointFile(path, &out, &error));
+  const std::string bytes = EncodeCheckpoint(MakeCheckpoint());
+  dir.WriteFile("ckpt_w0.bin", bytes.substr(0, bytes.size() / 2));
+  EXPECT_FALSE(TryLoadCheckpointFile(path, &out, &error));
+  EXPECT_FALSE(error.empty());
+  // A fresh write REPLACES the torn file (rename over it), and loads.
+  WriteCheckpointFile(path, MakeCheckpoint());
+  EXPECT_TRUE(TryLoadCheckpointFile(path, &out, &error)) << error;
+}
+
+TEST(DistCheckpoint, TornFileOnRespawnIsRejectedAndRunStillConverges) {
+  // The regression the fsync fix and the Try loader exist for: worker 1
+  // dies before its first checkpoint, and the file its respawn finds is
+  // torn (as if the host died mid-write before the rename was durable).
+  // Pre-fix the loader CHECK-aborted, every respawn died at the same spot,
+  // and the worker was quarantined; post-fix the respawn rejects the blob,
+  // re-ingests its block from scratch, and the run is byte-identical to
+  // the inline reference.
+  ScopedWorkerHarness harness(SyntheticEdges(20000, /*seed=*/13),
+                              /*num_segments=*/16);
+  const std::string path = CheckpointPath(harness.CheckpointDir(), 1);
+  const std::string bytes = EncodeCheckpoint(MakeCheckpoint());
+  {
+    std::ofstream torn(path, std::ios::binary | std::ios::trunc);
+    torn.write(bytes.data(),
+               static_cast<std::streamsize>(bytes.size() / 2));
+  }
+
+  FaultInjector injector(FaultPlan::ParseOrDie("seed=7,kill-shard=1@0"));
+  DistOptions opt;
+  opt.num_workers = 2;
+  opt.checkpoint_every = 2;
+  opt.checkpoint_dir = harness.CheckpointDir();
+  opt.fault_injector = &injector;
+  ScopedWorkerHarness::Result dist = harness.RunDist(opt);
+
+  EXPECT_EQ(dist.state_blob, harness.RunInline().state_blob);
+  const DistWorkerRow& w1 = dist.metrics.workers[1];
+  EXPECT_EQ(w1.respawns, 1u);
+  EXPECT_FALSE(w1.quarantined);
+  EXPECT_EQ(w1.counters.checkpoints_rejected, 1u);
+  EXPECT_EQ(w1.counters.checkpoints_loaded, 0u);
+  EXPECT_EQ(dist.metrics.WorkersQuarantined(), 0u);
+  EXPECT_EQ(dist.metrics.TotalCheckpointsRejected(), 1u);
 }
 
 TEST(DistCheckpoint, CadenceRespectsSegmentBoundaries) {

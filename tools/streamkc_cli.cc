@@ -130,10 +130,16 @@ struct Args {
   uint64_t checkpoint_every = 0; // committed segments per checkpoint; 0 = off
   std::string checkpoint_dir;
   uint64_t segments = 0;         // file segments; 0 = 4 per worker
+  std::string transport = "pipe";  // pipe | tcp (frame transport)
+  std::string listen_addr;         // tcp: coordinator bind address
+  std::string connect_addr;        // tcp: address workers dial
+  int64_t poll_timeout_ms = 0;     // 0 = auto (infinite), -1 = infinite
   bool workers_set = false;
   bool merge_arity_set = false;
   bool checkpoint_every_set = false;
   bool segments_set = false;
+  bool transport_set = false;
+  bool poll_timeout_set = false;
 };
 
 [[noreturn]] void Usage(const char* msg) {
@@ -170,6 +176,12 @@ struct Args {
                " [--merge-arity A] [--segments G]\n"
                "           [--checkpoint-every N --checkpoint-dir DIR]"
                " [--batch-size B] [--lenient]\n"
+               "           [--transport pipe|tcp] [--listen HOST:PORT]"
+               " [--connect HOST:PORT]\n"
+               "           [--poll-timeout-ms MS]"
+               "   (MS=0 auto, -1 infinite; tcp: workers dial the\n"
+               "            coordinator and ship frames over loopback"
+               " sockets instead of pipes)\n"
                "           [--metrics-out FILE|-]"
                " [--metrics-format json|prometheus]\n"
                "           [--fault-plan SPEC] [--fault-strict]"
@@ -180,6 +192,13 @@ struct Args {
 uint64_t ParseU64(const char* s) {
   char* end = nullptr;
   uint64_t v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') Usage("bad integer argument");
+  return v;
+}
+
+int64_t ParseI64(const char* s) {
+  char* end = nullptr;
+  int64_t v = std::strtoll(s, &end, 10);
   if (end == s || *end != '\0') Usage("bad integer argument");
   return v;
 }
@@ -258,6 +277,26 @@ Args Parse(int argc, char** argv) {
       a.segments = ParseU64(next());
       a.segments_set = true;
       if (a.segments == 0) Usage("--segments must be >= 1");
+    } else if (flag == "--transport" ||
+               flag.rfind("--transport=", 0) == 0) {
+      a.transport = flag == "--transport"
+                        ? next()
+                        : flag.substr(std::strlen("--transport="));
+      a.transport_set = true;
+      if (a.transport != "pipe" && a.transport != "tcp") {
+        Usage("--transport must be pipe or tcp");
+      }
+    } else if (flag == "--listen") {
+      a.listen_addr = next();
+    } else if (flag == "--connect") {
+      a.connect_addr = next();
+    } else if (flag == "--poll-timeout-ms") {
+      a.poll_timeout_ms = ParseI64(next());
+      a.poll_timeout_set = true;
+      if (a.poll_timeout_ms < -1 || a.poll_timeout_ms > INT32_MAX) {
+        Usage("--poll-timeout-ms must be -1 (infinite), 0 (auto), or a "
+              "positive millisecond count");
+      }
     } else if (flag == "--lenient") {
       a.lenient = true;
     } else if (flag == "--fault-plan") {
@@ -314,6 +353,17 @@ void ValidateFlags(const Args& a) {
     if (a.segments_set && a.workers > 0 && a.segments < a.workers) {
       Usage("--segments must be >= --workers");
     }
+    if (a.transport_set && a.workers == 0) {
+      Usage("--transport needs --workers >= 1 (the inline pass has no "
+            "frames to ship)");
+    }
+    if ((!a.listen_addr.empty() || !a.connect_addr.empty()) &&
+        a.transport != "tcp") {
+      Usage("--listen/--connect need --transport tcp");
+    }
+    if (a.poll_timeout_set && a.workers == 0) {
+      Usage("--poll-timeout-ms needs --workers >= 1");
+    }
   } else {
     if (a.workers_set) Usage("--workers only applies to the sketch command");
     if (a.merge_arity_set) {
@@ -323,6 +373,11 @@ void ValidateFlags(const Args& a) {
       Usage("--checkpoint-every/--checkpoint-dir only apply to sketch");
     }
     if (a.segments_set) Usage("--segments only applies to the sketch command");
+    if (a.transport_set || !a.listen_addr.empty() || !a.connect_addr.empty() ||
+        a.poll_timeout_set) {
+      Usage("--transport/--listen/--connect/--poll-timeout-ms only apply to "
+            "the sketch command");
+    }
   }
   if (a.metrics_format_set && a.metrics_out.empty()) {
     Usage("--metrics-format needs --metrics-out");
@@ -850,6 +905,10 @@ int CmdSketch(const Args& a) {
   opt.checkpoint_every = static_cast<uint32_t>(a.checkpoint_every);
   opt.checkpoint_dir = a.checkpoint_dir;
   opt.strict = a.fault_strict;
+  CHECK(ParseTransportKind(a.transport, &opt.transport.kind));
+  if (!a.listen_addr.empty()) opt.transport.listen_addr = a.listen_addr;
+  opt.transport.connect_addr = a.connect_addr;
+  opt.poll_timeout_ms = static_cast<int>(a.poll_timeout_ms);
   std::unique_ptr<FaultInjector> injector;
   if (!a.fault_plan.empty()) {
     FaultPlan plan;
@@ -884,6 +943,12 @@ int CmdSketch(const Args& a) {
               (unsigned long long)dm.TotalEdgesProcessed(),
               (unsigned long long)dm.frames_received,
               (unsigned long long)dm.TotalBytesShipped(), sw.ElapsedSeconds());
+  std::printf("transport          : %s (%llu connections, %llu dial "
+              "retries, %llu poll wakeups)\n",
+              dm.transport.c_str(),
+              (unsigned long long)dm.connections_accepted,
+              (unsigned long long)dm.TotalConnectRetries(),
+              (unsigned long long)dm.poll_wakeups);
   if (opt.checkpoint_every > 0) {
     std::printf("checkpoints        : %llu written, %llu loaded "
                 "(every %u segments in %s)\n",

@@ -13,7 +13,7 @@ import sys
 
 SUPPORTED_KEYS = {
     "$comment", "type", "required", "properties", "items",
-    "additionalProperties", "anyOf",
+    "additionalProperties", "anyOf", "enum",
 }
 
 
@@ -49,6 +49,11 @@ def validate(value, schema, path, errors):
     expected = schema.get("type")
     if expected is not None and not type_ok(value, expected):
         errors.append(f"{path}: expected {expected}, got {type(value).__name__}")
+        return
+
+    allowed = schema.get("enum")
+    if allowed is not None and value not in allowed:
+        errors.append(f"{path}: {value!r} not one of {allowed}")
         return
 
     if isinstance(value, dict):
@@ -236,6 +241,8 @@ def check_invariants(dump, errors):
                 ("bytes_shipped", "bytes_shipped"),
                 ("checkpoints_written", "checkpoints_written"),
                 ("checkpoints_loaded", "checkpoints_loaded"),
+                ("checkpoints_rejected", "checkpoints_rejected"),
+                ("connect_retries", "connect_retries"),
                 ("workers_respawned", "respawns"),
                 ("crc_rejections", "crc_rejections")):
             row_sum = sum(row[row_key] for row in workers)
@@ -243,6 +250,18 @@ def check_invariants(dump, errors):
                 errors.append(
                     f"$.dist.{total_key}: {dist[total_key]} != "
                     f"worker row sum {row_sum}")
+        # Transport sanity: the pipe transport never accepts connections or
+        # drops sockets, and retries only exist where a dial can fail.
+        if dist["transport"] not in ("pipe", "tcp"):
+            errors.append(f"$.dist.transport: {dist['transport']!r} is not "
+                          f"pipe/tcp")
+        if dist["transport"] == "pipe":
+            for key in ("connections_accepted", "socket_drops",
+                        "connect_retries"):
+                if dist[key]:
+                    errors.append(
+                        f"$.dist.{key}: {dist[key]} nonzero on the pipe "
+                        f"transport")
         quarantined = sum(1 for row in workers if row["quarantined"])
         if dist["workers_quarantined"] != quarantined:
             errors.append(
@@ -275,6 +294,13 @@ def check_invariants(dump, errors):
                 ("dist_workers_quarantined", dist["workers_quarantined"]),
                 ("dist_checkpoints_written_total",
                  dist["checkpoints_written"]),
+                ("dist_checkpoints_rejected_total",
+                 dist["checkpoints_rejected"]),
+                ("dist_connect_retries_total", dist["connect_retries"]),
+                ("dist_poll_wakeups_total", dist["poll_wakeups"]),
+                ("dist_connections_accepted_total",
+                 dist["connections_accepted"]),
+                ("dist_socket_drops_total", dist["socket_drops"]),
                 ("dist_merge_depth", dist["merge_depth"])):
             have = reg.get(gauge, want)
             if have != want:
